@@ -1,0 +1,51 @@
+// Ablation: point-to-point eager sends vs a binomial broadcast tree.
+//
+// The paper notes Chameleon "does not make use of complex collective
+// communication schemes: each inter-node communication uses a point-to-
+// point MPI communication" (Section II-C), which is why the message count
+// is proportional to the communication volume.  This ablation measures
+// what forwarding trees would buy each distribution: high-T patterns (many
+// receivers per tile) should gain the most.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_collectives",
+                   "serial eager sends vs binomial broadcast trees (LU)");
+  bench::add_machine_options(parser);
+  parser.add("size", "100000", "matrix size N");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  const std::vector<bench::Candidate> candidates = {
+      {"2DBC 23x1", core::make_2dbc(23, 1)},
+      {"2DBC 7x3", core::make_2dbc(7, 3)},
+      {"G-2DBC P=23", core::make_g2dbc(23)},
+  };
+
+  std::fprintf(stderr, "ablation_collectives: LU, N=%lld (t=%lld)\n",
+               static_cast<long long>(n), static_cast<long long>(t));
+  CsvWriter csv(std::cout);
+  csv.header({"distribution", "P", "p2p_gflops", "tree_gflops",
+              "tree_speedup"});
+  for (const auto& candidate : candidates) {
+    sim::MachineConfig machine =
+        bench::machine_from(parser, candidate.pattern.num_nodes());
+    const core::PatternDistribution dist(candidate.pattern, t, false);
+    machine.tree_broadcast = false;
+    const double p2p = sim::simulate_lu(t, dist, machine).total_gflops();
+    machine.tree_broadcast = true;
+    const double tree = sim::simulate_lu(t, dist, machine).total_gflops();
+    csv.row(candidate.label, candidate.pattern.num_nodes(), p2p, tree,
+            tree / p2p);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension: heterogeneous node speeds (the paper's conclusion lists
+// extending the schemes to heterogeneous nodes as an open direction).
+//
+// The balanced patterns built here assume identical nodes; this bench
+// quantifies how quickly that assumption bites by slowing a fraction of
+// the nodes and measuring the makespan inflation relative to the
+// ideal-speed bound (total work / aggregate speed).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_heterogeneous",
+                   "balanced patterns on skewed machines (LU, G-2DBC P=23)");
+  bench::add_machine_options(parser);
+  parser.add("size", "100000", "matrix size N");
+  parser.add("slow-fraction", "0,1,3,6,11", "slow nodes out of 23 to sweep");
+  parser.add("slow-speed", "0.5", "relative speed of the slow nodes");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  const double slow_speed = parser.get_double("slow-speed");
+  const core::Pattern pattern = core::make_g2dbc(23);
+  const core::PatternDistribution dist(pattern, t, false);
+
+  std::fprintf(stderr, "ablation_heterogeneous: LU, N=%lld, slow speed %.2f\n",
+               static_cast<long long>(n), slow_speed);
+  CsvWriter csv(std::cout);
+  csv.header({"slow_nodes", "total_gflops", "makespan_seconds",
+              "slowdown_vs_uniform", "aggregate_speed_fraction"});
+  double uniform_makespan = 0.0;
+  for (const std::int64_t slow : parser.get_int_list("slow-fraction")) {
+    sim::MachineConfig machine = bench::machine_from(parser, 23);
+    machine.node_speed.assign(23, 1.0);
+    for (std::int64_t k = 0; k < slow && k < 23; ++k)
+      machine.node_speed[static_cast<std::size_t>(k)] = slow_speed;
+    const sim::SimReport report = sim::simulate_lu(t, dist, machine);
+    if (slow == 0) uniform_makespan = report.makespan_seconds;
+    double aggregate = 0.0;
+    for (const double s : machine.node_speed) aggregate += s;
+    csv.row(slow, report.total_gflops(), report.makespan_seconds,
+            uniform_makespan > 0
+                ? report.makespan_seconds / uniform_makespan
+                : 1.0,
+            aggregate / 23.0);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: network bandwidth sensitivity.
+//
+// The gap between distributions is a communication effect, so it must grow
+// as the network slows.  Sweeps NIC bandwidth for the P = 23 LU candidates;
+// on an infinitely fast network every balanced distribution converges to
+// machine peak, and as bandwidth shrinks the high-T patterns fall first.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_network",
+                   "LU throughput vs NIC bandwidth, P <= 23");
+  bench::add_machine_options(parser);
+  parser.add("size", "100000", "matrix size N");
+  parser.add("bandwidths", "2,5,12,25,50,100,400",
+             "NIC bandwidths to sweep (GB/s)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  const std::vector<bench::Candidate> candidates = {
+      {"G-2DBC P=23", core::make_g2dbc(23)},
+      {"2DBC 23x1", core::make_2dbc(23, 1)},
+      {"2DBC 7x3", core::make_2dbc(7, 3)},
+  };
+
+  std::fprintf(stderr, "ablation_network: LU, N=%lld (t=%lld)\n",
+               static_cast<long long>(n), static_cast<long long>(t));
+  CsvWriter csv(std::cout);
+  csv.header({"bandwidth_gbps", "distribution", "P", "total_gflops",
+              "fraction_of_peak"});
+  for (const std::int64_t bw : parser.get_int_list("bandwidths")) {
+    for (const auto& candidate : candidates) {
+      sim::MachineConfig machine =
+          bench::machine_from(parser, candidate.pattern.num_nodes());
+      machine.link_bandwidth_gbps = static_cast<double>(bw);
+      const core::PatternDistribution dist(candidate.pattern, t, false);
+      const sim::SimReport report = sim::simulate_lu(t, dist, machine);
+      csv.row(bw, candidate.label, candidate.pattern.num_nodes(),
+              report.total_gflops(),
+              report.total_gflops() / machine.peak_gflops());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: pattern size vs communication efficiency (the paper's §VI open
+// question: "how large a pattern needs to be to obtain good communication
+// efficiency, or the tradeoff between pattern size and communication
+// efficiency").
+//
+// For each feasible GCR&M pattern size r (best of a few seeds), reports the
+// combinatorial cost z-bar *and* the simulated Cholesky throughput, showing
+// how much of the cost difference survives contact with load balancing and
+// network contention.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cost.hpp"
+#include "core/pattern_search.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_pattern_size",
+                   "GCR&M pattern size vs cost vs simulated throughput");
+  bench::add_machine_options(parser);
+  parser.add("nodes", "23", "node count P");
+  parser.add("size", "100000", "matrix size N");
+  parser.add("seeds", "20", "seeds per pattern size");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t P = parser.get_int("nodes");
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  const std::int64_t seeds = parser.get_int("seeds");
+  const auto max_r = static_cast<std::int64_t>(
+      6.0 * std::sqrt(static_cast<double>(P)));
+
+  std::fprintf(stderr,
+               "ablation_pattern_size: P=%lld, Cholesky N=%lld (t=%lld)\n",
+               static_cast<long long>(P), static_cast<long long>(n),
+               static_cast<long long>(t));
+  CsvWriter csv(std::cout);
+  csv.header({"r", "cost_T", "total_gflops", "per_node_gflops", "messages"});
+  for (const std::int64_t r : core::gcrm_feasible_sizes(P, max_r)) {
+    // Best-of-seeds pattern at this exact size.
+    core::Pattern best;
+    double best_cost = 0.0;
+    bool found = false;
+    for (std::int64_t s = 0; s < seeds; ++s) {
+      const core::GcrmResult attempt =
+          core::gcrm_build(P, r, static_cast<std::uint64_t>(s));
+      if (!attempt.valid || !attempt.pattern.is_balanced(1)) continue;
+      if (!found || attempt.cost < best_cost) {
+        best = attempt.pattern;
+        best_cost = attempt.cost;
+        found = true;
+      }
+    }
+    if (!found) continue;
+    const bench::Candidate candidate{"GCR&M r=" + std::to_string(r), best};
+    const sim::SimReport report =
+        bench::run_candidate(candidate, t, parser, /*symmetric=*/true);
+    csv.row(r, best_cost, report.total_gflops(), report.per_node_gflops(),
+            report.messages);
+  }
+  return 0;
+}

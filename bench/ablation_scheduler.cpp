@@ -1,0 +1,53 @@
+// Ablation: critical-path priorities vs FIFO scheduling in the simulated
+// runtime.
+//
+// The paper credits part of the task-based approach's win to dynamic
+// scheduling that keeps the panel chain moving (Section II-C).  This bench
+// quantifies that on the model: the same workloads with the StarPU-style
+// priority order and with plain FIFO.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_scheduler",
+                   "priority vs FIFO scheduling in the simulator");
+  bench::add_machine_options(parser);
+  parser.add("size", "100000", "matrix size N");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  const std::vector<bench::Candidate> candidates = {
+      {"2DBC 4x4", core::make_2dbc(4, 4)},
+      {"2DBC 7x3", core::make_2dbc(7, 3)},
+      {"G-2DBC P=23", core::make_g2dbc(23)},
+  };
+
+  std::fprintf(stderr, "ablation_scheduler: LU, N=%lld (t=%lld)\n",
+               static_cast<long long>(n), static_cast<long long>(t));
+  CsvWriter csv(std::cout);
+  csv.header({"distribution", "P", "priority_gflops", "fifo_gflops",
+              "priority_speedup"});
+  for (const auto& candidate : candidates) {
+    sim::MachineConfig machine =
+        bench::machine_from(parser, candidate.pattern.num_nodes());
+    const core::PatternDistribution dist(candidate.pattern, t, false);
+
+    machine.priority_scheduling = true;
+    const double with_prio =
+        sim::simulate_lu(t, dist, machine).total_gflops();
+    machine.priority_scheduling = false;
+    const double with_fifo =
+        sim::simulate_lu(t, dist, machine).total_gflops();
+    csv.row(candidate.label, candidate.pattern.num_nodes(), with_prio,
+            with_fifo, with_prio / with_fifo);
+  }
+  return 0;
+}

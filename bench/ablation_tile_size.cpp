@@ -1,0 +1,45 @@
+// Ablation: tile size.
+//
+// The paper fixes 500x500 tiles ("the smallest size for which individual
+// cores perform kernels with enough efficiency").  In the model, tile size
+// trades per-message overhead and scheduling granularity (small tiles)
+// against load-balance granularity and pipeline depth (large tiles).  This
+// bench sweeps the tile size at a fixed matrix size.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("ablation_tile_size",
+                   "LU throughput vs tile size at fixed N (G-2DBC, P = 23)");
+  bench::add_machine_options(parser);
+  parser.add("size", "120000", "matrix size N");
+  parser.add("tiles", "500,750,1000,1500,2000,3000,4000",
+             "tile sizes to sweep");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const core::Pattern pattern = core::make_g2dbc(23);
+
+  std::fprintf(stderr, "ablation_tile_size: LU, N=%lld, G-2DBC P=23\n",
+               static_cast<long long>(n));
+  CsvWriter csv(std::cout);
+  csv.header({"tile", "t", "total_gflops", "per_node_gflops", "messages",
+              "efficiency"});
+  for (const std::int64_t tile : parser.get_int_list("tiles")) {
+    const std::int64_t t = n / tile;
+    if (t < 2) continue;
+    sim::MachineConfig machine = bench::machine_from(parser, 23);
+    machine.tile_size = tile;
+    const core::PatternDistribution dist(pattern, t, false);
+    const sim::SimReport report = sim::simulate_lu(t, dist, machine);
+    csv.row(tile, t, report.total_gflops(), report.per_node_gflops(),
+            report.messages, report.efficiency(machine));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the table/figure bench binaries.
+//
+// Every bench accepts the same machine options and prints CSV on stdout;
+// explanatory context goes to stderr so stdout stays machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "core/pattern.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "util/args.hpp"
+
+namespace anyblock::bench {
+
+/// Registers --workers/--gflops/--bandwidth/--latency/--tile.
+void add_machine_options(ArgParser& parser);
+
+/// Builds the machine model from parsed options; `nodes` is bench-specific.
+sim::MachineConfig machine_from(const ArgParser& parser, std::int64_t nodes);
+
+/// A named distribution candidate in a comparison figure.
+struct Candidate {
+  std::string label;    ///< e.g. "G-2DBC P=23" or "2DBC 7x3 P=21"
+  core::Pattern pattern;
+};
+
+/// Formats "RxC" for pattern dimensions.
+std::string dims(const core::Pattern& pattern);
+
+/// Runs one factorization simulation for `n = t * tile` and returns the
+/// report; `symmetric` selects Cholesky vs LU.
+sim::SimReport run_candidate(const Candidate& candidate, std::int64_t t,
+                             const ArgParser& parser, bool symmetric);
+
+/// Emits one CSV row of a performance figure:
+/// kernel,label,P,pattern,N,t,total_gflops,per_node_gflops,messages,seconds
+void print_perf_header();
+void print_perf_row(const char* kernel, const Candidate& candidate,
+                    std::int64_t n, std::int64_t t,
+                    const sim::SimReport& report);
+
+/// The N sweep for a figure: --sizes in matrix elements, converted to tile
+/// counts with --tile (sizes not divisible by the tile size are rounded).
+std::vector<std::int64_t> size_sweep(const ArgParser& parser);
+
+}  // namespace anyblock::bench

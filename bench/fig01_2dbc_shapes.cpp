@@ -1,0 +1,44 @@
+// Fig. 1: LU factorization with 2DBC under different pattern shapes.
+//
+// The paper's motivating experiment: with P = 23 nodes available, the
+// forced 23x1 grid wastes the machine; dropping to 22 (11x2), 21 (7x3) or
+// 20 (5x4) nodes trades node count against pattern squareness — per-node
+// performance improves as the grid squares up, while total performance
+// stays disappointingly flat.  Series: per-node and total GFlop/s vs N.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig01_2dbc_shapes",
+                   "Fig. 1 - LU with 2DBC pattern shapes 23x1/11x2/7x3/5x4");
+  bench::add_machine_options(parser);
+  parser.add("sizes", "50000,100000,150000,200000",
+             "matrix sizes N (comma-separated)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::vector<bench::Candidate> candidates = {
+      {"2DBC 23x1", core::make_2dbc(23, 1)},
+      {"2DBC 11x2", core::make_2dbc(11, 2)},
+      {"2DBC 7x3", core::make_2dbc(7, 3)},
+      {"2DBC 5x4", core::make_2dbc(5, 4)},
+  };
+
+  std::fprintf(stderr,
+               "fig01: LU, 2DBC shapes for ~23 nodes (paper Fig. 1)\n");
+  bench::print_perf_header();
+  for (const std::int64_t n : bench::size_sweep(parser)) {
+    const std::int64_t t = n / parser.get_int("tile");
+    if (t < 2) continue;
+    for (const auto& candidate : candidates) {
+      const sim::SimReport report =
+          bench::run_candidate(candidate, t, parser, /*symmetric=*/false);
+      bench::print_perf_row("lu", candidate, n, t, report);
+    }
+  }
+  return 0;
+}

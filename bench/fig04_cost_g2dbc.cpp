@@ -1,0 +1,41 @@
+// Fig. 4: communication cost T of G-2DBC vs the best 2DBC, for every P.
+//
+// Series per P: best-2DBC cost (over all factorizations P = r*c), G-2DBC
+// cost, and the 2*sqrt(P) reference the square grid achieves.  G-2DBC
+// closely tracks 2*sqrt(P) for all P (Lemma 2: T <= 2 sqrt(P) + 2/sqrt(P)).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig04_cost_g2dbc",
+                   "Fig. 4 - cost T of G-2DBC and best 2DBC vs P");
+  parser.add("min", "2", "smallest P");
+  parser.add("max", "300", "largest P");
+  if (!parser.parse(argc, argv)) return 1;
+
+  std::fprintf(stderr, "fig04: pattern costs for P in [%lld, %lld]\n",
+               static_cast<long long>(parser.get_int("min")),
+               static_cast<long long>(parser.get_int("max")));
+  CsvWriter csv(std::cout);
+  csv.header({"P", "best_2dbc_dims", "best_2dbc_T", "g2dbc_dims", "g2dbc_T",
+              "two_sqrt_P", "lemma2_bound"});
+  for (std::int64_t P = parser.get_int("min"); P <= parser.get_int("max");
+       ++P) {
+    const auto [r, c] = core::best_grid(P);
+    const core::Pattern g2dbc = core::make_g2dbc(P);
+    csv.row(P, std::to_string(r) + "x" + std::to_string(c),
+            static_cast<double>(r + c), bench::dims(g2dbc),
+            core::lu_cost(g2dbc), core::lu_cost_reference(P),
+            core::g2dbc_cost_bound(P));
+  }
+  return 0;
+}

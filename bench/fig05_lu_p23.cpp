@@ -1,0 +1,42 @@
+// Fig. 5: LU factorization with at most P = 23 nodes.
+//
+// Candidates (Table Ia): G-2DBC using all 23 nodes vs 2DBC forced to 23x1,
+// the 7x3 grid on 21 nodes, and the square 4x4 grid on 16 nodes.  Expected
+// shape: 23x1 far below everything; G-2DBC highest total throughput with
+// per-node efficiency comparable to 7x3.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig05_lu_p23", "Fig. 5 - LU with a maximum of 23 nodes");
+  bench::add_machine_options(parser);
+  parser.add("sizes", "50000,100000,150000,200000,250000,300000",
+             "matrix sizes N");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::vector<bench::Candidate> candidates = {
+      {"G-2DBC P=23", core::make_g2dbc(23)},
+      {"2DBC 23x1", core::make_2dbc(23, 1)},
+      {"2DBC 7x3", core::make_2dbc(7, 3)},
+      {"2DBC 4x4", core::make_2dbc(4, 4)},
+  };
+
+  std::fprintf(stderr, "fig05: LU, P<=23 (paper Fig. 5)\n");
+  bench::print_perf_header();
+  for (const std::int64_t n : bench::size_sweep(parser)) {
+    const std::int64_t t = n / parser.get_int("tile");
+    if (t < 2) continue;
+    for (const auto& candidate : candidates) {
+      const sim::SimReport report =
+          bench::run_candidate(candidate, t, parser, /*symmetric=*/false);
+      bench::print_perf_row("lu", candidate, n, t, report);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6: LU factorization with at most P = 39 nodes.
+//
+// Candidates (Table Ia): G-2DBC on all 39 nodes vs the 13x3 grid (39 nodes,
+// badly rectangular) and the square 6x6 grid on 36 nodes.  Expected shape:
+// G-2DBC highest throughput at every size; 13x3 below the 6x6 grid despite
+// using more nodes.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig06_lu_p39", "Fig. 6 - LU with a maximum of 39 nodes");
+  bench::add_machine_options(parser);
+  parser.add("sizes", "50000,100000,150000,200000,250000,300000",
+             "matrix sizes N");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::vector<bench::Candidate> candidates = {
+      {"G-2DBC P=39", core::make_g2dbc(39)},
+      {"2DBC 13x3", core::make_2dbc(13, 3)},
+      {"2DBC 6x6", core::make_2dbc(6, 6)},
+  };
+
+  std::fprintf(stderr, "fig06: LU, P<=39 (paper Fig. 6)\n");
+  bench::print_perf_header();
+  for (const std::int64_t n : bench::size_sweep(parser)) {
+    const std::int64_t t = n / parser.get_int("tile");
+    if (t < 2) continue;
+    for (const auto& candidate : candidates) {
+      const sim::SimReport report =
+          bench::run_candidate(candidate, t, parser, /*symmetric=*/false);
+      bench::print_perf_row("lu", candidate, n, t, report);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 7a: LU strong scaling at fixed N = 200,000.
+//
+// For each of the paper's node counts, the best available 2DBC grid
+// (Table Ia) versus G-2DBC on all P nodes.  Expected shape: 2DBC collapses
+// at P = 23 and 31 (and sags at 39); G-2DBC rises steadily with P.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig07a_scaling_lu",
+                   "Fig. 7a - LU strong scaling, N = 200000");
+  bench::add_machine_options(parser);
+  parser.add("size", "200000", "matrix size N");
+  parser.add("nodes", "16,20,21,22,23,30,31,35,36,39", "node counts P");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  std::fprintf(stderr, "fig07a: LU strong scaling at N=%lld (t=%lld)\n",
+               static_cast<long long>(n), static_cast<long long>(t));
+  bench::print_perf_header();
+  for (const std::int64_t P : parser.get_int_list("nodes")) {
+    const auto [r, c] = core::best_grid(P);
+    const bench::Candidate bc{
+        "2DBC " + std::to_string(r) + "x" + std::to_string(c),
+        core::make_2dbc(r, c)};
+    bench::print_perf_row("lu", bc, n, t,
+                          bench::run_candidate(bc, t, parser, false));
+    const bench::Candidate gc{"G-2DBC P=" + std::to_string(P),
+                              core::make_g2dbc(P)};
+    bench::print_perf_row("lu", gc, n, t,
+                          bench::run_candidate(gc, t, parser, false));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 7b: Cholesky strong scaling at fixed N = 200,000.
+//
+// For each node count: the best SBC using at most P nodes (the paper's
+// fallback) versus GCR&M using all P nodes.  Expected shape: both curves
+// climb together — GCR&M fills the gaps between feasible SBC node counts
+// at the throughput SBC would reach if it existed there.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/pattern_search.hpp"
+#include "core/sbc.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig07b_scaling_chol",
+                   "Fig. 7b - Cholesky strong scaling, N = 200000");
+  bench::add_machine_options(parser);
+  parser.add("size", "200000", "matrix size N");
+  parser.add("nodes", "16,20,21,22,23,30,31,35,36,39", "node counts P");
+  parser.add("seeds", "100", "GCR&M random restarts per pattern size");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t n = parser.get_int("size");
+  const std::int64_t t = n / parser.get_int("tile");
+  std::fprintf(stderr, "fig07b: Cholesky strong scaling at N=%lld (t=%lld)\n",
+               static_cast<long long>(n), static_cast<long long>(t));
+  bench::print_perf_header();
+  for (const std::int64_t P : parser.get_int_list("nodes")) {
+    const core::SbcParams sbc_params = core::best_sbc_at_most(P);
+    const bench::Candidate sbc{"SBC P=" + std::to_string(sbc_params.P),
+                               core::make_sbc(sbc_params)};
+    bench::print_perf_row("cholesky", sbc, n, t,
+                          bench::run_candidate(sbc, t, parser, true));
+
+    core::GcrmSearchOptions options;
+    options.seeds = parser.get_int("seeds");
+    const core::GcrmSearchResult search = core::gcrm_search(P, options);
+    if (!search.found) continue;
+    const bench::Candidate gcrm{"GCR&M P=" + std::to_string(P), search.best};
+    bench::print_perf_row("cholesky", gcrm, n, t,
+                          bench::run_candidate(gcrm, t, parser, true));
+  }
+  return 0;
+}

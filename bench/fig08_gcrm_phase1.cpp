@@ -1,0 +1,58 @@
+// Fig. 8: illustration of GCR&M's first phase — colrow-to-node assignment.
+//
+// The paper's figure shows one greedy step: node p already holds colrows
+// {5, 8, 10}; colrow 2 is preferred over colrow 3 because it covers more
+// new cells.  This bench reproduces the decision data for a full run: the
+// final colrow assignment A[p] per node, each node's cell count, and the
+// resulting pattern, so the phase-1 behaviour is inspectable end to end.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/cost.hpp"
+#include "core/gcrm.hpp"
+#include "core/pattern_io.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig08_gcrm_phase1",
+                   "Fig. 8 - GCR&M phase 1 colrow assignment, inspectable");
+  parser.add("nodes", "10", "node count P");
+  parser.add("size", "13", "pattern size r");
+  parser.add("seed", "1", "random seed");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t P = parser.get_int("nodes");
+  const std::int64_t r = parser.get_int("size");
+  if (!core::gcrm_feasible(P, r)) {
+    std::fprintf(stderr, "infeasible (P=%lld, r=%lld) under Eq. 3\n",
+                 static_cast<long long>(P), static_cast<long long>(r));
+    return 1;
+  }
+  const core::GcrmResult result = core::gcrm_build(
+      P, r, static_cast<std::uint64_t>(parser.get_int("seed")));
+
+  CsvWriter csv(std::cout);
+  csv.header({"node", "colrows", "cells_owned"});
+  const auto loads = result.pattern.node_loads();
+  for (std::int64_t p = 0; p < P; ++p) {
+    std::string colrows;
+    for (const auto q : result.colrows_per_node[static_cast<std::size_t>(p)]) {
+      if (!colrows.empty()) colrows += ' ';
+      colrows += std::to_string(q);
+    }
+    csv.row(p, colrows, loads[static_cast<std::size_t>(p)]);
+  }
+
+  std::fprintf(stderr,
+               "pattern (z-bar = %.4f, matched r1=%lld r2=%lld fallback=%lld)"
+               ":\n%s",
+               result.cost,
+               static_cast<long long>(result.cells_matched_round1),
+               static_cast<long long>(result.cells_matched_round2),
+               static_cast<long long>(result.cells_fallback),
+               core::render_pattern(result.pattern).c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 10: communication cost of the symmetric patterns for every P.
+//
+// Series: SBC at its feasible node counts (basic sqrt(2P) and extended
+// sqrt(2P) - 0.5 families), GCR&M's best pattern at every P, the symmetric
+// cost of the best 2DBC and of G-2DBC (T_LU - 1), and the reference curves
+// sqrt(2P) and the empirical GCR&M limit sqrt(3P/2).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/pattern_search.hpp"
+#include "core/sbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig10_cost_symmetric",
+                   "Fig. 10 - symmetric pattern costs vs P");
+  parser.add("min", "2", "smallest P");
+  parser.add("max", "64", "largest P");
+  parser.add("seeds", "32", "GCR&M random restarts per pattern size");
+  if (!parser.parse(argc, argv)) return 1;
+
+  core::GcrmSearchOptions options;
+  options.seeds = parser.get_int("seeds");
+  std::fprintf(stderr, "fig10: symmetric costs for P in [%lld, %lld] "
+                       "(%lld seeds)\n",
+               static_cast<long long>(parser.get_int("min")),
+               static_cast<long long>(parser.get_int("max")),
+               static_cast<long long>(options.seeds));
+  CsvWriter csv(std::cout);
+  csv.header({"P", "gcrm_T", "sbc_T", "best_2dbc_sym_T", "g2dbc_sym_T",
+              "sqrt_2P", "sqrt_1.5P"});
+  for (std::int64_t P = parser.get_int("min"); P <= parser.get_int("max");
+       ++P) {
+    const core::GcrmSearchResult search = core::gcrm_search(P, options);
+    const std::string gcrm =
+        search.found ? std::to_string(search.best_cost) : "-";
+    std::string sbc = "-";
+    if (const auto params = core::sbc_params(P))
+      sbc = std::to_string(params->cost());
+    const auto [r, c] = core::best_grid(P);
+    csv.row(P, gcrm, sbc, static_cast<double>(r + c) - 1.0,
+            core::g2dbc_cost_formula(P) - 1.0, core::sbc_cost_reference(P),
+            core::gcrm_cost_limit(P));
+  }
+  return 0;
+}

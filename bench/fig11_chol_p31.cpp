@@ -1,0 +1,53 @@
+// Fig. 11: Cholesky factorization with at most P = 31 nodes.
+//
+// Candidates (Table Ib): GCR&M using all 31 nodes vs the best SBC fallback
+// (28 nodes, 8x8, T = 7).  Expected shape: GCR&M's total throughput above
+// SBC at every size (up to ~11% in the paper); per-node slightly below,
+// with the gap narrowing as N grows.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/pattern_search.hpp"
+#include "core/sbc.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("fig11_chol_p31",
+                   "Fig. 11 - Cholesky with a maximum of 31 nodes");
+  bench::add_machine_options(parser);
+  parser.add("sizes", "50000,100000,150000,200000,250000,300000",
+             "matrix sizes N");
+  parser.add("nodes", "31", "total available nodes");
+  parser.add("seeds", "100", "GCR&M random restarts per pattern size");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t P = parser.get_int("nodes");
+  core::GcrmSearchOptions options;
+  options.seeds = parser.get_int("seeds");
+  const core::GcrmSearchResult search = core::gcrm_search(P, options);
+  if (!search.found) {
+    std::fprintf(stderr, "GCR&M search failed for P=%lld\n",
+                 static_cast<long long>(P));
+    return 1;
+  }
+  const core::SbcParams sbc = core::best_sbc_at_most(P);
+  const std::vector<bench::Candidate> candidates = {
+      {"GCR&M P=" + std::to_string(P), search.best},
+      {"SBC P=" + std::to_string(sbc.P), core::make_sbc(sbc)},
+  };
+  std::fprintf(stderr, "fig11: Cholesky, P<=%lld, GCR&M T=%.3f vs SBC T=%.0f\n",
+               static_cast<long long>(P), search.best_cost, sbc.cost());
+  bench::print_perf_header();
+  for (const std::int64_t n : bench::size_sweep(parser)) {
+    const std::int64_t t = n / parser.get_int("tile");
+    if (t < 2) continue;
+    for (const auto& candidate : candidates) {
+      const sim::SimReport report =
+          bench::run_candidate(candidate, t, parser, /*symmetric=*/true);
+      bench::print_perf_row("cholesky", candidate, n, t, report);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Micro benchmarks for the tile kernels, reporting achieved GFlop/s — the
+// `--gflops` calibration input of the cluster simulator can be cross-checked
+// against these numbers for any host.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "linalg/kernels.hpp"
+#include "util/rng.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+std::vector<double> tile(std::int64_t nb, std::uint64_t seed,
+                         bool dominant = false) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<std::size_t>(nb * nb));
+  for (double& v : data) v = 2.0 * rng.uniform() - 1.0;
+  if (dominant) {
+    for (std::int64_t i = 0; i < nb; ++i)
+      data[static_cast<std::size_t>(i * nb + i)] += static_cast<double>(nb);
+  }
+  return data;
+}
+
+std::vector<double> spd_tile(std::int64_t nb, std::uint64_t seed) {
+  auto data = tile(nb, seed, true);
+  for (std::int64_t i = 0; i < nb; ++i)
+    for (std::int64_t j = 0; j < i; ++j)
+      data[static_cast<std::size_t>(j * nb + i)] =
+          data[static_cast<std::size_t>(i * nb + j)];
+  return data;
+}
+
+void BM_GemmUpdate(benchmark::State& state) {
+  const std::int64_t nb = state.range(0);
+  const auto a = tile(nb, 1);
+  const auto b = tile(nb, 2);
+  auto c = tile(nb, 3);
+  for (auto _ : state) {
+    linalg::gemm_update(a, b, c, nb);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      linalg::gemm_flops(nb) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmUpdate)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SyrkUpdate(benchmark::State& state) {
+  const std::int64_t nb = state.range(0);
+  const auto a = tile(nb, 4);
+  auto c = tile(nb, 5);
+  for (auto _ : state) {
+    linalg::syrk_update_lower(a, c, nb);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      linalg::syrk_flops(nb) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SyrkUpdate)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GetrfNopiv(benchmark::State& state) {
+  const std::int64_t nb = state.range(0);
+  const auto original = tile(nb, 6, /*dominant=*/true);
+  auto work = original;
+  for (auto _ : state) {
+    work = original;
+    benchmark::DoNotOptimize(linalg::getrf_nopiv(work, nb));
+  }
+}
+BENCHMARK(BM_GetrfNopiv)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PotrfLower(benchmark::State& state) {
+  const std::int64_t nb = state.range(0);
+  const auto original = spd_tile(nb, 7);
+  auto work = original;
+  for (auto _ : state) {
+    work = original;
+    benchmark::DoNotOptimize(linalg::potrf_lower(work, nb));
+  }
+}
+BENCHMARK(BM_PotrfLower)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrsmRightUpper(benchmark::State& state) {
+  const std::int64_t nb = state.range(0);
+  auto lu = tile(nb, 8, /*dominant=*/true);
+  linalg::getrf_nopiv(lu, nb);
+  auto b = tile(nb, 9);
+  for (auto _ : state) {
+    linalg::trsm_right_upper(lu, b, nb);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["GFlops"] = benchmark::Counter(
+      linalg::trsm_flops(nb) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrsmRightUpper)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Micro benchmarks for pattern construction and evaluation: these are the
+// offline costs a user pays once per node count (the paper notes a GCR&M
+// search takes seconds on a laptop — measured here).
+#include <benchmark/benchmark.h>
+
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/gcrm.hpp"
+#include "core/pattern_search.hpp"
+#include "core/sbc.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+void BM_Make2dbc(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  for (auto _ : state) benchmark::DoNotOptimize(core::best_2dbc(P));
+}
+BENCHMARK(BM_Make2dbc)->Arg(23)->Arg(100)->Arg(1000);
+
+void BM_MakeG2dbc(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  for (auto _ : state) benchmark::DoNotOptimize(core::make_g2dbc(P));
+}
+BENCHMARK(BM_MakeG2dbc)->Arg(23)->Arg(100)->Arg(1000);
+
+void BM_MakeSbc(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  for (auto _ : state) benchmark::DoNotOptimize(core::make_sbc(P));
+}
+BENCHMARK(BM_MakeSbc)->Arg(21)->Arg(105)->Arg(1035);
+
+void BM_GcrmBuild(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  const std::int64_t r = state.range(1);
+  std::uint64_t seed = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::gcrm_build(P, r, seed++));
+}
+BENCHMARK(BM_GcrmBuild)->Args({23, 14})->Args({23, 24})->Args({64, 48});
+
+void BM_GcrmFullSearch(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  core::GcrmSearchOptions options;
+  options.seeds = 100;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::gcrm_search(P, options));
+}
+BENCHMARK(BM_GcrmFullSearch)->Arg(23)->Unit(benchmark::kMillisecond);
+
+void BM_LuCost(benchmark::State& state) {
+  const core::Pattern pattern = core::make_g2dbc(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(core::lu_cost(pattern));
+}
+BENCHMARK(BM_LuCost)->Arg(23)->Arg(100);
+
+void BM_ExactLuVolume(benchmark::State& state) {
+  const core::Pattern pattern = core::make_g2dbc(23);
+  const std::int64_t t = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::exact_lu_volume(pattern, t));
+}
+BENCHMARK(BM_ExactLuVolume)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_ExactCholeskyVolume(benchmark::State& state) {
+  const core::Pattern pattern = core::make_sbc(21);
+  const std::int64_t t = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::exact_cholesky_volume(pattern, t));
+}
+BENCHMARK(BM_ExactCholeskyVolume)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Micro benchmarks for the STF engine: submission/dependency-inference and
+// end-to-end task throughput (the per-task overhead budget a Chameleon-like
+// layer pays on top of the kernels).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "runtime/task_engine.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+void BM_SubmitIndependent(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::TaskEngine engine(2);
+    state.ResumeTiming();
+    for (int k = 0; k < 1000; ++k) engine.submit([] {}, {});
+    engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SubmitIndependent)->Unit(benchmark::kMillisecond);
+
+void BM_SubmitChained(benchmark::State& state) {
+  // Worst-case dependency inference: every task RW-chains on one handle.
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::TaskEngine engine(2);
+    const runtime::HandleId h = engine.register_data();
+    state.ResumeTiming();
+    for (int k = 0; k < 1000; ++k)
+      engine.submit([] {}, {{h, runtime::AccessMode::kReadWrite}});
+    engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SubmitChained)->Unit(benchmark::kMillisecond);
+
+void BM_FanOutFanIn(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::TaskEngine engine(4);
+    const runtime::HandleId h = engine.register_data();
+    state.ResumeTiming();
+    engine.submit([] {}, {{h, runtime::AccessMode::kWrite}});
+    for (int k = 0; k < width; ++k)
+      engine.submit([] {}, {{h, runtime::AccessMode::kRead}});
+    engine.submit([] {}, {{h, runtime::AccessMode::kWrite}});
+    engine.wait_all();
+  }
+  state.SetItemsProcessed(state.iterations() * (width + 2));
+}
+BENCHMARK(BM_FanOutFanIn)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace

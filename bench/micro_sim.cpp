@@ -1,0 +1,54 @@
+// Micro benchmarks for the cluster simulator: workload construction and
+// event-loop throughput, which bound the matrix sizes the figure benches
+// can sweep.
+#include <benchmark/benchmark.h>
+
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+#include "sim/engine.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+sim::MachineConfig machine(std::int64_t nodes) {
+  sim::MachineConfig config;
+  config.nodes = nodes;
+  config.workers_per_node = 34;
+  config.tile_size = 1000;
+  return config;
+}
+
+void BM_BuildLuWorkload(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  const auto config = machine(23);
+  const core::PatternDistribution dist(core::make_g2dbc(23), t, false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::build_lu_workload(t, dist, config));
+  state.counters["tasks"] = static_cast<double>(
+      sim::build_lu_workload(t, dist, config).task_count());
+}
+BENCHMARK(BM_BuildLuWorkload)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateLu(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  const auto config = machine(23);
+  const core::PatternDistribution dist(core::make_g2dbc(23), t, false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate_lu(t, dist, config));
+}
+BENCHMARK(BM_SimulateLu)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateCholesky(benchmark::State& state) {
+  const std::int64_t t = state.range(0);
+  const auto config = machine(25);
+  const core::PatternDistribution dist(core::make_2dbc(5, 5), t, true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate_cholesky(t, dist, config));
+}
+BENCHMARK(BM_SimulateCholesky)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Table Ia: dimensions and cost of the 2DBC and G-2DBC patterns used in the
+// LU evaluation (P = 16..39).
+//
+// Note on P = 23 and the degenerate P x 1 grids: see EXPERIMENTS.md — the
+// paper's printed T occasionally differs from its own cost definition; this
+// bench reports the values computed from the constructed patterns.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("table1a_lu_patterns",
+                   "Table Ia - LU pattern dimensions and costs");
+  parser.add("nodes", "16,20,21,22,23,30,31,35,36,39",
+             "node counts (paper rows)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  std::fprintf(stderr, "table1a: LU patterns (grey rows = experimental "
+                       "cases 23/31/35/39)\n");
+  CsvWriter csv(std::cout);
+  csv.header({"P", "best_2dbc_dims", "best_2dbc_T", "g2dbc_dims", "g2dbc_T",
+              "g2dbc_T_formula"});
+  for (const std::int64_t P : parser.get_int_list("nodes")) {
+    const auto [r, c] = core::best_grid(P);
+    const core::G2dbcParams params = core::g2dbc_params(P);
+    std::string g_dims = "-";
+    std::string g_cost = "-";
+    std::string g_formula = "-";
+    // The paper's table leaves G-2DBC blank where it coincides with 2DBC.
+    if (!params.degenerate()) {
+      const core::Pattern g2dbc = core::make_g2dbc(P);
+      g_dims = bench::dims(g2dbc);
+      g_cost = std::to_string(core::lu_cost(g2dbc));
+      g_formula = std::to_string(core::g2dbc_cost_formula(P));
+    }
+    csv.row(P, std::to_string(r) + "x" + std::to_string(c),
+            static_cast<double>(r + c), g_dims, g_cost, g_formula);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table Ib: dimensions and cost of the SBC and GCR&M patterns used in the
+// Cholesky evaluation.
+//
+// For each P: the best SBC using at most P nodes (the paper's fallback) and
+// the GCR&M search result using all P nodes (r <= 6 sqrt(P), 100 seeds).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/pattern_search.hpp"
+#include "core/sbc.hpp"
+#include "util/csv.hpp"
+
+using namespace anyblock;
+
+int main(int argc, char** argv) {
+  ArgParser parser("table1b_chol_patterns",
+                   "Table Ib - Cholesky pattern dimensions and costs");
+  parser.add("nodes", "21,23,28,31,32,35,36,39", "node counts (paper rows)");
+  parser.add("seeds", "100", "GCR&M random restarts per pattern size");
+  if (!parser.parse(argc, argv)) return 1;
+
+  std::fprintf(stderr,
+               "table1b: Cholesky patterns (SBC fallback vs GCR&M, %lld "
+               "seeds)\n",
+               static_cast<long long>(parser.get_int("seeds")));
+  CsvWriter csv(std::cout);
+  csv.header({"P", "sbc_P_used", "sbc_dims", "sbc_T", "gcrm_dims", "gcrm_T"});
+  for (const std::int64_t P : parser.get_int_list("nodes")) {
+    const core::SbcParams sbc = core::best_sbc_at_most(P);
+    std::string gcrm_dims = "-";
+    std::string gcrm_cost = "-";
+    // The paper's table runs GCR&M only where no SBC uses all P nodes.
+    if (sbc.P != P) {
+      core::GcrmSearchOptions options;
+      options.seeds = parser.get_int("seeds");
+      const core::GcrmSearchResult search = core::gcrm_search(P, options);
+      if (search.found) {
+        gcrm_dims = std::to_string(search.best.rows()) + "x" +
+                    std::to_string(search.best.cols());
+        gcrm_cost = std::to_string(search.best_cost);
+      }
+    }
+    csv.row(P, sbc.P,
+            std::to_string(sbc.a) + "x" + std::to_string(sbc.a), sbc.cost(),
+            gcrm_dims, gcrm_cost);
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anyblock::core {
+namespace {
+
+/// Distinct-receiver counter mirroring the one in cost.cpp, but reporting
+/// the count to a per-sender/per-iteration accumulator.
+class ProfiledCounter {
+ public:
+  explicit ProfiledCounter(std::int64_t num_nodes)
+      : mark_(static_cast<std::size_t>(num_nodes), 0) {}
+
+  void begin(NodeId sender) {
+    ++epoch_;
+    sender_ = sender;
+    count_ = 0;
+  }
+
+  void add(NodeId n) {
+    if (n == sender_) return;
+    auto& m = mark_[static_cast<std::size_t>(n)];
+    if (m != epoch_) {
+      m = epoch_;
+      ++count_;
+    }
+  }
+
+  void commit(CommProfile& profile, std::int64_t iteration) {
+    profile.per_iteration[static_cast<std::size_t>(iteration)] += count_;
+    profile.per_node_sent[static_cast<std::size_t>(sender_)] += count_;
+  }
+
+ private:
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+  NodeId sender_ = Pattern::kFree;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace
+
+std::int64_t CommProfile::total() const {
+  std::int64_t sum = 0;
+  for (const auto v : per_iteration) sum += v;
+  return sum;
+}
+
+double CommProfile::sender_imbalance() const {
+  if (per_node_sent.empty()) return 0.0;
+  std::int64_t max = 0;
+  std::int64_t sum = 0;
+  for (const auto v : per_node_sent) {
+    max = std::max(max, v);
+    sum += v;
+  }
+  if (sum == 0) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(per_node_sent.size());
+  return static_cast<double>(max) / mean;
+}
+
+CommProfile lu_comm_profile(const Pattern& pattern, std::int64_t t) {
+  if (!pattern.is_complete())
+    throw std::invalid_argument("lu_comm_profile requires a complete pattern");
+  const std::int64_t r = pattern.rows();
+  const std::int64_t c = pattern.cols();
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return pattern.at(i % r, j % c);
+  };
+  CommProfile profile;
+  profile.per_iteration.assign(static_cast<std::size_t>(t), 0);
+  profile.per_node_sent.assign(static_cast<std::size_t>(pattern.num_nodes()),
+                               0);
+  ProfiledCounter counter(pattern.num_nodes());
+
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    counter.begin(owner(l, l));
+    for (std::int64_t j = l + 1; j < t && j <= l + c; ++j)
+      counter.add(owner(l, j));
+    for (std::int64_t i = l + 1; i < t && i <= l + r; ++i)
+      counter.add(owner(i, l));
+    counter.commit(profile, l);
+
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      counter.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j < t && j <= l + c; ++j)
+        counter.add(owner(i, j));
+      counter.commit(profile, l);
+    }
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      counter.begin(owner(l, j));
+      for (std::int64_t i = l + 1; i < t && i <= l + r; ++i)
+        counter.add(owner(i, j));
+      counter.commit(profile, l);
+    }
+  }
+  return profile;
+}
+
+CommProfile cholesky_comm_profile(const Pattern& pattern, std::int64_t t) {
+  if (!pattern.is_square())
+    throw std::invalid_argument(
+        "cholesky_comm_profile requires a square pattern");
+  const PatternDistribution dist(pattern, t, /*symmetric=*/true);
+  CommProfile profile;
+  profile.per_iteration.assign(static_cast<std::size_t>(t), 0);
+  profile.per_node_sent.assign(static_cast<std::size_t>(pattern.num_nodes()),
+                               0);
+  ProfiledCounter counter(pattern.num_nodes());
+
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    counter.begin(dist.owner(l, l));
+    for (std::int64_t i = l + 1; i < t; ++i) counter.add(dist.owner(i, l));
+    counter.commit(profile, l);
+
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      counter.begin(dist.owner(i, l));
+      for (std::int64_t j = l + 1; j <= i; ++j) counter.add(dist.owner(i, j));
+      for (std::int64_t m = i; m < t; ++m) counter.add(dist.owner(m, i));
+      counter.commit(profile, l);
+    }
+  }
+  return profile;
+}
+
+LoadStats tile_load_stats(const Distribution& distribution, std::int64_t t,
+                          bool symmetric) {
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(distribution.num_nodes()), 0);
+  std::int64_t tiles = 0;
+  for (std::int64_t i = 0; i < t; ++i) {
+    const std::int64_t j_end = symmetric ? i + 1 : t;
+    for (std::int64_t j = 0; j < j_end; ++j) {
+      ++loads[static_cast<std::size_t>(distribution.owner(i, j))];
+      ++tiles;
+    }
+  }
+  LoadStats stats;
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  stats.min_tiles = *lo;
+  stats.max_tiles = *hi;
+  stats.mean_tiles =
+      static_cast<double>(tiles) / static_cast<double>(loads.size());
+  stats.imbalance =
+      stats.mean_tiles > 0 ? static_cast<double>(*hi) / stats.mean_tiles : 0.0;
+  return stats;
+}
+
+}  // namespace anyblock::core

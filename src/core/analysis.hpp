@@ -1,0 +1,50 @@
+// Communication and load-balance analysis of a distribution.
+//
+// Complements the scalar cost metric T(G) with the structure behind it:
+// how the communication volume is spread over iterations (Section III's
+// domain-shrinking edge effects made visible) and over sender nodes, plus
+// tile-load balance statistics — the two properties (comm volume, balance)
+// a pattern is designed around.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+struct CommProfile {
+  /// Tiles sent at each factorization iteration.
+  std::vector<std::int64_t> per_iteration;
+  /// Tiles sent by each node over the whole factorization.
+  std::vector<std::int64_t> per_node_sent;
+
+  [[nodiscard]] std::int64_t total() const;
+  /// max(per_node_sent) / mean(per_node_sent): 1.0 = perfectly even
+  /// senders.  Returns 0 when nothing is sent.
+  [[nodiscard]] double sender_imbalance() const;
+};
+
+/// Per-iteration/per-node breakdown of the exact LU owner-computes volume
+/// (totals match exact_lu_volume).  Requires a complete pattern.
+CommProfile lu_comm_profile(const Pattern& pattern, std::int64_t t);
+
+/// Same for Cholesky (lower triangle); totals match exact_cholesky_volume.
+CommProfile cholesky_comm_profile(const Pattern& pattern, std::int64_t t);
+
+struct LoadStats {
+  std::int64_t min_tiles = 0;
+  std::int64_t max_tiles = 0;
+  double mean_tiles = 0.0;
+  /// max/mean: 1.0 = perfect balance.
+  double imbalance = 0.0;
+};
+
+/// Tile-count balance of a distribution over the full square (LU) or lower
+/// triangle (Cholesky) of a t x t tile grid.
+LoadStats tile_load_stats(const Distribution& distribution, std::int64_t t,
+                          bool symmetric);
+
+}  // namespace anyblock::core

@@ -1,0 +1,64 @@
+#include "core/block_cyclic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace anyblock::core {
+
+Pattern make_2dbc(std::int64_t grid_rows, std::int64_t grid_cols) {
+  if (grid_rows <= 0 || grid_cols <= 0)
+    throw std::invalid_argument("2DBC grid dimensions must be positive");
+  Pattern pattern(grid_rows, grid_cols, grid_rows * grid_cols);
+  for (std::int64_t i = 0; i < grid_rows; ++i)
+    for (std::int64_t j = 0; j < grid_cols; ++j)
+      pattern.set(i, j, static_cast<NodeId>(i * grid_cols + j));
+  return pattern;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> grid_shapes(
+    std::int64_t P) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  std::vector<std::pair<std::int64_t, std::int64_t>> shapes;
+  for (std::int64_t c = 1; c <= isqrt_floor(P); ++c) {
+    if (P % c == 0) shapes.emplace_back(P / c, c);
+  }
+  return shapes;  // c ascending <=> r descending: tallest first
+}
+
+std::pair<std::int64_t, std::int64_t> best_grid(std::int64_t P) {
+  return grid_shapes(P).back();
+}
+
+Pattern best_2dbc(std::int64_t P) {
+  const auto [r, c] = best_grid(P);
+  return make_2dbc(r, c);
+}
+
+Pattern best_2dbc_at_most(std::int64_t P) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  std::int64_t best_P = 1;
+  std::int64_t best_r = 1;
+  std::int64_t best_c = 1;
+  double best_score = 2.0;  // T = r + c of the 1x1 grid
+  for (std::int64_t candidate = 1; candidate <= P; ++candidate) {
+    const auto [r, c] = best_grid(candidate);
+    // Prefer higher total throughput: more nodes at equal per-node comm
+    // cost.  Score grids by T/sqrt(P'), lower is better; ties go to the
+    // larger node count.
+    const double score = static_cast<double>(r + c) /
+                         std::sqrt(static_cast<double>(candidate));
+    if (score < best_score ||
+        (score == best_score && candidate > best_P)) {
+      best_score = score;
+      best_P = candidate;
+      best_r = r;
+      best_c = c;
+    }
+  }
+  (void)best_P;
+  return make_2dbc(best_r, best_c);
+}
+
+}  // namespace anyblock::core

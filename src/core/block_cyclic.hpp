@@ -1,0 +1,37 @@
+// Classical 2D Block-Cyclic patterns (paper, Sections I and IV-C).
+//
+// A 2DBC pattern of shape r x c places node  i*c + j  in cell (i, j): every
+// node appears exactly once, each row holds c distinct nodes and each column
+// r, so T_LU = r + c.  The quality of the distribution therefore depends
+// entirely on how close to square P = r*c can be factored — the limitation
+// G-2DBC removes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+/// Builds the r x c block-cyclic pattern over P = r*c nodes.
+Pattern make_2dbc(std::int64_t grid_rows, std::int64_t grid_cols);
+
+/// All ways to write P = r*c with r >= c >= 1, ordered by decreasing r
+/// (i.e., from the tallest grid to the squarest).
+std::vector<std::pair<std::int64_t, std::int64_t>> grid_shapes(std::int64_t P);
+
+/// The factorization P = r*c minimizing T = r + c (the squarest grid),
+/// with r >= c.
+std::pair<std::int64_t, std::int64_t> best_grid(std::int64_t P);
+
+/// Best 2DBC pattern using *exactly* P nodes.
+Pattern best_2dbc(std::int64_t P);
+
+/// Best 2DBC pattern using *at most* P nodes: for every P' <= P, consider
+/// the squarest grid and keep the one with the largest P' among those
+/// minimizing T; this is the "reserve fewer nodes" strategy of the paper's
+/// introduction.  Returns the chosen pattern (its num_nodes() tells P').
+Pattern best_2dbc_at_most(std::int64_t P);
+
+}  // namespace anyblock::core

@@ -1,0 +1,32 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+
+namespace anyblock::core {
+
+double lu_cost_reference(std::int64_t P) {
+  return 2.0 * std::sqrt(static_cast<double>(P));
+}
+
+double g2dbc_cost_bound(std::int64_t P) {
+  const double root = std::sqrt(static_cast<double>(P));
+  return 2.0 * root + 2.0 / root;
+}
+
+double sbc_cost_reference(std::int64_t P) {
+  return std::sqrt(2.0 * static_cast<double>(P));
+}
+
+double sbc_extended_cost_reference(std::int64_t P) {
+  return std::sqrt(2.0 * static_cast<double>(P)) - 0.5;
+}
+
+double gcrm_cost_limit(std::int64_t P) {
+  return std::sqrt(1.5 * static_cast<double>(P));
+}
+
+double lu_comm_lower_bound_per_node(double m, std::int64_t P) {
+  return m * m / std::sqrt(static_cast<double>(P));
+}
+
+}  // namespace anyblock::core

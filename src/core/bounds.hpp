@@ -1,0 +1,32 @@
+// Reference curves from the paper's lower-bound survey (Section II-A) and
+// from the Section V-B analysis, used by the Fig. 4 and Fig. 10 benches.
+#pragma once
+
+#include <cstdint>
+
+namespace anyblock::core {
+
+/// 2 sqrt(P): the cost of a perfect square 2DBC grid; no pattern on P nodes
+/// can have fewer than ceil(sqrt(P)) distinct nodes per row and per column.
+double lu_cost_reference(std::int64_t P);
+
+/// Lemma 2 upper bound on the G-2DBC cost: 2 sqrt(P) + 2 / sqrt(P).
+double g2dbc_cost_bound(std::int64_t P);
+
+/// sqrt(2P): cost of basic SBC (v = 2 colrows per node, l = 2 cells).
+double sbc_cost_reference(std::int64_t P);
+
+/// sqrt(2P) - 0.5: cost of extended SBC.
+double sbc_extended_cost_reference(std::int64_t P);
+
+/// sqrt(3P/2): the empirical GCR&M limit — a regular pattern with v = 3
+/// colrows per node and l = v(v-1) = 6 cells would reach v/sqrt(l) * sqrt(P)
+/// (paper, Section V-B).
+double gcrm_cost_limit(std::int64_t P);
+
+/// Per-node communication lower bound for LU of an m x m matrix on P nodes
+/// under fair data distribution (Kwasniewski et al. [2]): m^2 / sqrt(P)
+/// elements per node.
+double lu_comm_lower_bound_per_node(double m, std::int64_t P);
+
+}  // namespace anyblock::core

@@ -1,0 +1,242 @@
+#include "core/cost.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/distribution.hpp"
+
+namespace anyblock::core {
+
+double lu_cost(const Pattern& pattern) {
+  return pattern.mean_row_distinct() + pattern.mean_col_distinct();
+}
+
+double cholesky_cost(const Pattern& pattern) {
+  return pattern.mean_colrow_distinct();
+}
+
+double symmetric_cost(const Pattern& pattern) {
+  if (pattern.is_square()) return cholesky_cost(pattern);
+  return lu_cost(pattern) - 1.0;
+}
+
+double predicted_lu_volume(const Pattern& pattern, std::int64_t t) {
+  const double sum = static_cast<double>(t) * static_cast<double>(t + 1) / 2.0;
+  return sum * (lu_cost(pattern) - 2.0);
+}
+
+double predicted_cholesky_volume(const Pattern& pattern, std::int64_t t) {
+  const double sum = static_cast<double>(t) * static_cast<double>(t + 1) / 2.0;
+  return sum * (cholesky_cost(pattern) - 1.0);
+}
+
+namespace {
+
+/// Distinct-node accumulator with epoch marking: clears in O(1) between
+/// queries, so the exact-volume loops stay close to linear in cells visited.
+class DistinctCounter {
+ public:
+  explicit DistinctCounter(std::int64_t num_nodes)
+      : mark_(static_cast<std::size_t>(num_nodes), 0) {}
+
+  void begin(NodeId excluded) {
+    ++epoch_;
+    excluded_ = excluded;
+    count_ = 0;
+  }
+
+  void add(NodeId n) {
+    if (n == excluded_) return;
+    auto& m = mark_[static_cast<std::size_t>(n)];
+    if (m != epoch_) {
+      m = epoch_;
+      ++count_;
+    }
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+ private:
+  std::vector<std::uint64_t> mark_;
+  std::uint64_t epoch_ = 0;
+  NodeId excluded_ = Pattern::kFree;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace
+
+std::int64_t exact_lu_volume(const Pattern& pattern, std::int64_t t) {
+  if (!pattern.is_complete())
+    throw std::invalid_argument("exact_lu_volume requires a complete pattern");
+  const std::int64_t r = pattern.rows();
+  const std::int64_t c = pattern.cols();
+  DistinctCounter distinct(pattern.num_nodes());
+  std::int64_t volume = 0;
+
+  auto owner = [&](std::int64_t i, std::int64_t j) {
+    return pattern.at(i % r, j % c);
+  };
+
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    // Diagonal tile (l, l): needed by the TRSM owners on row l (right of l)
+    // and on column l (below l).
+    distinct.begin(owner(l, l));
+    for (std::int64_t j = l + 1; j < t && j <= l + c; ++j)
+      distinct.add(owner(l, j));
+    for (std::int64_t i = l + 1; i < t && i <= l + r; ++i)
+      distinct.add(owner(i, l));
+    volume += distinct.count();
+
+    // Panel tile (i, l): needed by GEMM owners on row i, columns > l.  Under
+    // cyclic replication the trailing row repeats with period c, so scanning
+    // min(t-1-l, c) columns covers every distinct owner.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j < t && j <= l + c; ++j)
+        distinct.add(owner(i, j));
+      volume += distinct.count();
+    }
+
+    // Panel tile (l, j): needed by GEMM owners on column j, rows > l.
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      distinct.begin(owner(l, j));
+      for (std::int64_t i = l + 1; i < t && i <= l + r; ++i)
+        distinct.add(owner(i, j));
+      volume += distinct.count();
+    }
+  }
+  return volume;
+}
+
+std::int64_t exact_cholesky_volume(const Pattern& pattern, std::int64_t t) {
+  if (!pattern.is_square())
+    throw std::invalid_argument(
+        "exact_cholesky_volume requires a square pattern");
+  const PatternDistribution dist(pattern, t, /*symmetric=*/true);
+  DistinctCounter distinct(pattern.num_nodes());
+  std::int64_t volume = 0;
+
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    // Diagonal tile (l, l): needed by TRSM owners on column l, below l.
+    distinct.begin(dist.owner(l, l));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(dist.owner(i, l));
+    volume += distinct.count();
+
+    // Panel tile (i, l), i > l: needed by the update owners on colrow i of
+    // the trailing matrix — GEMM(i, j) for l < j < i, SYRK(i, i), and
+    // GEMM(k, i) for k > i.  Free diagonal cells are bound per replica by
+    // the distribution, so no periodicity shortcut applies here.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(dist.owner(i, l));
+      for (std::int64_t j = l + 1; j <= i; ++j) distinct.add(dist.owner(i, j));
+      for (std::int64_t k = i; k < t; ++k) distinct.add(dist.owner(k, i));
+      volume += distinct.count();
+    }
+  }
+  return volume;
+}
+
+std::int64_t exact_lu_volume(const Distribution& distribution,
+                             std::int64_t t) {
+  DistinctCounter distinct(distribution.num_nodes());
+  std::int64_t volume = 0;
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return distribution.owner(i, j);
+  };
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    distinct.begin(owner(l, l));
+    for (std::int64_t j = l + 1; j < t; ++j) distinct.add(owner(l, j));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, l));
+    volume += distinct.count();
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j < t; ++j) distinct.add(owner(i, j));
+      volume += distinct.count();
+    }
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      distinct.begin(owner(l, j));
+      for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, j));
+      volume += distinct.count();
+    }
+  }
+  return volume;
+}
+
+std::int64_t exact_cholesky_volume(const Distribution& distribution,
+                                   std::int64_t t) {
+  DistinctCounter distinct(distribution.num_nodes());
+  std::int64_t volume = 0;
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return distribution.owner(i, j);
+  };
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    distinct.begin(owner(l, l));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, l));
+    volume += distinct.count();
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j <= i; ++j) distinct.add(owner(i, j));
+      for (std::int64_t m = i; m < t; ++m) distinct.add(owner(m, i));
+      volume += distinct.count();
+    }
+  }
+  return volume;
+}
+
+double predicted_syrk_volume(const Pattern& pattern, std::int64_t t,
+                             std::int64_t k) {
+  return static_cast<double>(k) * static_cast<double>(t) *
+         (cholesky_cost(pattern) - 1.0);
+}
+
+std::int64_t exact_syrk_volume(const Pattern& pattern, std::int64_t t,
+                               std::int64_t k) {
+  if (!pattern.is_square())
+    throw std::invalid_argument("exact_syrk_volume requires a square pattern");
+  const PatternDistribution dist_c(pattern, t, /*symmetric=*/true);
+  const PatternDistribution dist_a(pattern, t, /*symmetric=*/false);
+  DistinctCounter distinct(pattern.num_nodes());
+  std::int64_t volume = 0;
+
+  for (std::int64_t l = 0; l < k; ++l) {
+    for (std::int64_t i = 0; i < t; ++i) {
+      // A(i, l) feeds every update task on colrow i of C.
+      distinct.begin(dist_a.owner(i, l % t));
+      for (std::int64_t j = 0; j <= i; ++j) distinct.add(dist_c.owner(i, j));
+      for (std::int64_t m = i; m < t; ++m) distinct.add(dist_c.owner(m, i));
+      volume += distinct.count();
+    }
+  }
+  return volume;
+}
+
+double predicted_gemm_volume(const Pattern& pattern, std::int64_t t,
+                             std::int64_t k) {
+  return static_cast<double>(k) * static_cast<double>(t) *
+         (lu_cost(pattern) - 2.0);
+}
+
+std::int64_t exact_gemm_volume(const Pattern& pattern, std::int64_t t,
+                               std::int64_t k) {
+  const PatternDistribution dist_c(pattern, t, /*symmetric=*/false);
+  DistinctCounter distinct(pattern.num_nodes());
+  std::int64_t volume = 0;
+
+  for (std::int64_t l = 0; l < k; ++l) {
+    // A(i, l) feeds every GEMM task on row i of C.
+    for (std::int64_t i = 0; i < t; ++i) {
+      distinct.begin(dist_c.owner(i, l % t));
+      for (std::int64_t j = 0; j < t; ++j) distinct.add(dist_c.owner(i, j));
+      volume += distinct.count();
+    }
+    // B(l, j) feeds every GEMM task on column j of C.
+    for (std::int64_t j = 0; j < t; ++j) {
+      distinct.begin(dist_c.owner(l % t, j));
+      for (std::int64_t i = 0; i < t; ++i) distinct.add(dist_c.owner(i, j));
+      volume += distinct.count();
+    }
+  }
+  return volume;
+}
+
+}  // namespace anyblock::core

@@ -1,0 +1,84 @@
+// Communication cost metric T(G) and the per-factorization volume
+// predictions of Equations 1 and 2 (paper, Section III).
+//
+// All volumes are expressed in *tiles sent*; multiply by the tile byte size
+// to obtain bytes.  `t` below is the number of tiles per matrix side.
+#pragma once
+
+#include <cstdint>
+
+#include "core/distribution.hpp"
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+/// T(G) = x-bar + y-bar: mean distinct nodes per pattern row plus per
+/// pattern column.  Drives LU communications (paper, Section III-C).
+double lu_cost(const Pattern& pattern);
+
+/// T(G) = z-bar: mean distinct nodes per pattern colrow.  Drives Cholesky
+/// communications; requires a square pattern.
+double cholesky_cost(const Pattern& pattern);
+
+/// Symmetric cost of a (possibly rectangular) pattern used for comparison
+/// plots (paper, Section V-B): for 2DBC-style patterns the number of nodes
+/// in a colrow is #row-nodes + #col-nodes - 1 (one shared at the
+/// intersection), hence T_sym = T_LU - 1.  For square patterns, the exact
+/// colrow count is used instead.
+double symmetric_cost(const Pattern& pattern);
+
+/// Eq. 1: Q_LU(G) = t(t+1)/2 * (x-bar + y-bar - 2), in tiles, for an
+/// m x m matrix of t x t tiles.  Exact up to edge effects (domain shrinking
+/// in the last r or c iterations and partial replication at matrix borders).
+double predicted_lu_volume(const Pattern& pattern, std::int64_t t);
+
+/// Eq. 2: Q_Chol(G) = t(t+1)/2 * (z-bar - 1), in tiles.
+double predicted_cholesky_volume(const Pattern& pattern, std::int64_t t);
+
+/// Exact communication volume (tiles sent) of a right-looking tile LU
+/// factorization of a t x t tile matrix under the owner-computes rule:
+/// counts distinct (tile, destination) pairs over all iterations, including
+/// the edge effects Eq. 1 neglects.  O(t^2 * (r + c)) time.
+std::int64_t exact_lu_volume(const Pattern& pattern, std::int64_t t);
+
+/// Exact communication volume of a right-looking tile Cholesky (lower
+/// triangle) under owner-computes; requires a square pattern.  Free diagonal
+/// cells are bound with the balanced lazy assignment of Distribution.
+std::int64_t exact_cholesky_volume(const Pattern& pattern, std::int64_t t);
+
+/// Generic-distribution overloads: same counting as the Pattern versions
+/// but driven through an arbitrary owner map, with no cyclic-periodicity
+/// shortcut.  The pattern and generic counters validate each other in the
+/// tests (they must agree exactly on PatternDistribution).
+std::int64_t exact_lu_volume(const Distribution& distribution, std::int64_t t);
+std::int64_t exact_cholesky_volume(const Distribution& distribution,
+                                   std::int64_t t);
+
+/// SYRK C := C - A*A^T with C of t x t tiles (lower) and A of t x k tiles:
+/// every panel tile A(i, l) travels along colrow i of C (no domain
+/// shrinking), so Q = k * t * (z-bar - 1) when the pattern side divides t.
+double predicted_syrk_volume(const Pattern& pattern, std::int64_t t,
+                             std::int64_t k);
+
+/// Exact owner-computes volume of the SYRK update.  C follows the pattern
+/// with symmetric lazy diagonal binding; A follows the same pattern
+/// replicated cyclically (column l of A uses pattern column l mod r) with
+/// non-symmetric binding.
+std::int64_t exact_syrk_volume(const Pattern& pattern, std::int64_t t,
+                               std::int64_t k);
+
+/// GEMM C := C + A*B with C of t x t tiles, A of t x k and B of k x t:
+/// A(i, l) travels along row i of C and B(l, j) down column j, so
+/// Q = k * t * (x-bar - 1 + y-bar - 1) = k * t * (T_LU - 2) when the
+/// pattern tiles the grid evenly.  For a square 2DBC grid this is the
+/// asymptotically optimal 2 t^2 / sqrt(P) tiles per node of Irony, Toledo
+/// and Tiskin (paper, Section II-A).
+double predicted_gemm_volume(const Pattern& pattern, std::int64_t t,
+                             std::int64_t k);
+
+/// Exact owner-computes volume of the GEMM update; C follows the pattern
+/// (non-symmetric binding), A inherits columns mod t, B inherits rows mod t.
+std::int64_t exact_gemm_volume(const Pattern& pattern, std::int64_t t,
+                               std::int64_t k);
+
+}  // namespace anyblock::core

@@ -1,0 +1,110 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace anyblock::core {
+
+PatternDistribution::PatternDistribution(Pattern pattern, std::int64_t t,
+                                         bool symmetric, std::string name)
+    : pattern_(std::move(pattern)),
+      t_(t),
+      symmetric_(symmetric),
+      name_(std::move(name)) {
+  if (t <= 0) throw std::invalid_argument("tile grid must be positive");
+  if (const std::string err = pattern_.validate(); !err.empty())
+    throw std::invalid_argument("invalid pattern: " + err);
+  if (!pattern_.is_complete() && !pattern_.is_square())
+    throw std::invalid_argument("incomplete patterns must be square");
+  bind_free_cells();
+}
+
+NodeId PatternDistribution::owner(std::int64_t i, std::int64_t j) const {
+  const NodeId cell = pattern_.at(i % pattern_.rows(), j % pattern_.cols());
+  if (cell != Pattern::kFree) return cell;
+  const auto it = bound_.find(i * t_ + j);
+  if (it == bound_.end())
+    throw std::out_of_range("tile outside the served grid maps to a free cell");
+  return it->second;
+}
+
+std::vector<std::int64_t> PatternDistribution::tile_loads() const {
+  return loads_;
+}
+
+void PatternDistribution::bind_free_cells() {
+  const std::int64_t r = pattern_.rows();
+  loads_.assign(static_cast<std::size_t>(pattern_.num_nodes()), 0);
+
+  // Base loads from assigned cells over the served region.
+  for (std::int64_t i = 0; i < t_; ++i) {
+    const std::int64_t j_end = symmetric_ ? i + 1 : t_;
+    for (std::int64_t j = 0; j < j_end; ++j) {
+      const NodeId n = pattern_.at(i % r, j % pattern_.cols());
+      if (n != Pattern::kFree) ++loads_[static_cast<std::size_t>(n)];
+    }
+  }
+
+  if (pattern_.is_complete()) return;
+
+  // Candidate nodes per free diagonal cell: all nodes of its colrow.
+  std::vector<std::vector<NodeId>> colrow_nodes(static_cast<std::size_t>(r));
+  for (std::int64_t d = 0; d < r; ++d) {
+    if (pattern_.at(d, d) != Pattern::kFree) continue;
+    std::vector<NodeId> nodes;
+    for (std::int64_t k = 0; k < r; ++k) {
+      if (const NodeId n = pattern_.at(d, k); n != Pattern::kFree)
+        nodes.push_back(n);
+      if (const NodeId n = pattern_.at(k, d); n != Pattern::kFree)
+        nodes.push_back(n);
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    if (nodes.empty())
+      throw std::invalid_argument("free diagonal cell with an empty colrow");
+    colrow_nodes[static_cast<std::size_t>(d)] = std::move(nodes);
+  }
+
+  // Greedy balanced binding, replica by replica, in row-major tile order
+  // (paper, Section V: "successively assigning undefined tiles to the least
+  // loaded node among those present in the colrow").
+  for (std::int64_t i = 0; i < t_; ++i) {
+    const std::int64_t j_end = symmetric_ ? i + 1 : t_;
+    for (std::int64_t j = 0; j < j_end; ++j) {
+      if (i % r != j % r) continue;
+      const std::int64_t d = i % r;
+      if (pattern_.at(d, d) != Pattern::kFree) continue;
+      const auto& candidates = colrow_nodes[static_cast<std::size_t>(d)];
+      NodeId best = candidates.front();
+      std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+      for (const NodeId n : candidates) {
+        const std::int64_t load = loads_[static_cast<std::size_t>(n)];
+        if (load < best_load) {
+          best = n;
+          best_load = load;
+        }
+      }
+      bound_.emplace(i * t_ + j, best);
+      ++loads_[static_cast<std::size_t>(best)];
+    }
+  }
+}
+
+ExplicitDistribution::ExplicitDistribution(std::vector<NodeId> owners,
+                                           std::int64_t t,
+                                           std::int64_t num_nodes,
+                                           std::string name)
+    : owners_(std::move(owners)),
+      t_(t),
+      num_nodes_(num_nodes),
+      name_(std::move(name)) {
+  if (owners_.size() != static_cast<std::size_t>(t * t))
+    throw std::invalid_argument("owners table must be t*t entries");
+}
+
+NodeId ExplicitDistribution::owner(std::int64_t i, std::int64_t j) const {
+  return owners_[static_cast<std::size_t>(i * t_ + j)];
+}
+
+}  // namespace anyblock::core

@@ -1,0 +1,96 @@
+#include "core/g2dbc.hpp"
+
+#include <stdexcept>
+
+#include "core/block_cyclic.hpp"
+#include "util/math.hpp"
+
+namespace anyblock::core {
+
+std::int64_t G2dbcParams::pattern_rows() const {
+  return degenerate() ? b : b * (b - 1);
+}
+
+std::int64_t G2dbcParams::pattern_cols() const {
+  return degenerate() ? a : P;
+}
+
+G2dbcParams g2dbc_params(std::int64_t P) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  G2dbcParams params;
+  params.P = P;
+  params.a = isqrt_ceil(P);
+  params.b = ceil_div(P, params.a);
+  params.c = params.a * params.b - P;
+  return params;
+}
+
+Pattern g2dbc_incomplete_pattern(const G2dbcParams& params) {
+  // IP is b x a with nodes enumerated row-major; the last c cells of the
+  // last row stay free.  Free cells off the diagonal are intentional here —
+  // IP is a construction intermediate, never used as a distribution.
+  Pattern ip(params.b, params.a, params.P);
+  NodeId next = 0;
+  for (std::int64_t u = 0; u < params.b; ++u) {
+    for (std::int64_t v = 0; v < params.a; ++v) {
+      const bool undefined = (u == params.b - 1) && (v >= params.a - params.c);
+      if (!undefined) ip.set(u, v, next++);
+    }
+  }
+  return ip;
+}
+
+Pattern g2dbc_sub_pattern(const G2dbcParams& params, std::int64_t i) {
+  if (i < 1 || i > params.b - 1)
+    throw std::out_of_range("sub-pattern index must be in [1, b-1]");
+  const Pattern ip = g2dbc_incomplete_pattern(params);
+  Pattern sub(params.b, params.a, params.P);
+  for (std::int64_t u = 0; u < params.b; ++u) {
+    for (std::int64_t v = 0; v < params.a; ++v) {
+      const NodeId n = ip.at(u, v);
+      // Undefined cells of IP's last row take the last c elements of IP's
+      // row i (1-based), column-aligned, so the duplicate lands in the same
+      // pattern column as its original — this is what keeps those columns
+      // at b-1 distinct nodes (Section IV-B).
+      sub.set(u, v, n != Pattern::kFree ? n : ip.at(i - 1, v));
+    }
+  }
+  return sub;
+}
+
+Pattern make_g2dbc(std::int64_t P) {
+  const G2dbcParams params = g2dbc_params(P);
+  if (params.degenerate()) return make_2dbc(params.b, params.a);
+
+  const std::int64_t a = params.a;
+  const std::int64_t b = params.b;
+  const std::int64_t c = params.c;
+  const Pattern ip = g2dbc_incomplete_pattern(params);
+  Pattern full(b * (b - 1), P, P);
+
+  for (std::int64_t block = 1; block <= b - 1; ++block) {
+    const Pattern sub = g2dbc_sub_pattern(params, block);
+    const std::int64_t row0 = (block - 1) * b;
+    for (std::int64_t u = 0; u < b; ++u) {
+      // b-1 copies of P_block ...
+      for (std::int64_t copy = 0; copy < b - 1; ++copy)
+        for (std::int64_t v = 0; v < a; ++v)
+          full.set(row0 + u, copy * a + v, sub.at(u, v));
+      // ... followed by one copy of LP (the first a-c columns of IP).
+      for (std::int64_t v = 0; v < a - c; ++v)
+        full.set(row0 + u, (b - 1) * a + v, ip.at(u, v));
+    }
+  }
+  return full;
+}
+
+double g2dbc_cost_formula(std::int64_t P) {
+  const G2dbcParams p = g2dbc_params(P);
+  const double ybar =
+      (static_cast<double>(p.b * p.b) * static_cast<double>(p.a - p.c) +
+       static_cast<double>((p.b - 1) * (p.b - 1)) * static_cast<double>(p.c)) /
+      static_cast<double>(P);
+  return static_cast<double>(p.a) + ybar;
+}
+
+}  // namespace anyblock::core

@@ -1,0 +1,55 @@
+// Generalized 2D Block-Cyclic (paper, Section IV).
+//
+// For any node count P, with
+//     a = ceil(sqrt(P)),   b = ceil(P / a),   c = a*b - P   (0 <= c < a),
+// G-2DBC builds a balanced pattern of size b(b-1) x P in which every row
+// holds exactly a distinct nodes, so
+//     T = a + (b^2 (a-c) + (b-1)^2 c) / P  <=  2 sqrt(P) + 2 / sqrt(P)
+// (Lemma 2) — the communication efficiency of a square 2DBC grid, for *any*
+// P.  When c = 0 (P = p^2 or p(p+1)) the construction degenerates to the
+// plain b x a block-cyclic grid.
+//
+// Construction (Section IV-A): an *incomplete pattern* IP of size b x a
+// enumerates nodes row-major, leaving the last c cells of the last row
+// undefined.  Pattern P_i (1 <= i <= b-1) copies IP and fills the undefined
+// cells with the last c elements of IP's row i; LP is IP's first a-c
+// columns.  The full pattern stacks b-1 row-blocks, block i being b-1
+// copies of P_i followed by one copy of LP.
+#pragma once
+
+#include <cstdint>
+
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+/// The derived construction parameters for a given P.
+struct G2dbcParams {
+  std::int64_t P = 0;
+  std::int64_t a = 0;  ///< ceil(sqrt(P)): distinct nodes per row
+  std::int64_t b = 0;  ///< ceil(P / a): rows of the incomplete pattern
+  std::int64_t c = 0;  ///< a*b - P: undefined cells in IP's last row
+  /// True when c = 0 and the pattern degenerates to plain 2DBC (b x a).
+  [[nodiscard]] bool degenerate() const { return c == 0; }
+  /// Dimensions of the full pattern (b(b-1) x P, or b x a when degenerate).
+  [[nodiscard]] std::int64_t pattern_rows() const;
+  [[nodiscard]] std::int64_t pattern_cols() const;
+};
+
+G2dbcParams g2dbc_params(std::int64_t P);
+
+/// The incomplete pattern IP (b x a, last c cells of the last row free).
+/// Exposed for tests and for the Fig. 3 reproduction.
+Pattern g2dbc_incomplete_pattern(const G2dbcParams& params);
+
+/// Sub-pattern P_i for 1 <= i <= b-1 (b x a, complete).
+Pattern g2dbc_sub_pattern(const G2dbcParams& params, std::int64_t i);
+
+/// The full G-2DBC pattern for P nodes.
+Pattern make_g2dbc(std::int64_t P);
+
+/// Closed-form cost T of the G-2DBC pattern (Section IV-B):
+/// a + (b^2 (a-c) + (b-1)^2 c) / P.
+double g2dbc_cost_formula(std::int64_t P);
+
+}  // namespace anyblock::core

@@ -1,0 +1,265 @@
+#include "core/gcrm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/cost.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::core {
+
+bool gcrm_feasible(std::int64_t P, std::int64_t r) {
+  if (P <= 0 || r <= 1) return false;
+  // Eq. 3: the lazy diagonal assignment can only even out the load if no
+  // node is forced above r^2/P cells...
+  if (ceil_div(r * (r - 1), P) * P > r * r) return false;
+  // ... and every node needs at least one off-diagonal cell to be present
+  // on some colrow at all.
+  return r * (r - 1) >= P;
+}
+
+namespace {
+
+/// Working state shared by the two phases of Algorithm 1.
+class GcrmRun {
+ public:
+  GcrmRun(std::int64_t P, std::int64_t r, std::uint64_t seed)
+      : P_(P),
+        r_(r),
+        rng_(seed),
+        has_(static_cast<std::size_t>(P * r), false),
+        colrows_(static_cast<std::size_t>(P)),
+        cover_load_(static_cast<std::size_t>(P), 0),
+        colrow_usage_(static_cast<std::size_t>(r), 0),
+        covered_(static_cast<std::size_t>(r * r), false) {
+    uncovered_ = r * (r - 1) / 2;
+  }
+
+  GcrmResult run() {
+    phase1();
+    GcrmResult result = phase2();
+    result.colrows_per_node = colrows_;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool has(std::int64_t p, std::int64_t q) const {
+    return has_[static_cast<std::size_t>(p * r_ + q)];
+  }
+
+  void add_colrow(std::int64_t p, std::int64_t q) {
+    has_[static_cast<std::size_t>(p * r_ + q)] = true;
+    colrows_[static_cast<std::size_t>(p)].push_back(
+        static_cast<std::int32_t>(q));
+    ++colrow_usage_[static_cast<std::size_t>(q)];
+    // Credit every newly covered pair {q, i}, i already held by p.
+    for (const std::int32_t i : colrows_[static_cast<std::size_t>(p)]) {
+      if (i == q) continue;
+      auto flag = covered_flag(i, q);  // vector<bool> proxy (by value)
+      if (!flag) {
+        flag = true;
+        --uncovered_;
+        ++cover_load_[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<bool>::reference covered_flag(std::int64_t i,
+                                                          std::int64_t j) {
+    const auto lo = std::min(i, j);
+    const auto hi = std::max(i, j);
+    return covered_[static_cast<std::size_t>(lo * r_ + hi)];
+  }
+
+  /// Algorithm 1, lines 1-10.
+  void phase1() {
+    // Round-robin initialization: colrow i -> node i mod P (line 3).
+    for (std::int64_t i = 0; i < r_; ++i) add_colrow(i % P_, i);
+
+    while (uncovered_ > 0) {
+      const std::int64_t p = least_cover_loaded_node();
+      const std::int64_t b = best_colrow_for(p);
+      add_colrow(p, b);
+    }
+  }
+
+  /// Least-loaded node by pairs covered so far; ties broken randomly.
+  std::int64_t least_cover_loaded_node() {
+    std::int64_t best = 0;
+    std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+    std::size_t tie_count = 0;
+    for (std::int64_t p = 0; p < P_; ++p) {
+      const std::int64_t load = cover_load_[static_cast<std::size_t>(p)];
+      if (load < best_load) {
+        best_load = load;
+        best = p;
+        tie_count = 1;
+      } else if (load == best_load && rng_.below(++tie_count) == 0) {
+        best = p;  // reservoir sampling over ties
+      }
+    }
+    return best;
+  }
+
+  /// Line 8: the colrow covering the most new cells for node p; ties go to
+  /// the least-used colrow, then random.
+  std::int64_t best_colrow_for(std::int64_t p) {
+    const auto& mine = colrows_[static_cast<std::size_t>(p)];
+    std::int64_t best = -1;
+    std::int64_t best_gain = -1;
+    std::int64_t best_usage = std::numeric_limits<std::int64_t>::max();
+    std::size_t tie_count = 0;
+    for (std::int64_t q = 0; q < r_; ++q) {
+      if (has(p, q)) continue;
+      std::int64_t gain = 0;
+      for (const std::int32_t i : mine) {
+        if (!covered_flag(i, q)) ++gain;
+      }
+      const std::int64_t usage = colrow_usage_[static_cast<std::size_t>(q)];
+      if (gain > best_gain || (gain == best_gain && usage < best_usage)) {
+        best = q;
+        best_gain = gain;
+        best_usage = usage;
+        tie_count = 1;
+      } else if (gain == best_gain && usage == best_usage &&
+                 rng_.below(++tie_count) == 0) {
+        best = q;
+      }
+    }
+    if (best < 0)
+      throw std::logic_error("GCR&M phase 1: node already holds all colrows");
+    return best;
+  }
+
+  /// Algorithm 1, lines 11-14: two matching rounds plus a greedy fallback.
+  GcrmResult phase2() {
+    // Enumerate ordered off-diagonal cells and their covering nodes.
+    struct Cell {
+      std::int32_t i;
+      std::int32_t j;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(static_cast<std::size_t>(r_ * (r_ - 1)));
+    for (std::int32_t i = 0; i < r_; ++i)
+      for (std::int32_t j = 0; j < r_; ++j)
+        if (i != j) cells.push_back({i, j});
+
+    // covers[cell] = nodes holding both colrows, in random order so the
+    // matching's arbitrary choices vary across seeds.
+    std::vector<std::vector<std::int32_t>> covers(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      for (std::int64_t p = 0; p < P_; ++p) {
+        if (has(p, cells[c].i) && has(p, cells[c].j))
+          covers[c].push_back(static_cast<std::int32_t>(p));
+      }
+      rng_.shuffle(covers[c].begin(), covers[c].end());
+    }
+
+    const std::int64_t k = (r_ * (r_ - 1)) / P_;
+    std::vector<std::int32_t> cell_owner(cells.size(), -1);
+    std::vector<std::int64_t> assigned(static_cast<std::size_t>(P_), 0);
+    GcrmResult result;
+
+    // Round 1: k duplicates per node — no node can exceed k cells, but some
+    // cells may stay unassigned.
+    {
+      graph::BipartiteGraph g(cells.size(),
+                              static_cast<std::size_t>(P_ * k));
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        for (const std::int32_t p : covers[c])
+          for (std::int64_t dup = 0; dup < k; ++dup)
+            g.add_edge(c, static_cast<std::size_t>(p * k + dup));
+      const graph::Matching m = graph::hopcroft_karp(g);
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (m.match_left[c] == graph::Matching::kUnmatched) continue;
+        const auto p = static_cast<std::int32_t>(m.match_left[c] / k);
+        cell_owner[c] = p;
+        ++assigned[static_cast<std::size_t>(p)];
+        ++result.cells_matched_round1;
+      }
+    }
+
+    // Round 2: one extra duplicate per node for the leftovers, keeping every
+    // load at most ceil(r(r-1)/P) — nodes already at the ceiling (possible
+    // when P divides r(r-1), so k equals the ceiling) are excluded.
+    {
+      const std::int64_t cap = ceil_div(r_ * (r_ - 1), P_);
+      graph::BipartiteGraph g(cells.size(), static_cast<std::size_t>(P_));
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (cell_owner[c] >= 0) continue;
+        for (const std::int32_t p : covers[c])
+          if (assigned[static_cast<std::size_t>(p)] < cap)
+            g.add_edge(c, static_cast<std::size_t>(p));
+      }
+      const graph::Matching m = graph::hopcroft_karp(g);
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (cell_owner[c] >= 0) continue;
+        if (m.match_left[c] == graph::Matching::kUnmatched) continue;
+        const auto p = static_cast<std::int32_t>(m.match_left[c]);
+        cell_owner[c] = p;
+        ++assigned[static_cast<std::size_t>(p)];
+        ++result.cells_matched_round2;
+      }
+    }
+
+    // Fallback (lines 13-14): least-loaded node that already holds colrow i
+    // or colrow j; the missing colrow is added to its assignment.
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cell_owner[c] >= 0) continue;
+      const std::int32_t i = cells[c].i;
+      const std::int32_t j = cells[c].j;
+      std::int32_t best = -1;
+      std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+      std::size_t tie_count = 0;
+      for (std::int64_t p = 0; p < P_; ++p) {
+        if (!has(p, i) && !has(p, j)) continue;
+        const std::int64_t load = assigned[static_cast<std::size_t>(p)];
+        if (load < best_load) {
+          best = static_cast<std::int32_t>(p);
+          best_load = load;
+          tie_count = 1;
+        } else if (load == best_load && rng_.below(++tie_count) == 0) {
+          best = static_cast<std::int32_t>(p);
+        }
+      }
+      if (best < 0)
+        throw std::logic_error("GCR&M fallback: cell with no adjacent node");
+      if (!has(best, i)) add_colrow(best, i);
+      if (!has(best, j)) add_colrow(best, j);
+      cell_owner[c] = best;
+      ++assigned[static_cast<std::size_t>(best)];
+      ++result.cells_fallback;
+    }
+
+    // Materialize the pattern: diagonal free, everything else assigned.
+    result.pattern = Pattern(r_, r_, P_);
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      result.pattern.set(cells[c].i, cells[c].j, cell_owner[c]);
+    result.valid = result.pattern.validate().empty();
+    if (result.valid) result.cost = cholesky_cost(result.pattern);
+    return result;
+  }
+
+  std::int64_t P_;
+  std::int64_t r_;
+  Rng rng_;
+  std::vector<bool> has_;  ///< has_[p*r + q]: node p holds colrow q
+  std::vector<std::vector<std::int32_t>> colrows_;  ///< A[p]
+  std::vector<std::int64_t> cover_load_;  ///< pairs credited per node
+  std::vector<std::int64_t> colrow_usage_;
+  std::vector<bool> covered_;  ///< covered_[min*r + max] per pair
+  std::int64_t uncovered_;
+};
+
+}  // namespace
+
+GcrmResult gcrm_build(std::int64_t P, std::int64_t r, std::uint64_t seed) {
+  if (!gcrm_feasible(P, r))
+    throw std::invalid_argument("infeasible (P, r) for GCR&M: Eq. 3 violated");
+  return GcrmRun(P, r, seed).run();
+}
+
+}  // namespace anyblock::core

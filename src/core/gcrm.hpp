@@ -1,0 +1,51 @@
+// Greedy ColRow & Matching — GCR&M (paper, Section V-A, Algorithm 1).
+//
+// Builds a square r x r symmetric-friendly pattern for *any* node count P:
+//
+//  Phase 1 (greedy colrow assignment): colrows are handed to nodes one at a
+//  time — always to the least-loaded node, choosing the colrow that covers
+//  the most still-uncovered cells (ties: least-used colrow, then random) —
+//  until every off-diagonal cell is covered by some node (a node covers
+//  cell (i,j) when it holds both colrows i and j).
+//
+//  Phase 2 (matching): cells are assigned to covering nodes through two
+//  maximum bipartite matchings — first against k = floor(r(r-1)/P)
+//  duplicates per node (guaranteeing no node exceeds k), then unassigned
+//  cells against one extra duplicate per node.  Cells still left are
+//  assigned greedily to the least-loaded node that can cover them by
+//  adding a single colrow.
+//
+// The diagonal is left free (bound lazily per matrix replica by
+// PatternDistribution), which is what makes pattern sizes with r^2 not a
+// multiple of P usable; feasibility requires Eq. 3:
+//      ceil(r(r-1)/P) <= r^2/P,
+// and r(r-1) >= P so that every node can receive at least one cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+/// Feasibility of pattern size r for P nodes: Eq. 3 plus r(r-1) >= P.
+[[nodiscard]] bool gcrm_feasible(std::int64_t P, std::int64_t r);
+
+struct GcrmResult {
+  Pattern pattern;  ///< square r x r, diagonal free
+  bool valid = false;
+  double cost = 0.0;  ///< z-bar of the pattern; meaningless when !valid
+
+  // Construction statistics (useful for tests and the Fig. 8 illustration).
+  std::int64_t cells_matched_round1 = 0;
+  std::int64_t cells_matched_round2 = 0;
+  std::int64_t cells_fallback = 0;
+  /// A[p]: colrows assigned to each node at the end of the run.
+  std::vector<std::vector<std::int32_t>> colrows_per_node;
+};
+
+/// One run of Algorithm 1 for a given pattern size and random seed.
+GcrmResult gcrm_build(std::int64_t P, std::int64_t r, std::uint64_t seed);
+
+}  // namespace anyblock::core

@@ -1,0 +1,135 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace anyblock::core {
+
+Pattern::Pattern(std::int64_t rows, std::int64_t cols, std::int64_t num_nodes)
+    : rows_(rows), cols_(cols), num_nodes_(num_nodes) {
+  if (rows <= 0 || cols <= 0 || num_nodes <= 0)
+    throw std::invalid_argument("Pattern dimensions and node count must be positive");
+  cells_.assign(static_cast<std::size_t>(rows * cols), kFree);
+}
+
+void Pattern::set(std::int64_t row, std::int64_t col, NodeId node) {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+    throw std::out_of_range("Pattern::set: cell out of range");
+  if (node != kFree && (node < 0 || node >= num_nodes_))
+    throw std::out_of_range("Pattern::set: node id out of range");
+  cells_[static_cast<std::size_t>(row * cols_ + col)] = node;
+}
+
+bool Pattern::is_complete() const {
+  return std::none_of(cells_.begin(), cells_.end(),
+                      [](NodeId n) { return n == kFree; });
+}
+
+std::int64_t Pattern::free_cell_count() const {
+  return std::count(cells_.begin(), cells_.end(), kFree);
+}
+
+std::vector<std::int64_t> Pattern::node_loads() const {
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(num_nodes_), 0);
+  for (const NodeId n : cells_) {
+    if (n != kFree) ++loads[static_cast<std::size_t>(n)];
+  }
+  return loads;
+}
+
+bool Pattern::is_balanced(std::int64_t slack) const {
+  const auto loads = node_loads();
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  return *hi - *lo <= slack;
+}
+
+namespace {
+
+/// Counts distinct non-free values among cells selected by `get(k)` for
+/// k in [0, count).  Uses a sorted scratch buffer: rows/colrows are short
+/// (at most r + c entries), so this beats hashing.
+template <typename Get>
+std::int64_t count_distinct(std::int64_t count, Get get) {
+  std::vector<NodeId> seen;
+  seen.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k) {
+    const NodeId n = get(k);
+    if (n != Pattern::kFree) seen.push_back(n);
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  return static_cast<std::int64_t>(seen.size());
+}
+
+}  // namespace
+
+std::int64_t Pattern::distinct_in_row(std::int64_t i) const {
+  return count_distinct(cols_, [&](std::int64_t j) { return at(i, j); });
+}
+
+std::int64_t Pattern::distinct_in_col(std::int64_t j) const {
+  return count_distinct(rows_, [&](std::int64_t i) { return at(i, j); });
+}
+
+std::int64_t Pattern::distinct_in_colrow(std::int64_t i) const {
+  if (!is_square())
+    throw std::logic_error("distinct_in_colrow requires a square pattern");
+  // colrow i = row i followed by column i (2r cells, diagonal counted twice;
+  // duplicates are removed by count_distinct).
+  return count_distinct(2 * rows_, [&](std::int64_t k) {
+    return k < cols_ ? at(i, k) : at(k - cols_, i);
+  });
+}
+
+double Pattern::mean_row_distinct() const {
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < rows_; ++i) total += distinct_in_row(i);
+  return static_cast<double>(total) / static_cast<double>(rows_);
+}
+
+double Pattern::mean_col_distinct() const {
+  std::int64_t total = 0;
+  for (std::int64_t j = 0; j < cols_; ++j) total += distinct_in_col(j);
+  return static_cast<double>(total) / static_cast<double>(cols_);
+}
+
+double Pattern::mean_colrow_distinct() const {
+  std::int64_t total = 0;
+  for (std::int64_t i = 0; i < rows_; ++i) total += distinct_in_colrow(i);
+  return static_cast<double>(total) / static_cast<double>(rows_);
+}
+
+std::string Pattern::validate() const {
+  std::vector<bool> present(static_cast<std::size_t>(num_nodes_), false);
+  for (std::int64_t i = 0; i < rows_; ++i) {
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      const NodeId n = at(i, j);
+      if (n == kFree) {
+        if (!is_square() || i != j) {
+          std::ostringstream oss;
+          oss << "free cell (" << i << "," << j
+              << ") off the diagonal of a square pattern";
+          return oss.str();
+        }
+        continue;
+      }
+      if (n < 0 || n >= num_nodes_) {
+        std::ostringstream oss;
+        oss << "cell (" << i << "," << j << ") holds invalid node " << n;
+        return oss.str();
+      }
+      present[static_cast<std::size_t>(n)] = true;
+    }
+  }
+  for (std::int64_t n = 0; n < num_nodes_; ++n) {
+    if (!present[static_cast<std::size_t>(n)]) {
+      std::ostringstream oss;
+      oss << "node " << n << " never appears in the pattern";
+      return oss.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace anyblock::core

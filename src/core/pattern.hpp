@@ -1,0 +1,93 @@
+// Distribution patterns (paper, Section III).
+//
+// A pattern G of size r x c assigns a node to every *cell*; the matrix
+// *tile* (i, j) is then owned by the node in cell (i mod r, j mod c).
+// Unlike plain 2D block-cyclic, a node may appear several times in the
+// pattern.  Square patterns may leave diagonal cells *free* (unassigned):
+// each diagonal cell belongs to a unique colrow, so it can later be bound
+// to any node of that colrow — per matrix replica — without changing the
+// communication cost (paper, Section V).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anyblock::core {
+
+using NodeId = std::int32_t;
+
+class Pattern {
+ public:
+  /// Sentinel for a free (unassigned) diagonal cell.
+  static constexpr NodeId kFree = -1;
+
+  Pattern() = default;
+
+  /// Creates an `rows x cols` pattern over `num_nodes` nodes with every cell
+  /// free.  Only diagonal cells of square patterns may remain free in a
+  /// finished pattern (see validate()).
+  Pattern(std::int64_t rows, std::int64_t cols, std::int64_t num_nodes);
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] std::int64_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] bool is_square() const { return rows_ == cols_; }
+
+  [[nodiscard]] NodeId at(std::int64_t row, std::int64_t col) const {
+    return cells_[static_cast<std::size_t>(row * cols_ + col)];
+  }
+  void set(std::int64_t row, std::int64_t col, NodeId node);
+
+  /// Owner of matrix tile (i, j) under cyclic replication of this pattern.
+  /// The cell must not be free; use Distribution for incomplete patterns.
+  [[nodiscard]] NodeId owner_of_tile(std::int64_t i, std::int64_t j) const {
+    return at(i % rows_, j % cols_);
+  }
+
+  /// True if no cell is free.
+  [[nodiscard]] bool is_complete() const;
+
+  /// Number of free cells (all of which must lie on the diagonal).
+  [[nodiscard]] std::int64_t free_cell_count() const;
+
+  /// Number of cells assigned to each node (free cells excluded).
+  [[nodiscard]] std::vector<std::int64_t> node_loads() const;
+
+  /// A pattern is balanced when every node appears the same number of times
+  /// (paper, Section III-C).  `slack` allows |load - mean| <= slack, which is
+  /// the right notion for incomplete patterns where the lazy diagonal
+  /// assignment will even out a +/-1 imbalance (paper, Eq. 3 discussion).
+  [[nodiscard]] bool is_balanced(std::int64_t slack = 0) const;
+
+  /// Number of distinct nodes in row i / column j (free cells ignored).
+  [[nodiscard]] std::int64_t distinct_in_row(std::int64_t i) const;
+  [[nodiscard]] std::int64_t distinct_in_col(std::int64_t j) const;
+
+  /// Number of distinct nodes in colrow i = row i  union  column i
+  /// (paper, Definition 1).  Requires a square pattern.  Free diagonal cells
+  /// contribute nothing: they are always bound to a node of their colrow.
+  [[nodiscard]] std::int64_t distinct_in_colrow(std::int64_t i) const;
+
+  /// Mean distinct-node counts: x-bar, y-bar, z-bar of Section III.
+  [[nodiscard]] double mean_row_distinct() const;
+  [[nodiscard]] double mean_col_distinct() const;
+  [[nodiscard]] double mean_colrow_distinct() const;
+
+  /// Checks structural invariants; returns an empty string when valid, or a
+  /// human-readable description of the first violation:
+  ///  - every assigned cell holds a node id in [0, num_nodes)
+  ///  - every node appears at least once
+  ///  - free cells only occur on the diagonal of a square pattern.
+  [[nodiscard]] std::string validate() const;
+
+  bool operator==(const Pattern&) const = default;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t num_nodes_ = 0;
+  std::vector<NodeId> cells_;
+};
+
+}  // namespace anyblock::core

@@ -1,0 +1,129 @@
+#include "core/pattern_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace anyblock::core {
+
+std::string render_pattern(const Pattern& pattern) {
+  // Column width fits the largest node id.
+  int width = 1;
+  for (std::int64_t v = pattern.num_nodes() - 1; v >= 10; v /= 10) ++width;
+  std::ostringstream oss;
+  for (std::int64_t i = 0; i < pattern.rows(); ++i) {
+    for (std::int64_t j = 0; j < pattern.cols(); ++j) {
+      if (j > 0) oss << ' ';
+      const NodeId n = pattern.at(i, j);
+      if (n == Pattern::kFree) {
+        oss << std::setw(width) << '.';
+      } else {
+        oss << std::setw(width) << n;
+      }
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string serialize_pattern(const Pattern& pattern) {
+  std::ostringstream oss;
+  oss << "pattern " << pattern.rows() << ' ' << pattern.cols() << ' '
+      << pattern.num_nodes() << '\n';
+  for (std::int64_t i = 0; i < pattern.rows(); ++i) {
+    for (std::int64_t j = 0; j < pattern.cols(); ++j) {
+      if (j > 0) oss << ' ';
+      oss << pattern.at(i, j);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::optional<Pattern> parse_pattern(std::istream& in) {
+  std::string tag;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t nodes = 0;
+  if (!(in >> tag >> rows >> cols >> nodes) || tag != "pattern") {
+    return std::nullopt;
+  }
+  if (rows <= 0 || cols <= 0 || nodes <= 0) return std::nullopt;
+  Pattern pattern(rows, cols, nodes);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      std::int64_t value = 0;
+      if (!(in >> value)) return std::nullopt;
+      if (value != Pattern::kFree && (value < 0 || value >= nodes)) {
+        return std::nullopt;
+      }
+      pattern.set(i, j, static_cast<NodeId>(value));
+    }
+  }
+  return pattern;
+}
+
+std::optional<Pattern> parse_pattern_string(const std::string& text) {
+  std::istringstream iss(text);
+  return parse_pattern(iss);
+}
+
+void PatternDatabase::put(std::int64_t P, Kind kind, Pattern pattern) {
+  entries_.insert_or_assign({P, static_cast<int>(kind)}, std::move(pattern));
+}
+
+std::optional<Pattern> PatternDatabase::get(std::int64_t P, Kind kind) const {
+  const auto it = entries_.find({P, static_cast<int>(kind)});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PatternDatabase::save(std::ostream& out) const {
+  out << "anyblock-pattern-db 1 " << entries_.size() << '\n';
+  for (const auto& [key, pattern] : entries_) {
+    out << "entry " << key.first << ' ' << key.second << '\n'
+        << serialize_pattern(pattern);
+  }
+}
+
+bool PatternDatabase::load(std::istream& in) {
+  entries_.clear();
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> count) || magic != "anyblock-pattern-db" ||
+      version != 1) {
+    return false;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    std::string tag;
+    std::int64_t P = 0;
+    int kind = 0;
+    if (!(in >> tag >> P >> kind) || tag != "entry") {
+      entries_.clear();
+      return false;
+    }
+    auto pattern = parse_pattern(in);
+    if (!pattern) {
+      entries_.clear();
+      return false;
+    }
+    entries_.insert_or_assign({P, kind}, std::move(*pattern));
+  }
+  return true;
+}
+
+bool PatternDatabase::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  save(out);
+  return static_cast<bool>(out);
+}
+
+bool PatternDatabase::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return load(in);
+}
+
+}  // namespace anyblock::core

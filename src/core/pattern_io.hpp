@@ -1,0 +1,54 @@
+// Pattern rendering, serialization, and the pattern database.
+//
+// The paper's conclusion suggests shipping "a database containing, for each
+// possible value of P, a very efficient pattern".  PatternDatabase is that
+// database: a text file mapping node counts to precomputed patterns, so the
+// (seconds-long) GCR&M search runs once per P, offline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+/// Renders the pattern as an aligned grid of node ids; free cells print as
+/// '.'.  Matches the style of the paper's Fig. 3 illustration.
+std::string render_pattern(const Pattern& pattern);
+
+/// Compact single-record text form:
+///   pattern <rows> <cols> <num_nodes>
+///   <cells, row-major, -1 for free>
+std::string serialize_pattern(const Pattern& pattern);
+
+/// Parses the serialize_pattern() form; returns nullopt on malformed input.
+std::optional<Pattern> parse_pattern(std::istream& in);
+std::optional<Pattern> parse_pattern_string(const std::string& text);
+
+/// Keyed store of the best known pattern per (P, kind) pair.
+class PatternDatabase {
+ public:
+  enum class Kind { kNonSymmetric, kSymmetric };
+
+  void put(std::int64_t P, Kind kind, Pattern pattern);
+  [[nodiscard]] std::optional<Pattern> get(std::int64_t P, Kind kind) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Text round-trip: `save` writes every entry, `load` replaces the
+  /// contents; load returns false (leaving the database empty) on parse
+  /// errors.
+  void save(std::ostream& out) const;
+  bool load(std::istream& in);
+
+  bool save_file(const std::string& path) const;
+  bool load_file(const std::string& path);
+
+ private:
+  std::map<std::pair<std::int64_t, int>, Pattern> entries_;
+};
+
+}  // namespace anyblock::core

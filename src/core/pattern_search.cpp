@@ -1,0 +1,70 @@
+#include "core/pattern_search.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace anyblock::core {
+
+std::vector<std::int64_t> gcrm_feasible_sizes(std::int64_t P,
+                                              std::int64_t max_r) {
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t r = 2; r <= max_r; ++r) {
+    if (gcrm_feasible(P, r)) sizes.push_back(r);
+  }
+  return sizes;
+}
+
+GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
+                             bool keep_samples) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  GcrmSearchResult result;
+  const auto max_r = static_cast<std::int64_t>(
+      options.max_r_factor * std::sqrt(static_cast<double>(P)));
+
+  double best_balanced_cost = 0.0;
+  bool have_balanced = false;
+
+  for (const std::int64_t r : gcrm_feasible_sizes(P, max_r)) {
+    for (std::int64_t s = 0; s < options.seeds; ++s) {
+      const std::uint64_t seed =
+          options.base_seed + 1000003ULL * static_cast<std::uint64_t>(r) +
+          static_cast<std::uint64_t>(s);
+      GcrmResult attempt = gcrm_build(P, r, seed);
+      const bool balanced =
+          attempt.valid && attempt.pattern.is_balanced(options.balance_slack);
+      if (keep_samples)
+        result.samples.push_back(
+            {r, seed, attempt.cost, attempt.valid, balanced});
+      if (!attempt.valid) continue;
+
+      // Balanced patterns strictly dominate unbalanced ones; among patterns
+      // of the same class, lower z-bar wins.
+      if (balanced) {
+        if (!have_balanced || attempt.cost < best_balanced_cost) {
+          have_balanced = true;
+          best_balanced_cost = attempt.cost;
+          result.best = std::move(attempt.pattern);
+          result.best_cost = attempt.cost;
+          result.found = true;
+        }
+      } else if (!have_balanced &&
+                 (!result.found || attempt.cost < result.best_cost)) {
+        result.best = std::move(attempt.pattern);
+        result.best_cost = attempt.cost;
+        result.found = true;
+      }
+    }
+  }
+  return result;
+}
+
+Pattern best_gcrm_pattern(std::int64_t P) {
+  const GcrmSearchResult result = gcrm_search(P, GcrmSearchOptions{});
+  if (!result.found)
+    throw std::runtime_error("GCR&M search found no valid pattern");
+  return result.best;
+}
+
+}  // namespace anyblock::core

@@ -1,0 +1,59 @@
+// Search driver for symmetric patterns (paper, Section V-B).
+//
+// GCR&M depends on the pattern size r and on random tie-breaking, so the
+// paper's protocol runs Algorithm 1 for every feasible r <= 6*sqrt(P) with
+// 100 seeds and keeps the cheapest balanced pattern.  Patterns depend only
+// on P, never on the matrix, so this search runs once per node count (and
+// its results can be stored in a PatternDatabase).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gcrm.hpp"
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+struct GcrmSearchOptions {
+  /// Sweep r over feasible sizes up to max_r_factor * sqrt(P).
+  double max_r_factor = 6.0;
+  /// Random restarts per pattern size.
+  std::int64_t seeds = 100;
+  /// Base seed; run s of size r uses seed base_seed + 1000003*r + s.
+  std::uint64_t base_seed = 42;
+  /// Keep only patterns whose node loads differ by at most this much
+  /// (the lazy diagonal assignment can absorb a +/-1 spread).
+  std::int64_t balance_slack = 1;
+};
+
+/// One sampled construction, recorded for Fig. 9-style analyses.
+struct GcrmSample {
+  std::int64_t r = 0;
+  std::uint64_t seed = 0;
+  double cost = 0.0;
+  bool valid = false;
+  bool balanced = false;
+};
+
+struct GcrmSearchResult {
+  Pattern best;       ///< cheapest valid (preferring balanced) pattern
+  double best_cost = 0.0;
+  bool found = false;
+  std::vector<GcrmSample> samples;  ///< every construction attempted
+};
+
+/// Feasible pattern sizes for P up to `max_r` (Eq. 3 and r(r-1) >= P).
+std::vector<std::int64_t> gcrm_feasible_sizes(std::int64_t P,
+                                              std::int64_t max_r);
+
+/// Full sweep; `keep_samples` controls whether every attempt is recorded
+/// (Fig. 9) or only the winner retained (fast path for large sweeps).
+GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
+                             bool keep_samples = false);
+
+/// Convenience: the best GCR&M pattern for P with default options; throws
+/// if the search finds nothing (does not happen for P >= 2 in practice).
+Pattern best_gcrm_pattern(std::int64_t P);
+
+}  // namespace anyblock::core

@@ -1,0 +1,41 @@
+// The front door: given a node count and a kernel, pick the right scheme.
+//
+// Encodes the paper's decision procedure — G-2DBC for non-symmetric
+// factorizations (collapsing to plain 2DBC when P factors nicely), and for
+// symmetric kernels SBC when P is one of its feasible values, otherwise
+// the GCR&M search — so downstream code asks one question instead of
+// knowing four constructions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pattern.hpp"
+#include "core/pattern_search.hpp"
+
+namespace anyblock::core {
+
+enum class Kernel { kLu, kCholesky, kSyrk };
+
+struct RecommendOptions {
+  /// Search effort for the GCR&M fallback (symmetric kernels only).
+  GcrmSearchOptions search;
+};
+
+struct Recommendation {
+  Pattern pattern;
+  /// "2DBC", "G-2DBC", "SBC", or "GCR&M".
+  std::string scheme;
+  /// T(G) under the requested kernel's metric.
+  double cost = 0.0;
+  /// One-line human-readable justification.
+  std::string rationale;
+};
+
+/// Best known pattern for P homogeneous nodes running `kernel`.
+/// Throws std::runtime_error only if the GCR&M search finds nothing
+/// (does not happen for P >= 2 with default options).
+Recommendation recommend_pattern(std::int64_t P, Kernel kernel,
+                                 const RecommendOptions& options = {});
+
+}  // namespace anyblock::core

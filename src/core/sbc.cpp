@@ -1,0 +1,88 @@
+#include "core/sbc.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace anyblock::core {
+namespace {
+
+/// Id of the pair node {i, j}, i < j, in the triangular enumeration.
+NodeId pair_node(std::int64_t i, std::int64_t j) {
+  return static_cast<NodeId>(j * (j - 1) / 2 + i);
+}
+
+}  // namespace
+
+std::optional<SbcParams> sbc_params(std::int64_t P) {
+  if (P <= 0) return std::nullopt;
+  // Triangular: P = a(a-1)/2  <=>  a = (1 + sqrt(1+8P)) / 2.
+  {
+    const std::int64_t disc = 1 + 8 * P;
+    if (is_square(disc)) {
+      const std::int64_t root = isqrt_floor(disc);
+      if ((1 + root) % 2 == 0) {
+        const std::int64_t a = (1 + root) / 2;
+        if (a >= 2) return SbcParams{P, a, SbcKind::kTriangular};
+      }
+    }
+  }
+  // Half-square: P = a^2/2 with a even  <=>  2P is an even perfect square.
+  {
+    if (is_square(2 * P)) {
+      const std::int64_t a = isqrt_floor(2 * P);
+      if (a % 2 == 0) return SbcParams{P, a, SbcKind::kHalfSquare};
+    }
+  }
+  return std::nullopt;
+}
+
+bool sbc_feasible(std::int64_t P) { return sbc_params(P).has_value(); }
+
+Pattern make_sbc(std::int64_t P) {
+  const auto params = sbc_params(P);
+  if (!params)
+    throw std::invalid_argument(
+        "P is not of the form a(a-1)/2 or a^2/2 (a even)");
+  return make_sbc(*params);
+}
+
+Pattern make_sbc(const SbcParams& params) {
+  const std::int64_t a = params.a;
+  Pattern pattern(a, a, params.P);
+  for (std::int64_t j = 1; j < a; ++j) {
+    for (std::int64_t i = 0; i < j; ++i) {
+      const NodeId n = pair_node(i, j);
+      pattern.set(i, j, n);
+      pattern.set(j, i, n);
+    }
+  }
+  if (params.kind == SbcKind::kHalfSquare) {
+    // Dedicated diagonal nodes: node a(a-1)/2 + k owns (2k,2k) and
+    // (2k+1,2k+1); every node, pair or diagonal, appears exactly twice.
+    const NodeId base = static_cast<NodeId>(a * (a - 1) / 2);
+    for (std::int64_t k = 0; k < a / 2; ++k) {
+      pattern.set(2 * k, 2 * k, base + static_cast<NodeId>(k));
+      pattern.set(2 * k + 1, 2 * k + 1, base + static_cast<NodeId>(k));
+    }
+  }
+  // Triangular form: diagonal stays free, bound lazily by the distribution.
+  return pattern;
+}
+
+SbcParams best_sbc_at_most(std::int64_t P) {
+  for (std::int64_t candidate = P; candidate >= 1; --candidate) {
+    if (const auto params = sbc_params(candidate)) return *params;
+  }
+  throw std::invalid_argument("no feasible SBC node count at or below P");
+}
+
+std::vector<std::int64_t> sbc_feasible_values(std::int64_t max_p) {
+  std::vector<std::int64_t> values;
+  for (std::int64_t P = 1; P <= max_p; ++P) {
+    if (sbc_feasible(P)) values.push_back(P);
+  }
+  return values;
+}
+
+}  // namespace anyblock::core

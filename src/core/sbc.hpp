@@ -1,0 +1,56 @@
+// Symmetric Block Cyclic distribution (Beaumont et al., SC'22; paper,
+// Sections I, II-A and V).
+//
+// SBC exploits the symmetry of Cholesky/SYRK: a node is placed on exactly
+// two colrows of a square a x a pattern, so every colrow holds about
+// sqrt(2P) distinct nodes instead of the ~2 sqrt(P) of 2DBC.  It exists for
+// two families of node counts:
+//
+//  * kTriangular, P = a(a-1)/2: node {i, j} (i < j) occupies cells (i, j)
+//    and (j, i); the diagonal is left free and bound lazily per replica
+//    (the *extended* version, Section III-C of [8]).  Cost T = a - 1,
+//    i.e. ~ sqrt(2P) - 0.5.
+//  * kHalfSquare, P = a^2/2 with a even: pair nodes as above plus a/2
+//    dedicated diagonal nodes, node k owning cells (2k, 2k) and (2k+1,
+//    2k+1) (the *basic* version).  Cost T = a = sqrt(2P).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+enum class SbcKind { kTriangular, kHalfSquare };
+
+struct SbcParams {
+  std::int64_t P = 0;
+  std::int64_t a = 0;  ///< pattern side
+  SbcKind kind = SbcKind::kTriangular;
+
+  /// Exact cost T of the pattern: a-1 (triangular) or a (half-square).
+  [[nodiscard]] double cost() const {
+    return static_cast<double>(kind == SbcKind::kTriangular ? a - 1 : a);
+  }
+};
+
+/// Parameters if P belongs to one of the SBC families (preferring the
+/// cheaper triangular form when P fits both), nullopt otherwise.
+std::optional<SbcParams> sbc_params(std::int64_t P);
+
+[[nodiscard]] bool sbc_feasible(std::int64_t P);
+
+/// Builds the SBC pattern; throws std::invalid_argument when infeasible.
+Pattern make_sbc(std::int64_t P);
+Pattern make_sbc(const SbcParams& params);
+
+/// The largest feasible P' <= P with its parameters — the "use fewer nodes"
+/// fallback the paper's experimental section compares against (Table Ib).
+SbcParams best_sbc_at_most(std::int64_t P);
+
+/// All feasible node counts up to `max_p`, ascending.
+std::vector<std::int64_t> sbc_feasible_values(std::int64_t max_p);
+
+}  // namespace anyblock::core

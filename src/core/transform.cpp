@@ -1,0 +1,39 @@
+#include "core/transform.hpp"
+
+#include <vector>
+
+namespace anyblock::core {
+
+Pattern transposed(const Pattern& pattern) {
+  Pattern result(pattern.cols(), pattern.rows(), pattern.num_nodes());
+  for (std::int64_t i = 0; i < pattern.rows(); ++i)
+    for (std::int64_t j = 0; j < pattern.cols(); ++j)
+      result.set(j, i, pattern.at(i, j));
+  return result;
+}
+
+Pattern canonical_relabel(const Pattern& pattern) {
+  std::vector<NodeId> rename(static_cast<std::size_t>(pattern.num_nodes()),
+                             Pattern::kFree);
+  NodeId next = 0;
+  Pattern result(pattern.rows(), pattern.cols(), pattern.num_nodes());
+  for (std::int64_t i = 0; i < pattern.rows(); ++i) {
+    for (std::int64_t j = 0; j < pattern.cols(); ++j) {
+      const NodeId n = pattern.at(i, j);
+      if (n == Pattern::kFree) continue;
+      auto& mapped = rename[static_cast<std::size_t>(n)];
+      if (mapped == Pattern::kFree) mapped = next++;
+      result.set(i, j, mapped);
+    }
+  }
+  return result;
+}
+
+bool equivalent_up_to_relabel(const Pattern& a, const Pattern& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() ||
+      a.num_nodes() != b.num_nodes())
+    return false;
+  return canonical_relabel(a) == canonical_relabel(b);
+}
+
+}  // namespace anyblock::core

@@ -1,0 +1,25 @@
+// Pattern transformations.
+//
+// The cost metric T(G) is invariant under transposition and under any
+// renaming of the nodes; canonical relabeling makes that usable — two
+// patterns are *equivalent* when their canonical forms are equal, which
+// deduplicates search results and lets tests state invariants cleanly.
+#pragma once
+
+#include "core/pattern.hpp"
+
+namespace anyblock::core {
+
+/// The transposed pattern (cell (i, j) -> (j, i)); swaps row/column roles,
+/// so T_LU is preserved and colrows are preserved for square patterns.
+Pattern transposed(const Pattern& pattern);
+
+/// Renames nodes in order of first appearance (row-major scan); free cells
+/// stay free.  Two patterns that differ only by node naming share one
+/// canonical form.
+Pattern canonical_relabel(const Pattern& pattern);
+
+/// True when the patterns are equal up to a renaming of the nodes.
+bool equivalent_up_to_relabel(const Pattern& a, const Pattern& b);
+
+}  // namespace anyblock::core

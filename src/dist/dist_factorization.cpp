@@ -1,0 +1,429 @@
+#include "dist/dist_factorization.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/rank_helpers.hpp"
+#include "linalg/kernels.hpp"
+
+namespace anyblock::dist {
+
+namespace detail {
+
+void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
+                    const core::Distribution& distribution, bool lower_only,
+                    TiledMatrix& out, std::mutex& out_mutex) {
+  const std::int64_t gather_base = t * t;
+  if (ctx.rank() == 0) {
+    const std::lock_guard<std::mutex> lock(out_mutex);
+    for (std::int64_t i = 0; i < t; ++i) {
+      const std::int64_t j_end = lower_only ? i + 1 : t;
+      for (std::int64_t j = 0; j < j_end; ++j) {
+        const int owner = static_cast<int>(distribution.owner(i, j));
+        Payload data = owner == 0
+                           ? store.get(i, j)
+                           : ctx.recv(owner, gather_base + store.key(i, j));
+        auto tile = out.tile(i, j);
+        std::copy(data.begin(), data.end(), tile.begin());
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < t; ++i) {
+      const std::int64_t j_end = lower_only ? i + 1 : t;
+      for (std::int64_t j = 0; j < j_end; ++j) {
+        if (distribution.owner(i, j) != ctx.rank()) continue;
+        ctx.send(0, gather_base + store.key(i, j), store.get(i, j));
+      }
+    }
+  }
+}
+
+void lu_factorize_rank(RankContext& ctx, TileStore& store,
+                       const core::Distribution& distribution, std::int64_t t,
+                       std::int64_t nb, std::atomic<bool>& ok) {
+  const int self = ctx.rank();
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return distribution.owner(i, j);
+  };
+
+  for (std::int64_t l = 0; l < t; ++l) {
+    // --- GETRF(l, l) on its owner; broadcast along colrow l.
+    if (owner(l, l) == self) {
+      if (!linalg::getrf_nopiv(store.get(l, l), nb)) ok.store(false);
+      DestSet dests(self);
+      for (std::int64_t i = l + 1; i < t; ++i) dests.add(owner(i, l));
+      for (std::int64_t j = l + 1; j < t; ++j) dests.add(owner(l, j));
+      for (const NodeId d : dests.dests())
+        ctx.send(static_cast<int>(d), store.key(l, l), store.get(l, l));
+    }
+
+    // --- TRSM on owned column-panel tiles; each result goes to every
+    // distinct owner of the trailing row it feeds.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      if (owner(i, l) != self) continue;
+      const Payload& diag = obtain(store, ctx, distribution, l, l);
+      linalg::trsm_right_upper(diag, store.get(i, l), nb);
+      DestSet dests(self);
+      for (std::int64_t j = l + 1; j < t; ++j) dests.add(owner(i, j));
+      for (const NodeId d : dests.dests())
+        ctx.send(static_cast<int>(d), store.key(i, l), store.get(i, l));
+    }
+
+    // --- TRSM on owned row-panel tiles; results go down the columns.
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      if (owner(l, j) != self) continue;
+      const Payload& diag = obtain(store, ctx, distribution, l, l);
+      linalg::trsm_left_lower_unit(diag, store.get(l, j), nb);
+      DestSet dests(self);
+      for (std::int64_t i = l + 1; i < t; ++i) dests.add(owner(i, j));
+      for (const NodeId d : dests.dests())
+        ctx.send(static_cast<int>(d), store.key(l, j), store.get(l, j));
+    }
+
+    // --- GEMM updates on owned trailing tiles.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      for (std::int64_t j = l + 1; j < t; ++j) {
+        if (owner(i, j) != self) continue;
+        const Payload& left = obtain(store, ctx, distribution, i, l);
+        const Payload& top = obtain(store, ctx, distribution, l, j);
+        linalg::gemm_update(left, top, store.get(i, j), nb);
+      }
+    }
+  }
+}
+
+void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
+                             const core::Distribution& distribution,
+                             std::int64_t t, std::int64_t nb,
+                             std::atomic<bool>& ok) {
+  const int self = ctx.rank();
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return distribution.owner(i, j);
+  };
+
+  for (std::int64_t l = 0; l < t; ++l) {
+    // --- POTRF(l, l); the factor feeds the TRSMs below it.
+    if (owner(l, l) == self) {
+      if (!linalg::potrf_lower(store.get(l, l), nb)) ok.store(false);
+      DestSet dests(self);
+      for (std::int64_t i = l + 1; i < t; ++i) dests.add(owner(i, l));
+      for (const NodeId d : dests.dests())
+        ctx.send(static_cast<int>(d), store.key(l, l), store.get(l, l));
+    }
+
+    // --- TRSM on owned panel tiles; each result travels along *colrow i*
+    // of the trailing matrix (Fig. 2, right): row segment (i, j) for
+    // l < j <= i, then column segment (k, i) for k >= i.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      if (owner(i, l) != self) continue;
+      const Payload& diag = obtain(store, ctx, distribution, l, l);
+      linalg::trsm_right_lower_trans(diag, store.get(i, l), nb);
+      DestSet dests(self);
+      for (std::int64_t j = l + 1; j <= i; ++j) dests.add(owner(i, j));
+      for (std::int64_t k = i; k < t; ++k) dests.add(owner(k, i));
+      for (const NodeId d : dests.dests())
+        ctx.send(static_cast<int>(d), store.key(i, l), store.get(i, l));
+    }
+
+    // --- SYRK/GEMM updates on owned trailing tiles (lower triangle).
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      for (std::int64_t j = l + 1; j <= i; ++j) {
+        if (owner(i, j) != self) continue;
+        const Payload& left = obtain(store, ctx, distribution, i, l);
+        if (i == j) {
+          linalg::syrk_update_lower(left, store.get(i, i), nb);
+        } else {
+          const Payload& right = obtain(store, ctx, distribution, j, l);
+          linalg::gemm_update_trans_b(left, right, store.get(i, j), nb);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+using detail::DestSet;
+using detail::TileStore;
+using core::NodeId;
+using linalg::TiledMatrix;
+using vmpi::Payload;
+using vmpi::RankContext;
+}  // namespace
+
+DistRunResult distributed_lu(const TiledMatrix& input,
+                             const core::Distribution& distribution) {
+  const std::int64_t t = input.tiles();
+  const std::int64_t nb = input.tile_size();
+  const int ranks = static_cast<int>(distribution.num_nodes());
+
+  DistRunResult result;
+  result.factored = TiledMatrix(t, nb);
+  std::mutex out_mutex;
+  std::atomic<bool> ok{true};
+  std::vector<std::int64_t> factor_messages(static_cast<std::size_t>(ranks));
+
+  result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
+    TileStore store(input, distribution, ctx.rank(), /*lower_only=*/false);
+    detail::lu_factorize_rank(ctx, store, distribution, t, nb, ok);
+    factor_messages[static_cast<std::size_t>(ctx.rank())] =
+        ctx.traffic().messages_sent;
+    detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/false,
+                           result.factored, out_mutex);
+  });
+
+  result.ok = ok.load();
+  for (const auto count : factor_messages) result.tile_messages += count;
+  return result;
+}
+
+DistRunResult distributed_cholesky(const TiledMatrix& input,
+                                   const core::Distribution& distribution) {
+  const std::int64_t t = input.tiles();
+  const std::int64_t nb = input.tile_size();
+  const int ranks = static_cast<int>(distribution.num_nodes());
+
+  DistRunResult result;
+  result.factored = TiledMatrix(t, nb);
+  std::mutex out_mutex;
+  std::atomic<bool> ok{true};
+  std::vector<std::int64_t> factor_messages(static_cast<std::size_t>(ranks));
+
+  result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
+    TileStore store(input, distribution, ctx.rank(), /*lower_only=*/true);
+    detail::cholesky_factorize_rank(ctx, store, distribution, t, nb, ok);
+    factor_messages[static_cast<std::size_t>(ctx.rank())] =
+        ctx.traffic().messages_sent;
+    detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/true,
+                           result.factored, out_mutex);
+  });
+
+  result.ok = ok.load();
+  for (const auto count : factor_messages) result.tile_messages += count;
+  return result;
+}
+
+DistRunResult distributed_syrk(const TiledMatrix& c_input,
+                               const linalg::TiledPanel& a_input,
+                               const core::Distribution& dist_c,
+                               const core::Distribution& dist_a) {
+  const std::int64_t t = c_input.tiles();
+  const std::int64_t k = a_input.tile_cols();
+  const std::int64_t nb = c_input.tile_size();
+  if (a_input.tile_rows() != t || a_input.tile_size() != nb)
+    throw std::invalid_argument("distributed_syrk: panel shape mismatch");
+  const int ranks = static_cast<int>(dist_c.num_nodes());
+
+  DistRunResult result;
+  result.factored = TiledMatrix(t, nb);
+  std::mutex out_mutex;
+  std::atomic<bool> ok{true};
+  std::vector<std::int64_t> update_messages(static_cast<std::size_t>(ranks));
+
+  // A-tile tags occupy [0, t*k); the C gather sits above them.
+  const auto a_tag = [k](std::int64_t i, std::int64_t l) { return i * k + l; };
+  const auto owner_a = [&](std::int64_t i, std::int64_t l) {
+    return dist_a.owner(i, l % t);
+  };
+
+  result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
+    const int self = ctx.rank();
+    TileStore store(c_input, dist_c, self, /*lower_only=*/true);
+
+    // Local copies of the owned A tiles.
+    std::unordered_map<std::int64_t, Payload> a_tiles;
+    for (std::int64_t i = 0; i < t; ++i) {
+      for (std::int64_t l = 0; l < k; ++l) {
+        if (owner_a(i, l) != self) continue;
+        const auto tile = a_input.tile(i, l);
+        a_tiles.emplace(a_tag(i, l), Payload(tile.begin(), tile.end()));
+      }
+    }
+    const auto obtain_a = [&](std::int64_t i, std::int64_t l) -> Payload& {
+      const std::int64_t tag = a_tag(i, l);
+      auto it = a_tiles.find(tag);
+      if (it == a_tiles.end()) {
+        it = a_tiles
+                 .emplace(tag, ctx.recv(static_cast<int>(owner_a(i, l)), tag))
+                 .first;
+      }
+      return it->second;
+    };
+
+    for (std::int64_t l = 0; l < k; ++l) {
+      // Broadcast owned panel tiles along their C colrows.
+      for (std::int64_t i = 0; i < t; ++i) {
+        if (owner_a(i, l) != self) continue;
+        DestSet dests(self);
+        for (std::int64_t j = 0; j <= i; ++j) dests.add(dist_c.owner(i, j));
+        for (std::int64_t m = i; m < t; ++m) dests.add(dist_c.owner(m, i));
+        for (const NodeId d : dests.dests())
+          ctx.send(static_cast<int>(d), a_tag(i, l), a_tiles.at(a_tag(i, l)));
+      }
+      // Update owned C tiles.
+      for (std::int64_t i = 0; i < t; ++i) {
+        for (std::int64_t j = 0; j <= i; ++j) {
+          if (dist_c.owner(i, j) != self) continue;
+          const Payload& left = obtain_a(i, l);
+          if (i == j) {
+            linalg::syrk_update_lower(left, store.get(i, i), nb);
+          } else {
+            linalg::gemm_update_trans_b(left, obtain_a(j, l),
+                                        store.get(i, j), nb);
+          }
+        }
+      }
+    }
+
+    update_messages[static_cast<std::size_t>(self)] =
+        ctx.traffic().messages_sent;
+    // Gather tags sit above the A-tile band: t*k + tile id.
+    const std::int64_t gather_base = t * k;
+    if (ctx.rank() == 0) {
+      const std::lock_guard<std::mutex> lock(out_mutex);
+      for (std::int64_t i = 0; i < t; ++i) {
+        for (std::int64_t j = 0; j <= i; ++j) {
+          const int owner = static_cast<int>(dist_c.owner(i, j));
+          Payload data = owner == 0
+                             ? store.get(i, j)
+                             : ctx.recv(owner, gather_base + store.key(i, j));
+          auto tile = result.factored.tile(i, j);
+          std::copy(data.begin(), data.end(), tile.begin());
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < t; ++i) {
+        for (std::int64_t j = 0; j <= i; ++j) {
+          if (dist_c.owner(i, j) != ctx.rank()) continue;
+          ctx.send(0, gather_base + store.key(i, j), store.get(i, j));
+        }
+      }
+    }
+  });
+
+  result.ok = ok.load();
+  for (const auto count : update_messages) result.tile_messages += count;
+  return result;
+}
+
+DistRunResult distributed_gemm(const TiledMatrix& c_input,
+                               const linalg::TiledPanel& a_input,
+                               const linalg::TiledPanel& b_input,
+                               const core::Distribution& dist) {
+  const std::int64_t t = c_input.tiles();
+  const std::int64_t k = a_input.tile_cols();
+  const std::int64_t nb = c_input.tile_size();
+  if (a_input.tile_rows() != t || b_input.tile_cols() != t ||
+      b_input.tile_rows() != k || a_input.tile_size() != nb ||
+      b_input.tile_size() != nb)
+    throw std::invalid_argument("distributed_gemm: shape mismatch");
+  const int ranks = static_cast<int>(dist.num_nodes());
+
+  DistRunResult result;
+  result.factored = TiledMatrix(t, nb);
+  std::mutex out_mutex;
+  std::vector<std::int64_t> update_messages(static_cast<std::size_t>(ranks));
+
+  // Tag bands: A tiles in [0, t*k), B tiles in [t*k, 2*t*k), gather above.
+  const auto a_tag = [k](std::int64_t i, std::int64_t l) { return i * k + l; };
+  const auto b_tag = [t, k](std::int64_t l, std::int64_t j) {
+    return t * k + l * t + j;
+  };
+  const auto owner_a = [&](std::int64_t i, std::int64_t l) {
+    return dist.owner(i, l % t);
+  };
+  const auto owner_b = [&](std::int64_t l, std::int64_t j) {
+    return dist.owner(l % t, j);
+  };
+
+  result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
+    const int self = ctx.rank();
+    TileStore store(c_input, dist, self, /*lower_only=*/false);
+
+    std::unordered_map<std::int64_t, Payload> inputs;
+    for (std::int64_t l = 0; l < k; ++l) {
+      for (std::int64_t i = 0; i < t; ++i) {
+        if (owner_a(i, l) == self) {
+          const auto tile = a_input.tile(i, l);
+          inputs.emplace(a_tag(i, l), Payload(tile.begin(), tile.end()));
+        }
+      }
+      for (std::int64_t j = 0; j < t; ++j) {
+        if (owner_b(l, j) == self) {
+          const auto tile = b_input.tile(l, j);
+          inputs.emplace(b_tag(l, j), Payload(tile.begin(), tile.end()));
+        }
+      }
+    }
+    const auto obtain_input = [&](std::int64_t tag, NodeId owner) -> Payload& {
+      auto it = inputs.find(tag);
+      if (it == inputs.end()) {
+        it = inputs.emplace(tag, ctx.recv(static_cast<int>(owner), tag)).first;
+      }
+      return it->second;
+    };
+
+    for (std::int64_t l = 0; l < k; ++l) {
+      // Broadcast owned A tiles along their C rows, B tiles down columns.
+      for (std::int64_t i = 0; i < t; ++i) {
+        if (owner_a(i, l) != self) continue;
+        DestSet dests(self);
+        for (std::int64_t j = 0; j < t; ++j) dests.add(dist.owner(i, j));
+        for (const NodeId d : dests.dests())
+          ctx.send(static_cast<int>(d), a_tag(i, l), inputs.at(a_tag(i, l)));
+      }
+      for (std::int64_t j = 0; j < t; ++j) {
+        if (owner_b(l, j) != self) continue;
+        DestSet dests(self);
+        for (std::int64_t i = 0; i < t; ++i) dests.add(dist.owner(i, j));
+        for (const NodeId d : dests.dests())
+          ctx.send(static_cast<int>(d), b_tag(l, j), inputs.at(b_tag(l, j)));
+      }
+      // Accumulate owned C tiles.
+      for (std::int64_t i = 0; i < t; ++i) {
+        for (std::int64_t j = 0; j < t; ++j) {
+          if (dist.owner(i, j) != self) continue;
+          const Payload& left = obtain_input(a_tag(i, l), owner_a(i, l));
+          const Payload& right = obtain_input(b_tag(l, j), owner_b(l, j));
+          linalg::gemm(1.0, left, false, right, false, 1.0, store.get(i, j),
+                       nb);
+        }
+      }
+    }
+
+    update_messages[static_cast<std::size_t>(self)] =
+        ctx.traffic().messages_sent;
+    // Gather above the input bands.
+    const std::int64_t gather_base = 2 * t * k;
+    if (ctx.rank() == 0) {
+      const std::lock_guard<std::mutex> lock(out_mutex);
+      for (std::int64_t i = 0; i < t; ++i) {
+        for (std::int64_t j = 0; j < t; ++j) {
+          const int owner = static_cast<int>(dist.owner(i, j));
+          Payload data = owner == 0
+                             ? store.get(i, j)
+                             : ctx.recv(owner, gather_base + store.key(i, j));
+          auto tile = result.factored.tile(i, j);
+          std::copy(data.begin(), data.end(), tile.begin());
+        }
+      }
+    } else {
+      for (std::int64_t i = 0; i < t; ++i) {
+        for (std::int64_t j = 0; j < t; ++j) {
+          if (dist.owner(i, j) != ctx.rank()) continue;
+          ctx.send(0, gather_base + store.key(i, j), store.get(i, j));
+        }
+      }
+    }
+  });
+
+  result.ok = true;
+  for (const auto count : update_messages) result.tile_messages += count;
+  return result;
+}
+
+}  // namespace anyblock::dist

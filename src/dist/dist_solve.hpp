@@ -1,0 +1,44 @@
+// Distributed solve: factorize A and solve A x = b in one distributed
+// session, keeping the factors where the distribution placed them.
+//
+// The substitution phases follow the owner-computes rule too: the owner of
+// tile (i, j) computes that tile's contribution to segment i and sends it
+// to the diagonal owner, which solves the tile-level triangular system and
+// broadcasts the finished segment to the distinct owners that still need
+// it.  This is the operation end users run factorizations *for*, so the
+// library ships it end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "linalg/tiled_matrix.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace anyblock::dist {
+
+struct DistSolveResult {
+  std::vector<double> x;  ///< solution, assembled on the caller
+  bool ok = false;
+  /// Tile messages of the factorization phase (equals the exact
+  /// owner-computes volume, as in DistRunResult).
+  std::int64_t factor_messages = 0;
+  /// Messages of the two substitution phases (contributions + segments).
+  std::int64_t solve_messages = 0;
+  vmpi::RunReport report;
+};
+
+/// LU factorization + forward/backward substitution; A diagonally dominant
+/// (no pivoting).
+DistSolveResult distributed_lu_solve(const linalg::TiledMatrix& input,
+                                     const std::vector<double>& b,
+                                     const core::Distribution& distribution);
+
+/// Cholesky factorization + the two triangular solves; A symmetric positive
+/// definite, lower triangle used.
+DistSolveResult distributed_cholesky_solve(
+    const linalg::TiledMatrix& input, const std::vector<double>& b,
+    const core::Distribution& distribution);
+
+}  // namespace anyblock::dist

@@ -1,0 +1,108 @@
+// Internal per-rank building blocks shared by the distributed
+// factorizations (dist_factorization.cpp) and solves (dist_solve.cpp).
+// Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/tiled_matrix.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace anyblock::dist::detail {
+
+using core::NodeId;
+using linalg::TiledMatrix;
+using vmpi::Payload;
+using vmpi::RankContext;
+
+/// Per-rank working state: owned tiles plus a cache of received tiles.
+class TileStore {
+ public:
+  TileStore(const TiledMatrix& input, const core::Distribution& distribution,
+            int rank, bool lower_only)
+      : t_(input.tiles()), nb_(input.tile_size()) {
+    for (std::int64_t i = 0; i < t_; ++i) {
+      const std::int64_t j_end = lower_only ? i + 1 : t_;
+      for (std::int64_t j = 0; j < j_end; ++j) {
+        if (distribution.owner(i, j) != rank) continue;
+        const auto tile = input.tile(i, j);
+        tiles_.emplace(key(i, j), Payload(tile.begin(), tile.end()));
+      }
+    }
+  }
+
+  [[nodiscard]] std::int64_t key(std::int64_t i, std::int64_t j) const {
+    return i * t_ + j;
+  }
+  [[nodiscard]] bool has(std::int64_t i, std::int64_t j) const {
+    return tiles_.contains(key(i, j));
+  }
+  Payload& get(std::int64_t i, std::int64_t j) { return tiles_.at(key(i, j)); }
+  void put(std::int64_t i, std::int64_t j, Payload data) {
+    tiles_.emplace(key(i, j), std::move(data));
+  }
+  [[nodiscard]] const std::unordered_map<std::int64_t, Payload>& all() const {
+    return tiles_;
+  }
+  [[nodiscard]] std::int64_t nb() const { return nb_; }
+
+ private:
+  std::int64_t t_;
+  std::int64_t nb_;
+  std::unordered_map<std::int64_t, Payload> tiles_;
+};
+
+/// Collects distinct destination ranks, excluding the sender.
+class DestSet {
+ public:
+  explicit DestSet(int self) : self_(self) {}
+  void add(NodeId node) {
+    if (node == self_) return;
+    if (std::find(dests_.begin(), dests_.end(), node) == dests_.end())
+      dests_.push_back(node);
+  }
+  [[nodiscard]] const std::vector<NodeId>& dests() const { return dests_; }
+
+ private:
+  int self_;
+  std::vector<NodeId> dests_;
+};
+
+/// Fetches tile (i, j): the local copy if owned, the cached received copy,
+/// or blocks on recv from the owner (exactly one recv per needed tile).
+inline Payload& obtain(TileStore& store, RankContext& ctx,
+                       const core::Distribution& distribution, std::int64_t i,
+                       std::int64_t j) {
+  if (!store.has(i, j)) {
+    store.put(i, j, ctx.recv(static_cast<int>(distribution.owner(i, j)),
+                             store.key(i, j)));
+  }
+  return store.get(i, j);
+}
+
+/// Gathers all owned tiles to rank 0 and assembles the factored matrix.
+/// Gather tags sit at [t*t, 2*t*t).
+void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
+                    const core::Distribution& distribution, bool lower_only,
+                    TiledMatrix& out, std::mutex& out_mutex);
+
+/// One rank's share of the right-looking LU factorization (tile tags in
+/// [0, t*t)).  On return the rank's owned tiles hold their final values.
+void lu_factorize_rank(RankContext& ctx, TileStore& store,
+                       const core::Distribution& distribution, std::int64_t t,
+                       std::int64_t nb, std::atomic<bool>& ok);
+
+/// Same for the lower Cholesky factorization.
+void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
+                             const core::Distribution& distribution,
+                             std::int64_t t, std::int64_t nb,
+                             std::atomic<bool>& ok);
+
+}  // namespace anyblock::dist::detail

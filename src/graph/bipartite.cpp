@@ -1,0 +1,65 @@
+#include "graph/bipartite.hpp"
+
+namespace anyblock::graph {
+
+BipartiteGraph::BipartiteGraph(std::size_t left, std::size_t right)
+    : left_adj_(left), right_count_(right) {}
+
+void BipartiteGraph::add_edge(std::size_t left_vertex,
+                              std::size_t right_vertex) {
+  left_adj_[left_vertex].push_back(static_cast<std::uint32_t>(right_vertex));
+  ++edge_count_;
+}
+
+Matching greedy_matching(const BipartiteGraph& graph) {
+  Matching m;
+  m.match_left.assign(graph.left_count(), Matching::kUnmatched);
+  m.match_right.assign(graph.right_count(), Matching::kUnmatched);
+  for (std::size_t u = 0; u < graph.left_count(); ++u) {
+    for (const std::uint32_t v : graph.neighbors(u)) {
+      if (m.match_right[v] == Matching::kUnmatched) {
+        m.match_left[u] = static_cast<std::int32_t>(v);
+        m.match_right[v] = static_cast<std::int32_t>(u);
+        ++m.size;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+bool is_valid_matching(const BipartiteGraph& graph, const Matching& m) {
+  if (m.match_left.size() != graph.left_count()) return false;
+  if (m.match_right.size() != graph.right_count()) return false;
+  std::size_t counted = 0;
+  for (std::size_t u = 0; u < graph.left_count(); ++u) {
+    const std::int32_t v = m.match_left[u];
+    if (v == Matching::kUnmatched) continue;
+    if (v < 0 || static_cast<std::size_t>(v) >= graph.right_count())
+      return false;
+    if (m.match_right[static_cast<std::size_t>(v)] !=
+        static_cast<std::int32_t>(u))
+      return false;
+    bool edge_exists = false;
+    for (const std::uint32_t w : graph.neighbors(u)) {
+      if (w == static_cast<std::uint32_t>(v)) {
+        edge_exists = true;
+        break;
+      }
+    }
+    if (!edge_exists) return false;
+    ++counted;
+  }
+  for (std::size_t v = 0; v < graph.right_count(); ++v) {
+    const std::int32_t u = m.match_right[v];
+    if (u == Matching::kUnmatched) continue;
+    if (u < 0 || static_cast<std::size_t>(u) >= graph.left_count())
+      return false;
+    if (m.match_left[static_cast<std::size_t>(u)] !=
+        static_cast<std::int32_t>(v))
+      return false;
+  }
+  return counted == m.size;
+}
+
+}  // namespace anyblock::graph

@@ -1,0 +1,55 @@
+// Bipartite graph container used by the GCR&M matching phases.
+//
+// Left vertices are pattern cells, right vertices are node duplicates
+// (paper, Section V-A, second phase).  The container stores adjacency as a
+// CSR-like structure built incrementally; edges can be added in any order
+// before the first matching call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anyblock::graph {
+
+class BipartiteGraph {
+ public:
+  /// Creates a graph with `left` and `right` vertices and no edges.
+  BipartiteGraph(std::size_t left, std::size_t right);
+
+  void add_edge(std::size_t left_vertex, std::size_t right_vertex);
+
+  [[nodiscard]] std::size_t left_count() const { return left_adj_.size(); }
+  [[nodiscard]] std::size_t right_count() const { return right_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(
+      std::size_t left_vertex) const {
+    return left_adj_[left_vertex];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> left_adj_;
+  std::size_t right_count_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Result of a maximum-matching computation.
+struct Matching {
+  /// match_left[u] = matched right vertex, or kUnmatched.
+  std::vector<std::int32_t> match_left;
+  /// match_right[v] = matched left vertex, or kUnmatched.
+  std::vector<std::int32_t> match_right;
+  std::size_t size = 0;
+
+  static constexpr std::int32_t kUnmatched = -1;
+};
+
+/// Simple greedy matching (first free neighbor); used as a baseline and to
+/// warm-start Hopcroft-Karp.
+Matching greedy_matching(const BipartiteGraph& graph);
+
+/// Verifies that `m` is a valid matching of `graph` (consistency of the two
+/// arrays, every matched pair is an edge).  Used by tests.
+bool is_valid_matching(const BipartiteGraph& graph, const Matching& m);
+
+}  // namespace anyblock::graph

@@ -1,0 +1,93 @@
+#include "graph/hopcroft_karp.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace anyblock::graph {
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+class HopcroftKarpSolver {
+ public:
+  HopcroftKarpSolver(const BipartiteGraph& graph, Matching m)
+      : graph_(graph),
+        matching_(std::move(m)),
+        dist_(graph.left_count()),
+        queue_(graph.left_count()) {}
+
+  Matching solve() {
+    while (bfs_layers()) {
+      for (std::size_t u = 0; u < graph_.left_count(); ++u) {
+        if (matching_.match_left[u] == Matching::kUnmatched && dfs_augment(u))
+          ++matching_.size;
+      }
+    }
+    return std::move(matching_);
+  }
+
+ private:
+  /// Builds layered distances from all free left vertices.  Returns true if
+  /// some augmenting path exists.
+  bool bfs_layers() {
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    for (std::size_t u = 0; u < graph_.left_count(); ++u) {
+      if (matching_.match_left[u] == Matching::kUnmatched) {
+        dist_[u] = 0;
+        queue_[tail++] = static_cast<std::uint32_t>(u);
+      } else {
+        dist_[u] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (head < tail) {
+      const std::uint32_t u = queue_[head++];
+      for (const std::uint32_t v : graph_.neighbors(u)) {
+        const std::int32_t next = matching_.match_right[v];
+        if (next == Matching::kUnmatched) {
+          found_free_right = true;
+        } else if (dist_[static_cast<std::size_t>(next)] == kInf) {
+          dist_[static_cast<std::size_t>(next)] = dist_[u] + 1;
+          queue_[tail++] = static_cast<std::uint32_t>(next);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  /// Finds one augmenting path from `u` along the BFS layers.
+  bool dfs_augment(std::size_t u) {
+    for (const std::uint32_t v : graph_.neighbors(u)) {
+      const std::int32_t next = matching_.match_right[v];
+      const bool advance =
+          next == Matching::kUnmatched ||
+          (dist_[static_cast<std::size_t>(next)] == dist_[u] + 1 &&
+           dfs_augment(static_cast<std::size_t>(next)));
+      if (advance) {
+        matching_.match_left[u] = static_cast<std::int32_t>(v);
+        matching_.match_right[v] = static_cast<std::int32_t>(u);
+        return true;
+      }
+    }
+    dist_[u] = kInf;  // dead end: prune this vertex for the current phase
+    return false;
+  }
+
+  const BipartiteGraph& graph_;
+  Matching matching_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint32_t> queue_;
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& graph) {
+  return hopcroft_karp(graph, greedy_matching(graph));
+}
+
+Matching hopcroft_karp(const BipartiteGraph& graph, Matching initial) {
+  return HopcroftKarpSolver(graph, std::move(initial)).solve();
+}
+
+}  // namespace anyblock::graph

@@ -1,0 +1,20 @@
+// Hopcroft-Karp maximum bipartite matching, O(E * sqrt(V)).
+//
+// GCR&M (paper, Algorithm 1, lines 11-12) relies on two maximum-matching
+// computations between pattern cells and node duplicates; pattern sizes go
+// up to r = 6*sqrt(P) so the graphs stay small (thousands of vertices), but
+// the search driver runs the algorithm tens of thousands of times (r sweep
+// x 100 seeds x P sweep), which makes the sqrt(V) factor worthwhile.
+#pragma once
+
+#include "graph/bipartite.hpp"
+
+namespace anyblock::graph {
+
+/// Computes a maximum matching of `graph`.
+Matching hopcroft_karp(const BipartiteGraph& graph);
+
+/// Extends an existing valid matching to maximum cardinality (warm start).
+Matching hopcroft_karp(const BipartiteGraph& graph, Matching initial);
+
+}  // namespace anyblock::graph

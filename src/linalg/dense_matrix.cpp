@@ -1,0 +1,48 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anyblock::linalg {
+
+DenseMatrix::DenseMatrix(std::int64_t rows, std::int64_t cols, double fill)
+    : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0)
+    throw std::invalid_argument("matrix dimensions must be non-negative");
+  data_.assign(static_cast<std::size_t>(rows * cols), fill);
+}
+
+double DenseMatrix::norm() const {
+  double sum = 0.0;
+  for (const double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+void DenseMatrix::subtract(const DenseMatrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("subtract: dimension mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.cols_ != b.rows_)
+    throw std::invalid_argument("multiply: dimension mismatch");
+  DenseMatrix c(a.rows_, b.cols_);
+  for (std::int64_t i = 0; i < a.rows_; ++i) {
+    for (std::int64_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::int64_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::int64_t i = 0; i < rows_; ++i)
+    for (std::int64_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+}  // namespace anyblock::linalg

@@ -1,0 +1,49 @@
+// Dense row-major matrix used for test references and residual checks.
+//
+// The production data structure is TiledMatrix; DenseMatrix exists so the
+// distributed and task-based paths can be validated against straightforward
+// triple-loop linear algebra.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anyblock::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::int64_t rows, std::int64_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  [[nodiscard]] double operator()(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const;
+
+  /// this := this - other (dimensions must agree).
+  void subtract(const DenseMatrix& other);
+
+  /// Naive O(n^3) product (reference only).
+  [[nodiscard]] static DenseMatrix multiply(const DenseMatrix& a,
+                                            const DenseMatrix& b);
+
+  [[nodiscard]] DenseMatrix transposed() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace anyblock::linalg

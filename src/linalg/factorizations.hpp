@@ -1,0 +1,32 @@
+// Sequential right-looking tiled factorizations.
+//
+// These are the single-node references the distributed (vmpi) and simulated
+// executions are validated against; their loop structure is exactly the
+// task DAG described in Section III of the paper.
+#pragma once
+
+#include "linalg/tiled_matrix.hpp"
+#include "linalg/tiled_panel.hpp"
+
+namespace anyblock::linalg {
+
+/// In-place tiled LU without pivoting: A -> L\U across the tile grid.
+/// Returns false on a failed tile factorization (near-singular pivot).
+bool tiled_lu_nopiv(TiledMatrix& a);
+
+/// In-place tiled lower Cholesky on the lower triangle of A; tiles strictly
+/// above the diagonal are not referenced.  Returns false if not positive
+/// definite.
+bool tiled_cholesky(TiledMatrix& a);
+
+/// Tiled SYRK: C := C - A * A^T on the lower triangle of C, with A a
+/// rectangular t x k tile panel (C is t x t).  The symmetric update at the
+/// heart of the SBC/GCR&M communication analysis.
+void tiled_syrk(const TiledPanel& a, TiledMatrix& c);
+
+/// Tiled GEMM: C := C + A * B with A of t x k tiles and B of k x t (C is
+/// t x t) — the non-symmetric counterpart, whose communication bound the
+/// paper's Section II-A survey builds on.
+void tiled_gemm(const TiledPanel& a, const TiledPanel& b, TiledMatrix& c);
+
+}  // namespace anyblock::linalg

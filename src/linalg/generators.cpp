@@ -1,0 +1,41 @@
+#include "linalg/generators.hpp"
+
+namespace anyblock::linalg {
+
+DenseMatrix random_matrix(std::int64_t n, Rng& rng) {
+  DenseMatrix m(n, n);
+  for (double& v : m.data()) v = 2.0 * rng.uniform() - 1.0;
+  return m;
+}
+
+DenseMatrix diag_dominant_matrix(std::int64_t n, Rng& rng) {
+  DenseMatrix m = random_matrix(n, rng);
+  for (std::int64_t i = 0; i < n; ++i) m(i, i) += static_cast<double>(n);
+  return m;
+}
+
+DenseMatrix spd_matrix(std::int64_t n, Rng& rng) {
+  DenseMatrix m(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const double v = 2.0 * rng.uniform() - 1.0;
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+    m(i, i) += static_cast<double>(n);
+  }
+  return m;
+}
+
+TiledMatrix tiled_diag_dominant(std::int64_t tiles, std::int64_t tile_size,
+                                Rng& rng) {
+  return TiledMatrix::from_dense(diag_dominant_matrix(tiles * tile_size, rng),
+                                 tile_size);
+}
+
+TiledMatrix tiled_spd(std::int64_t tiles, std::int64_t tile_size, Rng& rng) {
+  return TiledMatrix::from_dense(spd_matrix(tiles * tile_size, rng),
+                                 tile_size);
+}
+
+}  // namespace anyblock::linalg

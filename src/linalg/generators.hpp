@@ -1,0 +1,33 @@
+// Deterministic test-matrix generators.
+//
+// The paper experiments on randomly generated matrices; LU here runs
+// without pivoting (as in Chameleon's getrf_nopiv path), so generators
+// produce diagonally dominant matrices to keep the factorizations
+// well-posed (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/tiled_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::linalg {
+
+/// Uniform entries in [-1, 1].
+DenseMatrix random_matrix(std::int64_t n, Rng& rng);
+
+/// Random entries with the diagonal shifted by +n: strictly diagonally
+/// dominant, safe for LU without pivoting.
+DenseMatrix diag_dominant_matrix(std::int64_t n, Rng& rng);
+
+/// Symmetric random entries with the diagonal shifted by +n: symmetric
+/// positive definite (dominance implies PD for symmetric matrices).
+DenseMatrix spd_matrix(std::int64_t n, Rng& rng);
+
+/// Tiled variants (dimension = tiles * tile_size).
+TiledMatrix tiled_diag_dominant(std::int64_t tiles, std::int64_t tile_size,
+                                Rng& rng);
+TiledMatrix tiled_spd(std::int64_t tiles, std::int64_t tile_size, Rng& rng);
+
+}  // namespace anyblock::linalg

@@ -1,0 +1,261 @@
+#include "linalg/kernels.hpp"
+
+#include <cmath>
+
+namespace anyblock::linalg {
+namespace {
+
+constexpr double kPivotTolerance = 1e-300;
+
+inline double elem(std::span<const double> m, std::int64_t nb, std::int64_t i,
+                   std::int64_t j, bool trans) {
+  return trans ? m[static_cast<std::size_t>(j * nb + i)]
+               : m[static_cast<std::size_t>(i * nb + j)];
+}
+
+}  // namespace
+
+void gemm(double alpha, std::span<const double> a, bool trans_a,
+          std::span<const double> b, bool trans_b, double beta,
+          std::span<double> c, std::int64_t nb) {
+  for (std::int64_t i = 0; i < nb; ++i) {
+    double* crow = c.data() + i * nb;
+    if (beta != 1.0) {
+      for (std::int64_t j = 0; j < nb; ++j) crow[j] *= beta;
+    }
+    for (std::int64_t k = 0; k < nb; ++k) {
+      const double aik = alpha * elem(a, nb, i, k, trans_a);
+      if (aik == 0.0) continue;
+      if (!trans_b) {
+        const double* brow = b.data() + k * nb;
+        for (std::int64_t j = 0; j < nb; ++j) crow[j] += aik * brow[j];
+      } else {
+        const double* bcol = b.data() + k;  // B^T row k = B column k
+        for (std::int64_t j = 0; j < nb; ++j) crow[j] += aik * bcol[j * nb];
+      }
+    }
+  }
+}
+
+void gemm_update(std::span<const double> a, std::span<const double> b,
+                 std::span<double> c, std::int64_t nb) {
+  // C -= A*B with the ikj loop order (stride-1 inner loop everywhere).
+  for (std::int64_t i = 0; i < nb; ++i) {
+    double* crow = c.data() + i * nb;
+    const double* arow = a.data() + i * nb;
+    for (std::int64_t k = 0; k < nb; ++k) {
+      const double aik = arow[k];
+      const double* brow = b.data() + k * nb;
+      for (std::int64_t j = 0; j < nb; ++j) crow[j] -= aik * brow[j];
+    }
+  }
+}
+
+void gemm_update_trans_b(std::span<const double> a, std::span<const double> b,
+                         std::span<double> c, std::int64_t nb) {
+  // C -= A*B^T: dot products of rows of A with rows of B.
+  for (std::int64_t i = 0; i < nb; ++i) {
+    const double* arow = a.data() + i * nb;
+    double* crow = c.data() + i * nb;
+    for (std::int64_t j = 0; j < nb; ++j) {
+      const double* brow = b.data() + j * nb;
+      double dot = 0.0;
+      for (std::int64_t k = 0; k < nb; ++k) dot += arow[k] * brow[k];
+      crow[j] -= dot;
+    }
+  }
+}
+
+void syrk_update_lower(std::span<const double> a, std::span<double> c,
+                       std::int64_t nb) {
+  for (std::int64_t i = 0; i < nb; ++i) {
+    const double* arow_i = a.data() + i * nb;
+    double* crow = c.data() + i * nb;
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const double* arow_j = a.data() + j * nb;
+      double dot = 0.0;
+      for (std::int64_t k = 0; k < nb; ++k) dot += arow_i[k] * arow_j[k];
+      crow[j] -= dot;
+    }
+  }
+}
+
+bool getrf_nopiv(std::span<double> a, std::int64_t nb) {
+  for (std::int64_t k = 0; k < nb; ++k) {
+    const double pivot = a[static_cast<std::size_t>(k * nb + k)];
+    if (std::abs(pivot) < kPivotTolerance) return false;
+    const double inv = 1.0 / pivot;
+    for (std::int64_t i = k + 1; i < nb; ++i) {
+      double* row_i = a.data() + i * nb;
+      const double lik = row_i[k] * inv;
+      row_i[k] = lik;
+      const double* row_k = a.data() + k * nb;
+      for (std::int64_t j = k + 1; j < nb; ++j) row_i[j] -= lik * row_k[j];
+    }
+  }
+  return true;
+}
+
+bool potrf_lower(std::span<double> a, std::int64_t nb) {
+  for (std::int64_t j = 0; j < nb; ++j) {
+    double* row_j = a.data() + j * nb;
+    double djj = row_j[j];
+    for (std::int64_t k = 0; k < j; ++k) djj -= row_j[k] * row_j[k];
+    if (djj <= 0.0) return false;
+    const double ljj = std::sqrt(djj);
+    row_j[j] = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::int64_t i = j + 1; i < nb; ++i) {
+      double* row_i = a.data() + i * nb;
+      double lij = row_i[j];
+      for (std::int64_t k = 0; k < j; ++k) lij -= row_i[k] * row_j[k];
+      row_i[j] = lij * inv;
+    }
+  }
+  return true;
+}
+
+void trsm_right_upper(std::span<const double> u, std::span<double> b,
+                      std::int64_t nb) {
+  // Solve X * U = B row by row: x_j = (b_j - sum_{k<j} x_k u_kj) / u_jj.
+  for (std::int64_t i = 0; i < nb; ++i) {
+    double* brow = b.data() + i * nb;
+    for (std::int64_t j = 0; j < nb; ++j) {
+      double x = brow[j];
+      for (std::int64_t k = 0; k < j; ++k)
+        x -= brow[k] * u[static_cast<std::size_t>(k * nb + j)];
+      brow[j] = x / u[static_cast<std::size_t>(j * nb + j)];
+    }
+  }
+}
+
+void trsm_left_lower_unit(std::span<const double> l, std::span<double> b,
+                          std::int64_t nb) {
+  // Solve L * X = B with unit diagonal: x_i = b_i - sum_{k<i} l_ik x_k,
+  // processed by rows so the inner loop is stride-1 over columns.
+  for (std::int64_t i = 0; i < nb; ++i) {
+    double* brow_i = b.data() + i * nb;
+    const double* lrow = l.data() + i * nb;
+    for (std::int64_t k = 0; k < i; ++k) {
+      const double lik = lrow[k];
+      if (lik == 0.0) continue;
+      const double* brow_k = b.data() + k * nb;
+      for (std::int64_t j = 0; j < nb; ++j) brow_i[j] -= lik * brow_k[j];
+    }
+  }
+}
+
+void trsm_right_lower_trans(std::span<const double> l, std::span<double> b,
+                            std::int64_t nb) {
+  // Solve X * L^T = B: x_j = (b_j - sum_{k<j} x_k l_jk) / l_jj.
+  for (std::int64_t i = 0; i < nb; ++i) {
+    double* brow = b.data() + i * nb;
+    for (std::int64_t j = 0; j < nb; ++j) {
+      double x = brow[j];
+      const double* lrow_j = l.data() + j * nb;
+      for (std::int64_t k = 0; k < j; ++k) x -= brow[k] * lrow_j[k];
+      brow[j] = x / lrow_j[j];
+    }
+  }
+}
+
+void gemv_update(std::span<const double> a, std::span<const double> x,
+                 std::span<double> y, std::int64_t nb) {
+  for (std::int64_t i = 0; i < nb; ++i) {
+    const double* row = a.data() + i * nb;
+    double dot = 0.0;
+    for (std::int64_t j = 0; j < nb; ++j) dot += row[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] -= dot;
+  }
+}
+
+void gemv_update_trans(std::span<const double> a, std::span<const double> x,
+                       std::span<double> y, std::int64_t nb) {
+  for (std::int64_t j = 0; j < nb; ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    if (xj == 0.0) continue;
+    const double* row = a.data() + j * nb;  // A^T column j = A row j
+    for (std::int64_t i = 0; i < nb; ++i)
+      y[static_cast<std::size_t>(i)] -= row[i] * xj;
+  }
+}
+
+void trsv_lower_unit(std::span<const double> a, std::span<double> x,
+                     std::int64_t nb) {
+  for (std::int64_t i = 0; i < nb; ++i) {
+    const double* row = a.data() + i * nb;
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < i; ++j) v -= row[j] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v;
+  }
+}
+
+void trsv_upper(std::span<const double> a, std::span<double> x,
+                std::int64_t nb) {
+  for (std::int64_t i = nb - 1; i >= 0; --i) {
+    const double* row = a.data() + i * nb;
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < nb; ++j)
+      v -= row[j] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v / row[i];
+  }
+}
+
+void trsv_lower(std::span<const double> a, std::span<double> x,
+                std::int64_t nb) {
+  for (std::int64_t i = 0; i < nb; ++i) {
+    const double* row = a.data() + i * nb;
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < i; ++j) v -= row[j] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v / row[i];
+  }
+}
+
+void trsv_lower_trans(std::span<const double> a, std::span<double> x,
+                      std::int64_t nb) {
+  // Solve L^T x = b: L^T(i, j) = L(j, i), upper triangular.
+  for (std::int64_t i = nb - 1; i >= 0; --i) {
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < nb; ++j)
+      v -= a[static_cast<std::size_t>(j * nb + i)] *
+           x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v / a[static_cast<std::size_t>(i * nb + i)];
+  }
+}
+
+double gemm_flops(std::int64_t nb) {
+  const double n = static_cast<double>(nb);
+  return 2.0 * n * n * n;
+}
+
+double syrk_flops(std::int64_t nb) {
+  const double n = static_cast<double>(nb);
+  return n * n * (n + 1.0);
+}
+
+double trsm_flops(std::int64_t nb) {
+  const double n = static_cast<double>(nb);
+  return n * n * n;
+}
+
+double getrf_flops(std::int64_t nb) {
+  const double n = static_cast<double>(nb);
+  return 2.0 / 3.0 * n * n * n;
+}
+
+double potrf_flops(std::int64_t nb) {
+  const double n = static_cast<double>(nb);
+  return n * n * n / 3.0;
+}
+
+double lu_total_flops(std::int64_t n) {
+  const double m = static_cast<double>(n);
+  return 2.0 / 3.0 * m * m * m;
+}
+
+double cholesky_total_flops(std::int64_t n) {
+  const double m = static_cast<double>(n);
+  return m * m * m / 3.0;
+}
+
+}  // namespace anyblock::linalg

@@ -1,0 +1,88 @@
+// Tile kernels: the task bodies of the tiled LU and Cholesky factorizations.
+//
+// All kernels operate on row-major nb x nb tiles passed as spans; each call
+// corresponds to exactly one task in the task-based execution model
+// (GETRF/TRSM/GEMM for LU; POTRF/TRSM/SYRK/GEMM for Cholesky).  These are
+// straightforward loop nests — the library's results depend on the task and
+// communication structure, not on BLAS micro-optimization (the paper uses
+// MKL; see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace anyblock::linalg {
+
+/// C := alpha * op(A) * op(B) + beta * C, all nb x nb row-major.
+void gemm(double alpha, std::span<const double> a, bool trans_a,
+          std::span<const double> b, bool trans_b, double beta,
+          std::span<double> c, std::int64_t nb);
+
+/// C := C - A * B (the LU trailing update).
+void gemm_update(std::span<const double> a, std::span<const double> b,
+                 std::span<double> c, std::int64_t nb);
+
+/// C := C - A * B^T (the Cholesky trailing update).
+void gemm_update_trans_b(std::span<const double> a, std::span<const double> b,
+                         std::span<double> c, std::int64_t nb);
+
+/// C := C - A * A^T on the lower triangle only (SYRK, Cholesky diagonal
+/// update).  The strict upper triangle of C is left untouched.
+void syrk_update_lower(std::span<const double> a, std::span<double> c,
+                       std::int64_t nb);
+
+/// In-place LU without pivoting: A -> L\U (unit lower below the diagonal,
+/// upper including the diagonal).  Returns false on a (near-)zero pivot.
+bool getrf_nopiv(std::span<double> a, std::int64_t nb);
+
+/// In-place lower Cholesky: the lower triangle of A becomes L.  The strict
+/// upper triangle is left untouched.  Returns false if A is not positive
+/// definite.
+bool potrf_lower(std::span<double> a, std::int64_t nb);
+
+/// B := B * U^{-1} with U the non-unit upper factor of a GETRF'd tile
+/// (LU column-panel solve).
+void trsm_right_upper(std::span<const double> u, std::span<double> b,
+                      std::int64_t nb);
+
+/// B := L^{-1} * B with L the unit lower factor of a GETRF'd tile
+/// (LU row-panel solve).
+void trsm_left_lower_unit(std::span<const double> l, std::span<double> b,
+                          std::int64_t nb);
+
+/// B := B * L^{-T} with L a non-unit lower Cholesky factor
+/// (Cholesky panel solve).
+void trsm_right_lower_trans(std::span<const double> l, std::span<double> b,
+                            std::int64_t nb);
+
+/// Vector kernels for the tiled triangular solves (one tile x one segment).
+/// y := y - A * x (A nb x nb, x/y length nb).
+void gemv_update(std::span<const double> a, std::span<const double> x,
+                 std::span<double> y, std::int64_t nb);
+/// y := y - A^T * x.
+void gemv_update_trans(std::span<const double> a, std::span<const double> x,
+                       std::span<double> y, std::int64_t nb);
+/// x := L^{-1} x with L the unit lower part of a packed LU tile.
+void trsv_lower_unit(std::span<const double> a, std::span<double> x,
+                     std::int64_t nb);
+/// x := U^{-1} x with U the upper part of a packed LU tile.
+void trsv_upper(std::span<const double> a, std::span<double> x,
+                std::int64_t nb);
+/// x := L^{-1} x with L a non-unit lower (Cholesky) tile.
+void trsv_lower(std::span<const double> a, std::span<double> x,
+                std::int64_t nb);
+/// x := L^{-T} x with L a non-unit lower (Cholesky) tile.
+void trsv_lower_trans(std::span<const double> a, std::span<double> x,
+                      std::int64_t nb);
+
+/// Flop counts used for GFlop/s reporting (LAPACK conventions).
+double gemm_flops(std::int64_t nb);
+double syrk_flops(std::int64_t nb);
+double trsm_flops(std::int64_t nb);
+double getrf_flops(std::int64_t nb);
+double potrf_flops(std::int64_t nb);
+/// Whole-factorization flop counts for an n x n matrix.
+double lu_total_flops(std::int64_t n);
+double cholesky_total_flops(std::int64_t n);
+
+}  // namespace anyblock::linalg

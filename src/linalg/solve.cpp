@@ -1,0 +1,98 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anyblock::linalg {
+namespace {
+
+void check_size(const TiledMatrix& m, const std::vector<double>& x) {
+  if (static_cast<std::int64_t>(x.size()) != m.dim())
+    throw std::invalid_argument("vector length must equal the matrix dim");
+}
+
+}  // namespace
+
+void forward_substitute_unit(const TiledMatrix& packed_lu,
+                             std::vector<double>& x) {
+  check_size(packed_lu, x);
+  const std::int64_t n = packed_lu.dim();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < i; ++j)
+      v -= packed_lu.at(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v;  // unit diagonal
+  }
+}
+
+void backward_substitute(const TiledMatrix& packed_lu,
+                         std::vector<double>& x) {
+  check_size(packed_lu, x);
+  const std::int64_t n = packed_lu.dim();
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < n; ++j)
+      v -= packed_lu.at(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v / packed_lu.at(i, i);
+  }
+}
+
+void forward_substitute(const TiledMatrix& cholesky_l,
+                        std::vector<double>& x) {
+  check_size(cholesky_l, x);
+  const std::int64_t n = cholesky_l.dim();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < i; ++j)
+      v -= cholesky_l.at(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v / cholesky_l.at(i, i);
+  }
+}
+
+void backward_substitute_trans(const TiledMatrix& cholesky_l,
+                               std::vector<double>& x) {
+  check_size(cholesky_l, x);
+  const std::int64_t n = cholesky_l.dim();
+  // Solve L^T y = x: L^T(i, j) = L(j, i), upper triangular.
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    double v = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < n; ++j)
+      v -= cholesky_l.at(j, i) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = v / cholesky_l.at(i, i);
+  }
+}
+
+std::vector<double> lu_solve(const TiledMatrix& packed_lu,
+                             std::vector<double> b) {
+  forward_substitute_unit(packed_lu, b);
+  backward_substitute(packed_lu, b);
+  return b;
+}
+
+std::vector<double> cholesky_solve(const TiledMatrix& cholesky_l,
+                                   std::vector<double> b) {
+  forward_substitute(cholesky_l, b);
+  backward_substitute_trans(cholesky_l, b);
+  return b;
+}
+
+double solve_residual(const DenseMatrix& a, const std::vector<double>& x,
+                      const std::vector<double>& b) {
+  if (a.rows() != a.cols() ||
+      static_cast<std::int64_t>(x.size()) != a.cols() ||
+      x.size() != b.size())
+    throw std::invalid_argument("solve_residual: dimension mismatch");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    double axi = 0.0;
+    for (std::int64_t j = 0; j < a.cols(); ++j)
+      axi += a(i, j) * x[static_cast<std::size_t>(j)];
+    const double r = axi - b[static_cast<std::size_t>(i)];
+    num += r * r;
+    den += b[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+  }
+  return std::sqrt(num) / std::sqrt(den);
+}
+
+}  // namespace anyblock::linalg

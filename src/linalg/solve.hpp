@@ -1,0 +1,41 @@
+// Tiled triangular solves: turn the factorizations into actual solvers.
+//
+// After LU (A = L*U, packed) or Cholesky (A = L*L^T), these routines solve
+// A x = b by forward/backward substitution over the tile grid — the
+// operation end users run the factorization *for*, and the natural
+// end-to-end check (||Ax - b|| / ||b||) used by the examples and tests.
+#pragma once
+
+#include <vector>
+
+#include "linalg/tiled_matrix.hpp"
+
+namespace anyblock::linalg {
+
+/// x := L^{-1} x with L the *unit* lower factor of a packed LU matrix.
+void forward_substitute_unit(const TiledMatrix& packed_lu,
+                             std::vector<double>& x);
+
+/// x := U^{-1} x with U the upper factor of a packed LU matrix.
+void backward_substitute(const TiledMatrix& packed_lu, std::vector<double>& x);
+
+/// x := L^{-1} x with L a non-unit lower Cholesky factor.
+void forward_substitute(const TiledMatrix& cholesky_l, std::vector<double>& x);
+
+/// x := L^{-T} x with L a non-unit lower Cholesky factor.
+void backward_substitute_trans(const TiledMatrix& cholesky_l,
+                               std::vector<double>& x);
+
+/// Solves A x = b given the packed LU factors; returns x.
+std::vector<double> lu_solve(const TiledMatrix& packed_lu,
+                             std::vector<double> b);
+
+/// Solves A x = b given the lower Cholesky factor; returns x.
+std::vector<double> cholesky_solve(const TiledMatrix& cholesky_l,
+                                   std::vector<double> b);
+
+/// ||A x - b||_2 / ||b||_2 for a dense A (end-to-end solver check).
+double solve_residual(const DenseMatrix& a, const std::vector<double>& x,
+                      const std::vector<double>& b);
+
+}  // namespace anyblock::linalg

@@ -1,0 +1,49 @@
+#include "linalg/tiled_matrix.hpp"
+
+#include <stdexcept>
+
+namespace anyblock::linalg {
+
+TiledMatrix::TiledMatrix(std::int64_t tiles, std::int64_t tile_size)
+    : tiles_(tiles), nb_(tile_size) {
+  if (tiles <= 0 || tile_size <= 0)
+    throw std::invalid_argument("tile grid and tile size must be positive");
+  data_.assign(static_cast<std::size_t>(tiles * tiles * tile_size * tile_size),
+               0.0);
+}
+
+double& TiledMatrix::at(std::int64_t row, std::int64_t col) {
+  const std::int64_t ti = row / nb_;
+  const std::int64_t tj = col / nb_;
+  return data_[tile_offset(ti, tj) +
+               static_cast<std::size_t>((row % nb_) * nb_ + (col % nb_))];
+}
+
+double TiledMatrix::at(std::int64_t row, std::int64_t col) const {
+  const std::int64_t ti = row / nb_;
+  const std::int64_t tj = col / nb_;
+  return data_[tile_offset(ti, tj) +
+               static_cast<std::size_t>((row % nb_) * nb_ + (col % nb_))];
+}
+
+DenseMatrix TiledMatrix::to_dense() const {
+  DenseMatrix dense(dim(), dim());
+  for (std::int64_t i = 0; i < dim(); ++i)
+    for (std::int64_t j = 0; j < dim(); ++j) dense(i, j) = at(i, j);
+  return dense;
+}
+
+TiledMatrix TiledMatrix::from_dense(const DenseMatrix& dense,
+                                    std::int64_t tile_size) {
+  if (dense.rows() != dense.cols())
+    throw std::invalid_argument("from_dense: matrix must be square");
+  if (dense.rows() % tile_size != 0)
+    throw std::invalid_argument("from_dense: dimension not tile-divisible");
+  TiledMatrix tiled(dense.rows() / tile_size, tile_size);
+  for (std::int64_t i = 0; i < dense.rows(); ++i)
+    for (std::int64_t j = 0; j < dense.cols(); ++j)
+      tiled.at(i, j) = dense(i, j);
+  return tiled;
+}
+
+}  // namespace anyblock::linalg

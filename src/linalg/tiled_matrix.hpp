@@ -1,0 +1,56 @@
+// Square tiled matrix: t x t tiles of nb x nb doubles, tile-contiguous.
+//
+// This mirrors the storage Chameleon operates on: each tile is a contiguous
+// nb*nb block (row-major inside the tile), so a tile is exactly the unit of
+// computation (one kernel call) and of communication (one message).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace anyblock::linalg {
+
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+
+  /// A (t*nb) x (t*nb) matrix of t x t tiles, zero-initialized.
+  TiledMatrix(std::int64_t tiles, std::int64_t tile_size);
+
+  [[nodiscard]] std::int64_t tiles() const { return tiles_; }
+  [[nodiscard]] std::int64_t tile_size() const { return nb_; }
+  [[nodiscard]] std::int64_t dim() const { return tiles_ * nb_; }
+  [[nodiscard]] std::int64_t tile_elems() const { return nb_ * nb_; }
+
+  [[nodiscard]] std::span<double> tile(std::int64_t i, std::int64_t j) {
+    return {data_.data() + tile_offset(i, j),
+            static_cast<std::size_t>(tile_elems())};
+  }
+  [[nodiscard]] std::span<const double> tile(std::int64_t i,
+                                             std::int64_t j) const {
+    return {data_.data() + tile_offset(i, j),
+            static_cast<std::size_t>(tile_elems())};
+  }
+
+  /// Scalar element access through the tiled layout (reference/test use).
+  [[nodiscard]] double& at(std::int64_t row, std::int64_t col);
+  [[nodiscard]] double at(std::int64_t row, std::int64_t col) const;
+
+  [[nodiscard]] DenseMatrix to_dense() const;
+  static TiledMatrix from_dense(const DenseMatrix& dense,
+                                std::int64_t tile_size);
+
+ private:
+  [[nodiscard]] std::size_t tile_offset(std::int64_t i, std::int64_t j) const {
+    return static_cast<std::size_t>((i * tiles_ + j) * tile_elems());
+  }
+
+  std::int64_t tiles_ = 0;
+  std::int64_t nb_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace anyblock::linalg

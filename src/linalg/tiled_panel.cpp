@@ -1,0 +1,46 @@
+#include "linalg/tiled_panel.hpp"
+
+#include <stdexcept>
+
+namespace anyblock::linalg {
+
+TiledPanel::TiledPanel(std::int64_t tile_rows, std::int64_t tile_cols,
+                       std::int64_t tile_size)
+    : tile_rows_(tile_rows), tile_cols_(tile_cols), nb_(tile_size) {
+  if (tile_rows <= 0 || tile_cols <= 0 || tile_size <= 0)
+    throw std::invalid_argument("panel dimensions must be positive");
+  data_.assign(
+      static_cast<std::size_t>(tile_rows * tile_cols * tile_size * tile_size),
+      0.0);
+}
+
+double& TiledPanel::at(std::int64_t row, std::int64_t col) {
+  return data_[offset(row / nb_, col / nb_) +
+               static_cast<std::size_t>((row % nb_) * nb_ + (col % nb_))];
+}
+
+double TiledPanel::at(std::int64_t row, std::int64_t col) const {
+  return data_[offset(row / nb_, col / nb_) +
+               static_cast<std::size_t>((row % nb_) * nb_ + (col % nb_))];
+}
+
+DenseMatrix TiledPanel::to_dense() const {
+  DenseMatrix dense(rows(), cols());
+  for (std::int64_t i = 0; i < rows(); ++i)
+    for (std::int64_t j = 0; j < cols(); ++j) dense(i, j) = at(i, j);
+  return dense;
+}
+
+TiledPanel TiledPanel::from_dense(const DenseMatrix& dense,
+                                  std::int64_t tile_size) {
+  if (dense.rows() % tile_size != 0 || dense.cols() % tile_size != 0)
+    throw std::invalid_argument("from_dense: dimensions not tile-divisible");
+  TiledPanel panel(dense.rows() / tile_size, dense.cols() / tile_size,
+                   tile_size);
+  for (std::int64_t i = 0; i < dense.rows(); ++i)
+    for (std::int64_t j = 0; j < dense.cols(); ++j)
+      panel.at(i, j) = dense(i, j);
+  return panel;
+}
+
+}  // namespace anyblock::linalg

@@ -1,0 +1,58 @@
+// Rectangular tiled matrix: tr x tc tiles of nb x nb doubles.
+//
+// Used as the input panel A of the SYRK kernel C := C - A*A^T (paper,
+// Sections II-A and V: SYRK is the second symmetric operation SBC — and
+// hence GCR&M — was designed for).  TiledMatrix stays square because the
+// factorizations only ever see square grids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace anyblock::linalg {
+
+class TiledPanel {
+ public:
+  TiledPanel() = default;
+  TiledPanel(std::int64_t tile_rows, std::int64_t tile_cols,
+             std::int64_t tile_size);
+
+  [[nodiscard]] std::int64_t tile_rows() const { return tile_rows_; }
+  [[nodiscard]] std::int64_t tile_cols() const { return tile_cols_; }
+  [[nodiscard]] std::int64_t tile_size() const { return nb_; }
+  [[nodiscard]] std::int64_t rows() const { return tile_rows_ * nb_; }
+  [[nodiscard]] std::int64_t cols() const { return tile_cols_ * nb_; }
+  [[nodiscard]] std::int64_t tile_elems() const { return nb_ * nb_; }
+
+  [[nodiscard]] std::span<double> tile(std::int64_t i, std::int64_t j) {
+    return {data_.data() + offset(i, j),
+            static_cast<std::size_t>(tile_elems())};
+  }
+  [[nodiscard]] std::span<const double> tile(std::int64_t i,
+                                             std::int64_t j) const {
+    return {data_.data() + offset(i, j),
+            static_cast<std::size_t>(tile_elems())};
+  }
+
+  [[nodiscard]] double& at(std::int64_t row, std::int64_t col);
+  [[nodiscard]] double at(std::int64_t row, std::int64_t col) const;
+
+  [[nodiscard]] DenseMatrix to_dense() const;
+  static TiledPanel from_dense(const DenseMatrix& dense,
+                               std::int64_t tile_size);
+
+ private:
+  [[nodiscard]] std::size_t offset(std::int64_t i, std::int64_t j) const {
+    return static_cast<std::size_t>((i * tile_cols_ + j) * tile_elems());
+  }
+
+  std::int64_t tile_rows_ = 0;
+  std::int64_t tile_cols_ = 0;
+  std::int64_t nb_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace anyblock::linalg

@@ -1,0 +1,47 @@
+#include "linalg/verify.hpp"
+
+namespace anyblock::linalg {
+
+DenseMatrix extract_unit_lower(const TiledMatrix& factored) {
+  const std::int64_t n = factored.dim();
+  DenseMatrix l(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    l(i, i) = 1.0;
+    for (std::int64_t j = 0; j < i; ++j) l(i, j) = factored.at(i, j);
+  }
+  return l;
+}
+
+DenseMatrix extract_upper(const TiledMatrix& factored) {
+  const std::int64_t n = factored.dim();
+  DenseMatrix u(n, n);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i; j < n; ++j) u(i, j) = factored.at(i, j);
+  return u;
+}
+
+DenseMatrix extract_lower(const TiledMatrix& factored) {
+  const std::int64_t n = factored.dim();
+  DenseMatrix l(n, n);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j <= i; ++j) l(i, j) = factored.at(i, j);
+  return l;
+}
+
+double lu_residual(const DenseMatrix& original, const TiledMatrix& factored) {
+  DenseMatrix product =
+      DenseMatrix::multiply(extract_unit_lower(factored),
+                            extract_upper(factored));
+  product.subtract(original);
+  return product.norm() / original.norm();
+}
+
+double cholesky_residual(const DenseMatrix& original,
+                         const TiledMatrix& factored) {
+  const DenseMatrix l = extract_lower(factored);
+  DenseMatrix product = DenseMatrix::multiply(l, l.transposed());
+  product.subtract(original);
+  return product.norm() / original.norm();
+}
+
+}  // namespace anyblock::linalg

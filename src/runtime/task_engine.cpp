@@ -1,0 +1,160 @@
+#include "runtime/task_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anyblock::runtime {
+
+TaskEngine::TaskEngine(int workers) {
+  if (workers < 1) throw std::invalid_argument("need at least one worker");
+  epoch_ = std::chrono::steady_clock::now();
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+TaskEngine::~TaskEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+HandleId TaskEngine::register_data() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  handles_.emplace_back();
+  return static_cast<HandleId>(handles_.size()) - 1;
+}
+
+void TaskEngine::add_edge_locked(std::int64_t pred, std::int64_t succ) {
+  if (pred < 0 || done_[static_cast<std::size_t>(pred)]) return;
+  tasks_[static_cast<std::size_t>(pred)].successors.push_back(succ);
+  ++tasks_[static_cast<std::size_t>(succ)].deps_remaining;
+  ++stats_.dependency_edges;
+}
+
+void TaskEngine::submit(std::function<void()> body,
+                        std::vector<Access> accesses, int priority,
+                        std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto task_id = static_cast<std::int64_t>(tasks_.size());
+  Task task;
+  task.body = std::move(body);
+  task.name = std::move(name);
+  task.priority = priority;
+  task.sequence = task_id;
+  tasks_.push_back(std::move(task));
+  done_.push_back(false);
+  ++pending_;
+
+  for (const Access& access : accesses) {
+    if (access.handle < 0 ||
+        access.handle >= static_cast<HandleId>(handles_.size()))
+      throw std::out_of_range("unknown data handle");
+    HandleState& state = handles_[static_cast<std::size_t>(access.handle)];
+    if (access.mode == AccessMode::kRead) {
+      // RAW: run after the last writer.
+      add_edge_locked(state.last_writer, task_id);
+      state.readers_since_write.push_back(task_id);
+    } else {
+      // WAW on the last writer, WAR on every reader since then.
+      add_edge_locked(state.last_writer, task_id);
+      for (const std::int64_t reader : state.readers_since_write) {
+        if (reader != task_id) add_edge_locked(reader, task_id);
+      }
+      state.readers_since_write.clear();
+      state.last_writer = task_id;
+    }
+  }
+
+  if (tasks_[static_cast<std::size_t>(task_id)].deps_remaining == 0)
+    make_ready_locked(task_id);
+}
+
+void TaskEngine::make_ready_locked(std::int64_t task_id) {
+  ready_.push_back(task_id);
+  std::push_heap(ready_.begin(), ready_.end(),
+                 [this](std::int64_t a, std::int64_t b) {
+                   const Task& ta = tasks_[static_cast<std::size_t>(a)];
+                   const Task& tb = tasks_[static_cast<std::size_t>(b)];
+                   if (ta.priority != tb.priority)
+                     return ta.priority < tb.priority;
+                   return ta.sequence > tb.sequence;  // FIFO within priority
+                 });
+  ready_cv_.notify_one();
+}
+
+void TaskEngine::worker_loop(int worker_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto heap_less = [this](std::int64_t a, std::int64_t b) {
+    const Task& ta = tasks_[static_cast<std::size_t>(a)];
+    const Task& tb = tasks_[static_cast<std::size_t>(b)];
+    if (ta.priority != tb.priority) return ta.priority < tb.priority;
+    return ta.sequence > tb.sequence;
+  };
+  while (true) {
+    ready_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    std::pop_heap(ready_.begin(), ready_.end(), heap_less);
+    const std::int64_t task_id = ready_.back();
+    ready_.pop_back();
+
+    ++running_;
+    stats_.peak_concurrency = std::max(stats_.peak_concurrency, running_);
+    // Move the body out so the task's captures die with this execution.
+    std::function<void()> body =
+        std::move(tasks_[static_cast<std::size_t>(task_id)].body);
+    const bool tracing = tracing_;
+    lock.unlock();
+    const auto started = std::chrono::steady_clock::now();
+    body();
+    const auto finished = std::chrono::steady_clock::now();
+    lock.lock();
+
+    if (tracing) {
+      trace_.push_back(
+          {tasks_[static_cast<std::size_t>(task_id)].name, worker_index,
+           std::chrono::duration<double>(started - epoch_).count(),
+           std::chrono::duration<double>(finished - epoch_).count()});
+    }
+    --running_;
+    ++stats_.tasks_executed;
+    done_[static_cast<std::size_t>(task_id)] = true;
+    for (const std::int64_t succ :
+         tasks_[static_cast<std::size_t>(task_id)].successors) {
+      if (--tasks_[static_cast<std::size_t>(succ)].deps_remaining == 0)
+        make_ready_locked(succ);
+    }
+    tasks_[static_cast<std::size_t>(task_id)].successors.clear();
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void TaskEngine::wait_all() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+EngineStats TaskEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TaskEngine::enable_tracing() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracing_ = true;
+}
+
+std::vector<TraceEvent> TaskEngine::take_trace() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.swap(trace_);
+  return out;
+}
+
+}  // namespace anyblock::runtime

@@ -1,0 +1,298 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace anyblock::sim {
+namespace {
+
+/// Scheduling priority: smaller key runs first.  Earlier iterations beat
+/// later ones; within an iteration, factorizations beat solves beat updates
+/// — keeping the critical path (the panel chain) moving.
+std::int64_t priority_key(const SimTask& task) {
+  int rank = 3;
+  switch (task.type) {
+    case TaskType::kLoad:
+    case TaskType::kGetrf:
+    case TaskType::kPotrf: rank = 0; break;
+    case TaskType::kTrsm: rank = 1; break;
+    case TaskType::kSyrk: rank = 2; break;
+    case TaskType::kGemm: rank = 3; break;
+  }
+  return static_cast<std::int64_t>(task.l) * 4 + rank;
+}
+
+struct Event {
+  double time;
+  enum class Kind : std::uint8_t { kTaskFinish, kArrival } kind;
+  std::int32_t a;  ///< task id (finish) or instance id (arrival)
+  std::int32_t b;  ///< destination node (arrival); group index
+  std::uint64_t sequence;  ///< deterministic FIFO tie-break
+};
+
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    return x.sequence > y.sequence;
+  }
+};
+
+struct ReadyEntry {
+  std::int64_t key;
+  std::int32_t task;
+};
+
+struct ReadyLater {
+  bool operator()(const ReadyEntry& x, const ReadyEntry& y) const {
+    if (x.key != y.key) return x.key > y.key;
+    return x.task > y.task;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(Workload workload, const MachineConfig& machine)
+      : work_(std::move(workload)),
+        machine_(machine),
+        free_workers_(static_cast<std::size_t>(machine.nodes),
+                      machine.workers_per_node),
+        ready_(static_cast<std::size_t>(machine.nodes)),
+        out_free_(static_cast<std::size_t>(machine.nodes), 0.0),
+        in_free_(static_cast<std::size_t>(machine.nodes), 0.0) {
+    report_.per_node.resize(static_cast<std::size_t>(machine.nodes));
+    if (machine.workers_per_node < 1)
+      throw std::invalid_argument("need at least one worker per node");
+    if (!machine.node_speed.empty()) {
+      if (machine.node_speed.size() !=
+          static_cast<std::size_t>(machine.nodes))
+        throw std::invalid_argument("node_speed must list every node");
+      for (const double speed : machine.node_speed) {
+        if (speed <= 0.0)
+          throw std::invalid_argument("node speeds must be positive");
+      }
+    }
+  }
+
+  SimReport run() {
+    // Seed: every task with no dependencies is ready at time zero.
+    for (std::size_t id = 0; id < work_.tasks.size(); ++id) {
+      const SimTask& task = work_.tasks[id];
+      if (task.node < 0 || task.node >= machine_.nodes)
+        throw std::invalid_argument("task node outside the machine");
+      if (task.deps == 0) enqueue_ready(static_cast<std::int32_t>(id), 0.0);
+    }
+
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      now_ = event.time;
+      if (event.kind == Event::Kind::kTaskFinish) {
+        on_task_finish(event.a);
+      } else {
+        on_arrival(event.a, event.b);
+      }
+    }
+
+    report_.makespan_seconds = now_;
+    report_.total_flops = work_.total_flops;
+    report_.tasks = work_.task_count();
+    return std::move(report_);
+  }
+
+ private:
+  void push_event(double time, Event::Kind kind, std::int32_t a,
+                  std::int32_t b) {
+    events_.push({time, kind, a, b, sequence_++});
+  }
+
+  /// A task became runnable at `time`: start it if a worker is free on its
+  /// node, otherwise park it in the node's priority queue.
+  void enqueue_ready(std::int32_t task_id, double time) {
+    const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+    auto& free = free_workers_[static_cast<std::size_t>(task.node)];
+    if (free > 0) {
+      --free;
+      start_task(task_id, time);
+    } else {
+      // FIFO ablation: readiness order replaces the critical-path key.
+      const std::int64_t key = machine_.priority_scheduling
+                                   ? priority_key(task)
+                                   : static_cast<std::int64_t>(ready_seq_++);
+      ready_[static_cast<std::size_t>(task.node)].push({key, task_id});
+    }
+  }
+
+  void start_task(std::int32_t task_id, double time) {
+    const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+    const double duration =
+        machine_.task_seconds(task.type) / machine_.speed_of(task.node);
+    auto& node = report_.per_node[static_cast<std::size_t>(task.node)];
+    node.busy_seconds += duration;
+    ++node.tasks;
+    push_event(time + duration, Event::Kind::kTaskFinish, task_id, 0);
+  }
+
+  void satisfy(std::int32_t task_id, double time) {
+    SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+    if (--task.deps == 0) enqueue_ready(task_id, time);
+  }
+
+  void on_task_finish(std::int32_t task_id) {
+    const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+
+    // Free the worker; pull the best parked task on this node.
+    auto& queue = ready_[static_cast<std::size_t>(task.node)];
+    if (!queue.empty()) {
+      const std::int32_t next = queue.top().task;
+      queue.pop();
+      start_task(next, now_);
+    } else {
+      ++free_workers_[static_cast<std::size_t>(task.node)];
+    }
+
+    // Chain successor (same tile, same node).
+    if (task.successor >= 0) satisfy(task.successor, now_);
+
+    // Published tile: local consumers now; remote groups receive messages —
+    // serially from the producer (the Chameleon point-to-point model) or
+    // through a binomial forwarding tree (collectives ablation).
+    if (task.publishes >= 0) {
+      const Instance& instance =
+          work_.instances[static_cast<std::size_t>(task.publishes)];
+      for (std::size_t g = 0; g < instance.groups.size(); ++g) {
+        const InstanceGroup& group = instance.groups[g];
+        if (group.node == task.node) {
+          for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        } else if (!machine_.tree_broadcast) {
+          send_tile(task.node, group.node, task.publishes,
+                    static_cast<std::int32_t>(g));
+        }
+      }
+      if (machine_.tree_broadcast)
+        forward_tree(task.publishes, /*position=*/0, task.node);
+    }
+  }
+
+  /// Remote group indices of an instance, in group order; position p in the
+  /// broadcast tree maps to remotes[p-1] (the producer is position 0).
+  std::vector<std::int32_t> remote_groups(std::int32_t instance_id) const {
+    const Instance& instance =
+        work_.instances[static_cast<std::size_t>(instance_id)];
+    std::vector<std::int32_t> remotes;
+    for (std::size_t g = 0; g < instance.groups.size(); ++g) {
+      if (instance.groups[g].node != instance.producer_node)
+        remotes.push_back(static_cast<std::int32_t>(g));
+    }
+    return remotes;
+  }
+
+  /// Binomial broadcast step: the holder at `position` sends the tile to
+  /// positions position + 2^k for every 2^k > position still in range.
+  void forward_tree(std::int32_t instance_id, std::int64_t position,
+                    std::int32_t from_node) {
+    const auto remotes = remote_groups(instance_id);
+    const auto m = static_cast<std::int64_t>(remotes.size()) + 1;
+    for (std::int64_t step = 1; step < m; step *= 2) {
+      if (step <= position) continue;
+      const std::int64_t child = position + step;
+      if (child >= m) break;
+      const std::int32_t group_index =
+          remotes[static_cast<std::size_t>(child - 1)];
+      const Instance& instance =
+          work_.instances[static_cast<std::size_t>(instance_id)];
+      send_tile(from_node,
+                instance.groups[static_cast<std::size_t>(group_index)].node,
+                instance_id, group_index);
+    }
+  }
+
+  /// Schedules one tile transfer src -> dst; links serialize transfers in
+  /// the order they are requested (full duplex: the out-link of the sender
+  /// and the in-link of the receiver are distinct resources).
+  void send_tile(std::int32_t src, std::int32_t dst, std::int32_t instance,
+                 std::int32_t group) {
+    auto& out = out_free_[static_cast<std::size_t>(src)];
+    auto& in = in_free_[static_cast<std::size_t>(dst)];
+    const double start = std::max({now_, out, in});
+    const double end = start + machine_.tile_transfer_seconds();
+    out = end;
+    in = end;
+    push_event(end + machine_.latency_seconds(), Event::Kind::kArrival,
+               instance, group);
+    auto& node = report_.per_node[static_cast<std::size_t>(src)];
+    ++node.messages_sent;
+    node.bytes_sent += machine_.tile_bytes();
+    ++report_.messages;
+  }
+
+  void on_arrival(std::int32_t instance_id, std::int32_t group_index) {
+    const InstanceGroup& group =
+        work_.instances[static_cast<std::size_t>(instance_id)]
+            .groups[static_cast<std::size_t>(group_index)];
+    for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+    if (machine_.tree_broadcast) {
+      // This receiver becomes a forwarder: find its tree position.
+      const auto remotes = remote_groups(instance_id);
+      for (std::size_t p = 0; p < remotes.size(); ++p) {
+        if (remotes[p] == group_index) {
+          forward_tree(instance_id, static_cast<std::int64_t>(p) + 1,
+                       group.node);
+          break;
+        }
+      }
+    }
+  }
+
+  Workload work_;
+  const MachineConfig& machine_;
+  SimReport report_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t ready_seq_ = 0;
+  double now_ = 0.0;
+
+  std::vector<int> free_workers_;
+  std::vector<std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                                  ReadyLater>>
+      ready_;
+  std::vector<double> out_free_;
+  std::vector<double> in_free_;
+};
+
+}  // namespace
+
+double SimReport::efficiency(const MachineConfig& machine) const {
+  double busy = 0.0;
+  for (const auto& node : per_node) busy += node.busy_seconds;
+  const double capacity = makespan_seconds *
+                          static_cast<double>(machine.nodes) *
+                          machine.workers_per_node;
+  return capacity > 0 ? busy / capacity : 0.0;
+}
+
+SimReport simulate(Workload workload, const MachineConfig& machine) {
+  return Simulator(std::move(workload), machine).run();
+}
+
+SimReport simulate_lu(std::int64_t t, const core::Distribution& distribution,
+                      const MachineConfig& machine) {
+  return simulate(build_lu_workload(t, distribution, machine), machine);
+}
+
+SimReport simulate_cholesky(std::int64_t t,
+                            const core::Distribution& distribution,
+                            const MachineConfig& machine) {
+  return simulate(build_cholesky_workload(t, distribution, machine), machine);
+}
+
+SimReport simulate_syrk(std::int64_t t, std::int64_t k,
+                        const core::Distribution& dist_c,
+                        const core::Distribution& dist_a,
+                        const MachineConfig& machine) {
+  return simulate(build_syrk_workload(t, k, dist_c, dist_a, machine),
+                  machine);
+}
+
+}  // namespace anyblock::sim

@@ -1,0 +1,23 @@
+#include "sim/machine.hpp"
+
+#include "linalg/kernels.hpp"
+
+namespace anyblock::sim {
+
+double MachineConfig::task_flops(TaskType type) const {
+  switch (type) {
+    case TaskType::kGetrf: return linalg::getrf_flops(tile_size);
+    case TaskType::kPotrf: return linalg::potrf_flops(tile_size);
+    case TaskType::kTrsm: return linalg::trsm_flops(tile_size);
+    case TaskType::kGemm: return linalg::gemm_flops(tile_size);
+    case TaskType::kSyrk: return linalg::syrk_flops(tile_size);
+    case TaskType::kLoad: return 0.0;
+  }
+  return 0.0;
+}
+
+double MachineConfig::task_seconds(TaskType type) const {
+  return task_flops(type) / (core_gflops * 1e9);
+}
+
+}  // namespace anyblock::sim

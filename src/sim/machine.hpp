@@ -1,0 +1,82 @@
+// Machine model for the cluster simulator.
+//
+// Stands in for the paper's testbed: 44 nodes x 36-core Intel Xeon Skylake
+// 6240, 100 Gb/s OmniPath, one MPI process per node, one core reserved for
+// the StarPU scheduler and one for MPI (Section IV-D) — hence the default
+// of 34 workers.  Kernel durations derive from exact flop counts and a
+// per-core effective rate; tile transfers from a full-duplex
+// latency/bandwidth link per node.  Absolute numbers are calibration, the
+// comparisons between distributions are emergent (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anyblock::sim {
+
+/// kLoad models an already-resident input tile (zero compute): its only
+/// effect is publishing the tile so remote consumers receive a message.
+enum class TaskType : std::uint8_t {
+  kGetrf,
+  kPotrf,
+  kTrsm,
+  kGemm,
+  kSyrk,
+  kLoad
+};
+
+struct MachineConfig {
+  std::int64_t nodes = 1;
+  /// Compute workers per node (cores minus scheduler and MPI cores).
+  int workers_per_node = 34;
+  /// Effective per-core double-precision rate on tile kernels (GFlop/s).
+  double core_gflops = 55.0;
+  /// Per-node full-duplex NIC bandwidth (GB/s); 100 Gb/s OmniPath = 12.5.
+  double link_bandwidth_gbps = 12.5;
+  /// One-way message latency (microseconds).
+  double link_latency_us = 1.5;
+  /// Tile side in matrix elements (paper: 500).
+  std::int64_t tile_size = 500;
+  /// Per-node relative speeds (empty = homogeneous).  The paper's platform
+  /// is homogeneous; its conclusion names heterogeneous nodes as an open
+  /// extension — supported here so distributions can be stress-tested
+  /// against skewed machines.
+  std::vector<double> node_speed;
+  /// StarPU-style critical-path priorities (panel ops and early iterations
+  /// first).  Turn off for the FIFO-scheduling ablation.
+  bool priority_scheduling = true;
+  /// Replace the runtime's serial eager sends (one point-to-point message
+  /// per destination, as Chameleon does — paper, Section II-C) with a
+  /// binomial broadcast tree in which receivers forward the tile.  An
+  /// optimization the paper notes Chameleon does *not* implement; exposed
+  /// for the collectives ablation.
+  bool tree_broadcast = false;
+
+  /// Relative speed of one node (1.0 when homogeneous).
+  [[nodiscard]] double speed_of(std::int64_t node) const {
+    return node_speed.empty() ? 1.0
+                              : node_speed[static_cast<std::size_t>(node)];
+  }
+
+  [[nodiscard]] double tile_bytes() const {
+    return 8.0 * static_cast<double>(tile_size) *
+           static_cast<double>(tile_size);
+  }
+  /// Seconds to push one tile through a link (excluding latency).
+  [[nodiscard]] double tile_transfer_seconds() const {
+    return tile_bytes() / (link_bandwidth_gbps * 1e9);
+  }
+  [[nodiscard]] double latency_seconds() const {
+    return link_latency_us * 1e-6;
+  }
+  /// Seconds to run one kernel of the given type on one worker.
+  [[nodiscard]] double task_seconds(TaskType type) const;
+  /// Flops of one kernel of the given type.
+  [[nodiscard]] double task_flops(TaskType type) const;
+  /// Aggregate peak of the whole machine (GFlop/s), for sanity checks.
+  [[nodiscard]] double peak_gflops() const {
+    return static_cast<double>(nodes) * workers_per_node * core_gflops;
+  }
+};
+
+}  // namespace anyblock::sim

@@ -1,0 +1,63 @@
+// Tiny command-line option parser for examples and bench binaries.
+//
+// Supports --name value, --name=value, and --flag forms, with typed getters
+// and an automatically generated --help text.  Deliberately minimal: every
+// bench in bench/ shares the same option style.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anyblock {
+
+class ArgParser {
+ public:
+  /// `description` is printed at the top of --help.
+  ArgParser(std::string program, std::string description);
+
+  /// Declares an option with a default value (shown in --help).
+  void add(std::string_view name, std::string_view default_value,
+           std::string_view help);
+  /// Declares a boolean flag (false unless present).
+  void add_flag(std::string_view name, std::string_view help);
+
+  /// Parses argv.  Returns false (after printing usage) on unknown options
+  /// or when --help was requested; callers should then exit.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+
+  /// Comma-separated integer list, e.g. --sizes 50000,100000,200000.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      std::string_view name) const;
+
+  /// Positional arguments (anything not starting with --).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_help() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option, std::less<>> options_;
+  std::vector<std::string> order_;  // help in declaration order
+  std::vector<std::string> positional_;
+};
+
+}  // namespace anyblock

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+namespace anyblock {
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  bool first = true;
+  for (const auto name : names) {
+    if (!first) out_ << ',';
+    out_ << escape(name);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_fields(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) out_ << ',';
+    out_ << escape(field);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+}  // namespace anyblock

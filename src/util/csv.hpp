@@ -1,0 +1,61 @@
+// Minimal CSV emission for bench harnesses.
+//
+// Every bench binary regenerating a paper table or figure prints its series
+// as CSV on stdout so results can be diffed/plotted without extra tooling.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anyblock {
+
+/// Streams rows of comma-separated values with RFC-4180-style quoting.
+///
+/// Usage:
+///   CsvWriter csv(std::cout);
+///   csv.header({"P", "pattern", "T"});
+///   csv.row(23, "20x23", 9.652);
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(std::initializer_list<std::string_view> names);
+
+  /// Writes one row; each argument is formatted with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    bool first = true;
+    ((write_field(values, first), first = false), ...);
+    out_ << '\n';
+  }
+
+  /// Writes a row from a pre-built vector of fields.
+  void row_fields(const std::vector<std::string>& fields);
+
+  /// Quotes a field if it contains a separator, quote, or newline.
+  static std::string escape(std::string_view field);
+
+ private:
+  template <typename T>
+  void write_field(const T& value, bool first) {
+    if (!first) out_ << ',';
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      out_ << escape(std::string_view(value));
+    } else {
+      std::ostringstream tmp;
+      tmp << value;
+      out_ << escape(tmp.str());
+    }
+  }
+
+  std::ostream& out_;
+};
+
+}  // namespace anyblock

@@ -1,0 +1,48 @@
+// Leveled logging to stderr.
+//
+// Library code logs sparingly (warnings for fallback paths, debug for
+// search progress); bench binaries keep stdout clean for CSV.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace anyblock {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single line `[level] message` to stderr (thread-safe).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+void log_fmt(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << parts);
+  log_message(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kDebug, parts...);
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kInfo, parts...);
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kWarn, parts...);
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  detail::log_fmt(LogLevel::kError, parts...);
+}
+
+}  // namespace anyblock

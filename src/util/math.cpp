@@ -1,0 +1,29 @@
+#include "util/math.hpp"
+
+#include <cmath>
+
+namespace anyblock {
+
+std::int64_t isqrt_floor(std::int64_t n) noexcept {
+  if (n <= 0) return 0;
+  // Start from the floating-point estimate and correct the boundary cases.
+  auto r = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)));
+  // Correct the float estimate exactly; 128-bit products avoid overflow for
+  // n near INT64_MAX.
+  while (r > 0 && static_cast<__int128>(r) * r > n) --r;
+  while (static_cast<__int128>(r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+std::int64_t isqrt_ceil(std::int64_t n) noexcept {
+  const std::int64_t f = isqrt_floor(n);
+  return (f * f == n) ? f : f + 1;
+}
+
+bool is_square(std::int64_t n) noexcept {
+  if (n < 0) return false;
+  const std::int64_t f = isqrt_floor(n);
+  return f * f == n;
+}
+
+}  // namespace anyblock

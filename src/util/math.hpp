@@ -1,0 +1,37 @@
+// Small exact integer helpers shared across the pattern library.
+//
+// The constructions in the paper are defined with ceilings of integer
+// ratios and of square roots (a = ceil(sqrt(P)), b = ceil(P/a), ...).
+// Floating-point sqrt/ceil are unreliable near perfect squares, so these
+// helpers are exact-integer throughout.
+#pragma once
+
+#include <cstdint>
+
+namespace anyblock {
+
+/// Exact ceil(n / d) for non-negative n, positive d.
+constexpr std::int64_t ceil_div(std::int64_t n, std::int64_t d) noexcept {
+  return (n + d - 1) / d;
+}
+
+/// Exact floor(sqrt(n)) for n >= 0.
+std::int64_t isqrt_floor(std::int64_t n) noexcept;
+
+/// Exact ceil(sqrt(n)) for n >= 0.
+std::int64_t isqrt_ceil(std::int64_t n) noexcept;
+
+/// True if n is a perfect square.
+bool is_square(std::int64_t n) noexcept;
+
+/// Greatest common divisor (non-negative inputs).
+constexpr std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace anyblock

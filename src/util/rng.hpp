@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation for pattern search.
+//
+// GCR&M (paper, Algorithm 1) breaks ties randomly, and its evaluation
+// protocol (paper, Section V-B) re-runs the construction with 100 different
+// seeds per pattern size.  Reproducibility of the published tables therefore
+// requires a self-contained, platform-independent generator; we use
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace anyblock {
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be used with the
+/// standard <random> distributions, but the helpers below are preferred in
+/// library code because their results are identical across platforms and
+/// standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 raw bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Fisher-Yates shuffle of a random-access range.
+  template <typename RandomIt>
+  void shuffle(RandomIt first, RandomIt last) noexcept {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::ptrdiff_t>(below(i));
+      using std::swap;
+      swap(first[static_cast<std::ptrdiff_t>(i - 1)], first[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index among `count` candidates.
+  /// Convenience wrapper making tie-breaking call sites self-describing.
+  std::size_t pick(std::size_t count) noexcept {
+    return static_cast<std::size_t>(below(count));
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace anyblock

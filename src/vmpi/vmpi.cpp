@@ -1,0 +1,185 @@
+#include "vmpi/vmpi.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace anyblock::vmpi {
+
+namespace {
+
+struct Message {
+  int source;
+  std::int64_t tag;
+  Payload data;
+};
+
+/// One mailbox per destination rank.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> messages;
+};
+
+}  // namespace
+
+class World {
+ public:
+  explicit World(int ranks)
+      : size_(ranks),
+        mailboxes_(static_cast<std::size_t>(ranks)),
+        traffic_(static_cast<std::size_t>(ranks)),
+        traffic_mutexes_(static_cast<std::size_t>(ranks)) {}
+
+  [[nodiscard]] int size() const { return size_; }
+
+  void send(int source, int dest, std::int64_t tag, Payload data) {
+    if (dest < 0 || dest >= size_)
+      throw std::out_of_range("vmpi send: bad destination rank");
+    {
+      const std::lock_guard<std::mutex> lock(
+          traffic_mutexes_[static_cast<std::size_t>(source)]);
+      auto& t = traffic_[static_cast<std::size_t>(source)];
+      ++t.messages_sent;
+      t.doubles_sent += static_cast<std::int64_t>(data.size());
+    }
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      const std::lock_guard<std::mutex> lock(box.mutex);
+      box.messages.push_back({source, tag, std::move(data)});
+    }
+    box.cv.notify_all();
+  }
+
+  Payload recv(int self, int source, std::int64_t tag) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    while (true) {
+      for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+        if (it->tag != tag) continue;
+        if (source != kAnySource && it->source != source) continue;
+        Payload data = std::move(it->data);
+        box.messages.erase(it);
+        return data;
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const std::int64_t generation = barrier_generation_;
+    if (++barrier_arrived_ == size_) {
+      barrier_arrived_ = 0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+    }
+  }
+
+  TrafficStats traffic(int rank) {
+    const std::lock_guard<std::mutex> lock(
+        traffic_mutexes_[static_cast<std::size_t>(rank)]);
+    return traffic_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  int size_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<TrafficStats> traffic_;
+  std::vector<std::mutex> traffic_mutexes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::int64_t barrier_generation_ = 0;
+};
+
+int RankContext::size() const { return world_.size(); }
+
+void RankContext::send(int dest, std::int64_t tag, const Payload& data) {
+  world_.send(rank_, dest, tag, data);
+}
+
+void RankContext::send(int dest, std::int64_t tag, Payload&& data) {
+  world_.send(rank_, dest, tag, std::move(data));
+}
+
+Payload RankContext::recv(int source, std::int64_t tag) {
+  return world_.recv(rank_, source, tag);
+}
+
+void RankContext::barrier() { world_.barrier(); }
+
+Payload RankContext::broadcast(int root, Payload data) {
+  // Internal tags live in a reserved negative band so they never collide
+  // with application tags (tile ids are non-negative).
+  constexpr std::int64_t kBcastTag = -1000;
+  if (rank_ == root) {
+    for (int dest = 0; dest < size(); ++dest) {
+      if (dest != root) send(dest, kBcastTag, data);
+    }
+    return data;
+  }
+  return recv(root, kBcastTag);
+}
+
+Payload RankContext::allreduce_sum(Payload data) {
+  constexpr std::int64_t kGatherTag = -2000;
+  constexpr std::int64_t kResultTag = -3000;
+  if (rank_ == 0) {
+    for (int source = 1; source < size(); ++source) {
+      const Payload part = recv(source, kGatherTag);
+      if (part.size() != data.size())
+        throw std::invalid_argument("allreduce_sum: size mismatch");
+      for (std::size_t k = 0; k < data.size(); ++k) data[k] += part[k];
+    }
+    for (int dest = 1; dest < size(); ++dest) send(dest, kResultTag, data);
+    return data;
+  }
+  send(0, kGatherTag, std::move(data));
+  return recv(0, kResultTag);
+}
+
+TrafficStats RankContext::traffic() const { return world_.traffic(rank_); }
+
+std::int64_t RunReport::total_messages() const {
+  std::int64_t total = 0;
+  for (const auto& stats : per_rank) total += stats.messages_sent;
+  return total;
+}
+
+std::int64_t RunReport::total_doubles() const {
+  std::int64_t total = 0;
+  for (const auto& stats : per_rank) total += stats.doubles_sent;
+  return total;
+}
+
+RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body) {
+  if (ranks < 1) throw std::invalid_argument("need at least one rank");
+  World world(ranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&world, &body, &errors, r] {
+      try {
+        RankContext ctx(world, r);
+        body(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  RunReport report;
+  report.per_rank.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) report.per_rank.push_back(world.traffic(r));
+  return report;
+}
+
+}  // namespace anyblock::vmpi

@@ -1,0 +1,82 @@
+// vmpi: an MPI-style message-passing layer with threads as ranks.
+//
+// The paper's runs use one MPI process per node with point-to-point tile
+// messages (Section II-C).  vmpi reproduces that model inside one process:
+// run_ranks() spawns R threads, each receiving a RankContext with the
+// familiar primitives — tagged send/recv, barrier, broadcast, reduce — plus
+// per-rank traffic counters.  Sends are asynchronous (they enqueue and
+// return, like MPI_Isend with an eager protocol) so the owner-computes
+// factorizations cannot deadlock on send ordering; recv blocks until a
+// matching message arrives.
+//
+// This is how the library validates distributions end to end: the *actual*
+// message counts of a factorization run are compared against the paper's
+// Eq. 1 / Eq. 2 predictions, and the numerical result against a sequential
+// reference.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace anyblock::vmpi {
+
+using Payload = std::vector<double>;
+
+/// Matches any source rank in recv().
+inline constexpr int kAnySource = -1;
+
+struct TrafficStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t doubles_sent = 0;
+};
+
+class World;
+
+/// Handed to each rank's body; valid only during run_ranks().
+class RankContext {
+ public:
+  RankContext(World& world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Asynchronous tagged send (copies the payload; never blocks).
+  void send(int dest, std::int64_t tag, const Payload& data);
+  void send(int dest, std::int64_t tag, Payload&& data);
+
+  /// Blocks until a message with this (source, tag) arrives.  Messages from
+  /// one source with equal tags are delivered in send order.
+  Payload recv(int source, std::int64_t tag);
+
+  /// Blocks until all ranks reach the barrier.
+  void barrier();
+
+  /// Root's payload is distributed to everyone (returns it on all ranks).
+  Payload broadcast(int root, Payload data);
+
+  /// Element-wise sum across ranks; every rank gets the total.
+  Payload allreduce_sum(Payload data);
+
+  [[nodiscard]] TrafficStats traffic() const;
+
+ private:
+  World& world_;
+  int rank_;
+};
+
+/// Per-rank aggregate traffic after a run.
+struct RunReport {
+  std::vector<TrafficStats> per_rank;
+  [[nodiscard]] std::int64_t total_messages() const;
+  [[nodiscard]] std::int64_t total_doubles() const;
+};
+
+/// Spawns `ranks` threads running `body` and joins them.  Exceptions thrown
+/// by a rank body are rethrown (first one wins) after all threads joined.
+RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body);
+
+}  // namespace anyblock::vmpi

@@ -1,0 +1,100 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/gcrm.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(Analysis, LuProfileTotalsMatchExactVolume) {
+  for (const auto& pattern :
+       {make_2dbc(2, 3), make_2dbc(5, 1), make_g2dbc(10)}) {
+    const std::int64_t t = 18;
+    const CommProfile profile = lu_comm_profile(pattern, t);
+    EXPECT_EQ(profile.total(), exact_lu_volume(pattern, t));
+    std::int64_t node_sum = 0;
+    for (const auto v : profile.per_node_sent) node_sum += v;
+    EXPECT_EQ(node_sum, profile.total());
+  }
+}
+
+TEST(Analysis, CholeskyProfileTotalsMatchExactVolume) {
+  for (const auto& pattern : {make_2dbc(3, 3), make_sbc(6), make_sbc(8)}) {
+    const std::int64_t t = 18;
+    const CommProfile profile = cholesky_comm_profile(pattern, t);
+    EXPECT_EQ(profile.total(), exact_cholesky_volume(pattern, t));
+  }
+}
+
+TEST(Analysis, PerIterationShrinksAtTheTail) {
+  // Domain shrinking (Section III): the last iterations generate fewer
+  // sends than the steady state, and iteration t-1 generates none.
+  const Pattern pattern = make_2dbc(3, 3);
+  const std::int64_t t = 24;
+  const CommProfile profile = lu_comm_profile(pattern, t);
+  ASSERT_EQ(profile.per_iteration.size(), static_cast<std::size_t>(t));
+  EXPECT_EQ(profile.per_iteration.back(), 0);
+  EXPECT_LT(profile.per_iteration[static_cast<std::size_t>(t - 2)],
+            profile.per_iteration[0]);
+  // Early iterations decrease roughly linearly with the trailing size.
+  EXPECT_GT(profile.per_iteration[0], profile.per_iteration[5]);
+}
+
+TEST(Analysis, SenderImbalanceNearOneForSquare2dbc) {
+  // Square 2DBC: panel roles rotate across nodes, so senders are close to
+  // balanced — not exactly, since only the three diagonal-cell nodes ever
+  // broadcast the (l, l) tile.
+  const CommProfile profile = lu_comm_profile(make_2dbc(3, 3), 30);
+  EXPECT_NEAR(profile.sender_imbalance(), 1.0, 0.1);
+  // A tall grid concentrates all row-broadcast traffic on one column of
+  // nodes, so its imbalance is visibly worse.
+  const CommProfile tall = lu_comm_profile(make_2dbc(9, 1), 27);
+  EXPECT_GT(tall.sender_imbalance(), profile.sender_imbalance());
+}
+
+TEST(Analysis, TallGridConcentratesColumnTraffic) {
+  // 23x1: the per-iteration profile is dominated by row broadcasts from
+  // the single panel owner of each iteration; volume per iteration is
+  // (t - l - 1) * 22-ish, much higher than for a square-ish grid.
+  const std::int64_t t = 23;
+  const CommProfile tall = lu_comm_profile(make_2dbc(23, 1), t);
+  const CommProfile square = lu_comm_profile(make_2dbc(5, 4), t);
+  EXPECT_GT(tall.per_iteration[0], 2 * square.per_iteration[0]);
+}
+
+TEST(Analysis, GcrmProfileWorksWithFreeDiagonal) {
+  const GcrmResult result = gcrm_build(10, 5, 7);
+  ASSERT_TRUE(result.valid);
+  const CommProfile profile = cholesky_comm_profile(result.pattern, 20);
+  EXPECT_EQ(profile.total(), exact_cholesky_volume(result.pattern, 20));
+  EXPECT_GT(profile.total(), 0);
+}
+
+TEST(Analysis, LoadStatsBalancedFor2dbc) {
+  const PatternDistribution dist(make_2dbc(4, 4), 32, false);
+  const LoadStats stats = tile_load_stats(dist, 32, false);
+  EXPECT_EQ(stats.min_tiles, stats.max_tiles);  // 32 divisible by 4
+  EXPECT_DOUBLE_EQ(stats.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_tiles, 64.0);
+}
+
+TEST(Analysis, LoadStatsNearOneForLazyDiagonal) {
+  const PatternDistribution dist(make_sbc(21), 70, true);
+  const LoadStats stats = tile_load_stats(dist, 70, true);
+  EXPECT_LT(stats.imbalance, 1.05);
+  EXPECT_GT(stats.min_tiles, 0);
+}
+
+TEST(Analysis, ProfileRequiresCompleteOrSquare) {
+  EXPECT_THROW(lu_comm_profile(make_sbc(21), 10), std::invalid_argument);
+  EXPECT_THROW(cholesky_comm_profile(make_2dbc(2, 3), 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -1,0 +1,57 @@
+// Validates the shipped pattern database (data/pattern_atlas.db): loadable,
+// complete over its advertised range, and containing only valid balanced
+// patterns with costs inside the theoretical envelopes.  Skips cleanly when
+// the artifact is absent (e.g. a source-only checkout).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/pattern_io.hpp"
+
+namespace anyblock::core {
+namespace {
+
+constexpr char kAtlasPath[] = "data/pattern_atlas.db";
+constexpr std::int64_t kMinP = 2;
+constexpr std::int64_t kMaxP = 64;
+
+/// The test binary runs from the build tree; look for the artifact relative
+/// to a few plausible roots.
+std::string find_atlas() {
+  for (const char* prefix : {"", "../", "../../", "/root/repo/"}) {
+    const std::string path = std::string(prefix) + kAtlasPath;
+    if (std::ifstream(path).good()) return path;
+  }
+  return {};
+}
+
+TEST(AtlasArtifact, LoadsAndCoversItsRange) {
+  const std::string path = find_atlas();
+  if (path.empty()) GTEST_SKIP() << "data/pattern_atlas.db not present";
+  PatternDatabase db;
+  ASSERT_TRUE(db.load_file(path));
+  EXPECT_EQ(db.size(), static_cast<std::size_t>(2 * (kMaxP - kMinP + 1)));
+  for (std::int64_t P = kMinP; P <= kMaxP; ++P) {
+    SCOPED_TRACE(P);
+    const auto nonsym = db.get(P, PatternDatabase::Kind::kNonSymmetric);
+    ASSERT_TRUE(nonsym.has_value());
+    EXPECT_EQ(nonsym->num_nodes(), P);
+    EXPECT_TRUE(nonsym->validate().empty());
+    EXPECT_TRUE(nonsym->is_balanced());
+    EXPECT_LE(lu_cost(*nonsym), g2dbc_cost_bound(P) + 1e-9);
+
+    const auto sym = db.get(P, PatternDatabase::Kind::kSymmetric);
+    ASSERT_TRUE(sym.has_value());
+    EXPECT_EQ(sym->num_nodes(), P);
+    EXPECT_TRUE(sym->is_square());
+    EXPECT_TRUE(sym->validate().empty());
+    EXPECT_TRUE(sym->is_balanced(1));
+    // Symmetric winners sit at or below the SBC reference, within rounding.
+    EXPECT_LE(cholesky_cost(*sym), sbc_cost_reference(P) + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -1,0 +1,104 @@
+#include "core/block_cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(BlockCyclic, BasicGrid) {
+  const Pattern p = make_2dbc(2, 3);
+  EXPECT_EQ(p.rows(), 2);
+  EXPECT_EQ(p.cols(), 3);
+  EXPECT_EQ(p.num_nodes(), 6);
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_TRUE(p.is_balanced());
+  EXPECT_DOUBLE_EQ(lu_cost(p), 5.0);  // r + c
+}
+
+TEST(BlockCyclic, CostEqualsRowPlusCol) {
+  for (std::int64_t r = 1; r <= 8; ++r) {
+    for (std::int64_t c = 1; c <= 8; ++c) {
+      const Pattern p = make_2dbc(r, c);
+      EXPECT_DOUBLE_EQ(lu_cost(p), static_cast<double>(r + c));
+    }
+  }
+}
+
+TEST(BlockCyclic, GridShapesEnumeratesAllFactorizations) {
+  const auto shapes = grid_shapes(12);
+  // 12 = 12x1, 6x2, 4x3.
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0], (std::pair<std::int64_t, std::int64_t>{12, 1}));
+  EXPECT_EQ(shapes[1], (std::pair<std::int64_t, std::int64_t>{6, 2}));
+  EXPECT_EQ(shapes[2], (std::pair<std::int64_t, std::int64_t>{4, 3}));
+}
+
+TEST(BlockCyclic, BestGridIsSquarest) {
+  EXPECT_EQ(best_grid(16), (std::pair<std::int64_t, std::int64_t>{4, 4}));
+  EXPECT_EQ(best_grid(20), (std::pair<std::int64_t, std::int64_t>{5, 4}));
+  EXPECT_EQ(best_grid(21), (std::pair<std::int64_t, std::int64_t>{7, 3}));
+  EXPECT_EQ(best_grid(22), (std::pair<std::int64_t, std::int64_t>{11, 2}));
+  EXPECT_EQ(best_grid(23), (std::pair<std::int64_t, std::int64_t>{23, 1}));
+  EXPECT_EQ(best_grid(36), (std::pair<std::int64_t, std::int64_t>{6, 6}));
+}
+
+TEST(BlockCyclic, PaperTable1aCosts) {
+  // Table Ia: dimensions and cost T of the best 2DBC patterns.  For the two
+  // degenerate P x 1 grids the paper prints T = P, but by its own definition
+  // T = x-bar + y-bar = 1 + P (each single-cell row holds one node); we
+  // assert the formula value, see EXPERIMENTS.md.
+  const struct {
+    std::int64_t P;
+    std::int64_t r, c;
+    double T;
+  } rows[] = {{16, 4, 4, 8},   {20, 5, 4, 9},  {21, 7, 3, 10},
+              {22, 11, 2, 13}, {23, 23, 1, 24}, {30, 6, 5, 11},
+              {31, 31, 1, 32}, {35, 7, 5, 12}, {36, 6, 6, 12},
+              {39, 13, 3, 16}};
+  for (const auto& row : rows) {
+    const auto [r, c] = best_grid(row.P);
+    EXPECT_EQ(r, row.r) << "P=" << row.P;
+    EXPECT_EQ(c, row.c) << "P=" << row.P;
+    EXPECT_DOUBLE_EQ(lu_cost(make_2dbc(r, c)), row.T) << "P=" << row.P;
+  }
+}
+
+TEST(BlockCyclic, EveryNodeOncePerPattern) {
+  const Pattern p = best_2dbc(30);
+  const auto loads = p.node_loads();
+  for (const auto load : loads) EXPECT_EQ(load, 1);
+}
+
+TEST(BlockCyclic, AtMostPicksEfficientSmallerCount) {
+  // For P = 23, using all nodes forces 23x1 (T = 23); the best per-node
+  // efficiency at most 23 uses fewer nodes with a much squarer grid.
+  const Pattern p = best_2dbc_at_most(23);
+  EXPECT_LT(p.num_nodes(), 23);
+  EXPECT_GE(p.num_nodes(), 16);
+  const double score = lu_cost(p) / std::sqrt(static_cast<double>(
+                                        p.num_nodes()));
+  // A perfect square grid scores 2.
+  EXPECT_LT(score, 2.3);
+}
+
+TEST(BlockCyclic, InvalidInputs) {
+  EXPECT_THROW(make_2dbc(0, 3), std::invalid_argument);
+  EXPECT_THROW(grid_shapes(0), std::invalid_argument);
+  EXPECT_THROW(best_2dbc_at_most(0), std::invalid_argument);
+}
+
+TEST(BlockCyclic, SymmetricCostIsLuMinusOne) {
+  // Paper, Section V-B: for 2DBC, the symmetric cost equals the
+  // non-symmetric cost minus 1.
+  const Pattern p = make_2dbc(3, 3);
+  EXPECT_DOUBLE_EQ(symmetric_cost(p), lu_cost(p) - 1.0);
+  const Pattern q = make_2dbc(6, 2);
+  EXPECT_DOUBLE_EQ(symmetric_cost(q), lu_cost(q) - 1.0);
+}
+
+}  // namespace
+}  // namespace anyblock::core

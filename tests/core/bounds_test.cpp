@@ -1,0 +1,65 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(Bounds, SquareGridsMeetTheLuReference) {
+  // A perfect square 2DBC grid achieves exactly 2*sqrt(P).
+  for (const std::int64_t p : {2, 3, 5, 8}) {
+    const std::int64_t P = p * p;
+    EXPECT_DOUBLE_EQ(lu_cost(make_2dbc(p, p)), lu_cost_reference(P));
+  }
+}
+
+TEST(Bounds, NoPatternBeatsTheLuReferenceMeaningfully) {
+  // Every constructible pattern in the library respects T >= 2*sqrt(P) - 1
+  // (each row/column needs ~sqrt(P) distinct nodes; the -1 covers integer
+  // rounding at non-square P).
+  for (std::int64_t P = 2; P <= 60; ++P) {
+    EXPECT_GE(lu_cost(make_g2dbc(P)), lu_cost_reference(P) - 1.0) << P;
+    EXPECT_GE(lu_cost(best_2dbc(P)), lu_cost_reference(P) - 1.0) << P;
+  }
+}
+
+TEST(Bounds, Lemma2BoundIsTightForSquares) {
+  for (const std::int64_t p : {3, 5, 10}) {
+    const std::int64_t P = p * p;
+    EXPECT_LT(g2dbc_cost_bound(P) - lu_cost_reference(P), 1.0);
+    EXPECT_GT(g2dbc_cost_bound(P), lu_cost_reference(P));
+  }
+}
+
+TEST(Bounds, SbcCurvesOrdering) {
+  // extended < basic reference for every P, both well below 2*sqrt(P) - 1.
+  for (std::int64_t P = 4; P <= 100; ++P) {
+    EXPECT_LT(sbc_extended_cost_reference(P), sbc_cost_reference(P));
+    EXPECT_LT(sbc_cost_reference(P), 2.0 * std::sqrt(static_cast<double>(P)));
+    EXPECT_LT(gcrm_cost_limit(P), sbc_cost_reference(P));
+  }
+}
+
+TEST(Bounds, SbcPatternsMatchTheirCurves) {
+  for (std::int64_t a = 4; a <= 16; a += 2) {
+    const std::int64_t P = a * a / 2;
+    EXPECT_DOUBLE_EQ(cholesky_cost(make_sbc(P)), sbc_cost_reference(P));
+  }
+}
+
+TEST(Bounds, CommLowerBoundScalesAsExpected) {
+  // m^2 / sqrt(P): doubling m quadruples it; quadrupling P halves it.
+  const double base = lu_comm_lower_bound_per_node(1000.0, 16);
+  EXPECT_DOUBLE_EQ(lu_comm_lower_bound_per_node(2000.0, 16), 4.0 * base);
+  EXPECT_DOUBLE_EQ(lu_comm_lower_bound_per_node(1000.0, 64), base / 2.0);
+}
+
+}  // namespace
+}  // namespace anyblock::core

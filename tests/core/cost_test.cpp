@@ -1,0 +1,113 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+#include "core/gcrm.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(Cost, LuCostOf2dbc) {
+  EXPECT_DOUBLE_EQ(lu_cost(make_2dbc(2, 3)), 5.0);
+  EXPECT_DOUBLE_EQ(lu_cost(make_2dbc(4, 4)), 8.0);
+  EXPECT_DOUBLE_EQ(lu_cost(make_2dbc(23, 1)), 24.0);
+}
+
+TEST(Cost, PredictedVolumesScaleWithTriangleNumbers) {
+  const Pattern p = make_2dbc(2, 3);
+  // Eq. 1 with T = 5: Q = t(t+1)/2 * 3.
+  EXPECT_DOUBLE_EQ(predicted_lu_volume(p, 10), 55.0 * 3.0);
+  EXPECT_DOUBLE_EQ(predicted_lu_volume(p, 1), 1.0 * 3.0);
+  const Pattern s = make_2dbc(3, 3);
+  // z-bar = 5 for a 3x3 grid; Eq. 2: Q = t(t+1)/2 * 4.
+  EXPECT_DOUBLE_EQ(predicted_cholesky_volume(s, 10), 55.0 * 4.0);
+}
+
+TEST(Cost, ExactLuVolumeOnSingleNode) {
+  // One node: no communication at all.
+  const Pattern p = make_2dbc(1, 1);
+  EXPECT_EQ(exact_lu_volume(p, 12), 0);
+}
+
+TEST(Cost, ExactLuVolumeTinyCaseByHand) {
+  // 1x2 pattern over t = 2 tiles: nodes 0|1 own columns alternately.
+  // Iteration 0: diag (0,0) owner 0 -> receivers {owner(0,1)=1, owner(1,0)=0}
+  //   -> 1 send.  Panel (1,0) owner 0 -> row 1 right: owner(1,1)=1 -> 1.
+  //   Panel (0,1) owner 1 -> column 1 below: owner(1,1)=1 -> 0.
+  // Total = 2.
+  const Pattern p = make_2dbc(1, 2);
+  EXPECT_EQ(exact_lu_volume(p, 2), 2);
+}
+
+TEST(Cost, ExactMatchesPredictionAsymptotically) {
+  // Eq. 1 neglects edge effects; the relative gap must shrink with t.
+  const Pattern p = make_2dbc(3, 2);
+  const double t_small = static_cast<double>(exact_lu_volume(p, 12));
+  const double p_small = predicted_lu_volume(p, 12);
+  const double t_large = static_cast<double>(exact_lu_volume(p, 96));
+  const double p_large = predicted_lu_volume(p, 96);
+  const double gap_small = std::abs(t_small - p_small) / p_small;
+  const double gap_large = std::abs(t_large - p_large) / p_large;
+  EXPECT_LT(gap_large, gap_small);
+  EXPECT_LT(gap_large, 0.05);
+}
+
+TEST(Cost, ExactLuPrefersG2dbcForP23) {
+  // The headline claim: for P = 23, G-2DBC generates far fewer
+  // communications than the forced 23x1 2DBC.
+  const std::int64_t t = 60;
+  const std::int64_t vol_2dbc = exact_lu_volume(make_2dbc(23, 1), t);
+  const std::int64_t vol_g2dbc = exact_lu_volume(make_g2dbc(23), t);
+  EXPECT_LT(vol_g2dbc, vol_2dbc / 2);
+}
+
+TEST(Cost, ExactCholeskyVolumeOnSingleNode) {
+  const Pattern p = make_2dbc(1, 1);
+  EXPECT_EQ(exact_cholesky_volume(p, 12), 0);
+}
+
+TEST(Cost, ExactCholeskyMatchesPredictionAsymptotically) {
+  const Pattern p = make_2dbc(3, 3);
+  const double exact = static_cast<double>(exact_cholesky_volume(p, 90));
+  const double predicted = predicted_cholesky_volume(p, 90);
+  EXPECT_NEAR(exact / predicted, 1.0, 0.06);
+}
+
+TEST(Cost, ExactCholeskyPrefersSbcOver2dbc) {
+  // SBC's design claim: strictly fewer communications than square 2DBC at
+  // (nearly) the same node count.  P_sbc = 21 vs P_2dbc = 25.
+  const std::int64_t t = 60;
+  const double per_node_sbc =
+      static_cast<double>(exact_cholesky_volume(make_sbc(21), t)) / 21.0;
+  const double per_node_2dbc =
+      static_cast<double>(exact_cholesky_volume(make_2dbc(5, 5), t)) / 25.0;
+  EXPECT_LT(per_node_sbc, per_node_2dbc);
+}
+
+TEST(Cost, ExactCholeskyWorksWithFreeDiagonal) {
+  // GCR&M patterns have free diagonals; the exact counter must bind them
+  // through PatternDistribution without throwing.
+  const GcrmResult result = gcrm_build(10, 5, 3);
+  ASSERT_TRUE(result.valid);
+  const std::int64_t vol = exact_cholesky_volume(result.pattern, 30);
+  EXPECT_GT(vol, 0);
+  const double predicted = predicted_cholesky_volume(result.pattern, 30);
+  EXPECT_NEAR(static_cast<double>(vol) / predicted, 1.0, 0.35);
+}
+
+TEST(Cost, ExactLuRequiresCompletePattern) {
+  const Pattern p = make_sbc(21);  // free diagonal
+  EXPECT_THROW(exact_lu_volume(p, 10), std::invalid_argument);
+}
+
+TEST(Cost, CholeskyCostRequiresSquare) {
+  EXPECT_THROW(cholesky_cost(make_2dbc(2, 3)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -1,0 +1,111 @@
+#include "core/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/block_cyclic.hpp"
+#include "core/gcrm.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(Distribution, CompletePatternPassThrough) {
+  const Pattern p = make_2dbc(2, 3);
+  const PatternDistribution dist(p, 12, /*symmetric=*/false);
+  for (std::int64_t i = 0; i < 12; ++i)
+    for (std::int64_t j = 0; j < 12; ++j)
+      EXPECT_EQ(dist.owner(i, j), p.owner_of_tile(i, j));
+}
+
+TEST(Distribution, RejectsIncompleteRectangular) {
+  Pattern p(2, 3, 6);  // all free, rectangular
+  EXPECT_THROW(PatternDistribution(p, 4, false), std::invalid_argument);
+}
+
+TEST(Distribution, BindsFreeDiagonalToColrowNode) {
+  const Pattern p = make_sbc(21);  // 7x7, free diagonal
+  const std::int64_t t = 35;
+  const PatternDistribution dist(p, t, /*symmetric=*/true);
+  for (std::int64_t i = 0; i < t; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      if (i % 7 != j % 7) continue;
+      const NodeId owner = dist.owner(i, j);
+      // Owner must belong to the colrow d = i mod 7 of the pattern.
+      const std::int64_t d = i % 7;
+      bool in_colrow = false;
+      for (std::int64_t k = 0; k < 7; ++k) {
+        if (p.at(d, k) == owner || p.at(k, d) == owner) in_colrow = true;
+      }
+      EXPECT_TRUE(in_colrow) << "tile (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Distribution, LazyBindingBalancesLoads) {
+  // Extended SBC's whole point: the per-replica diagonal assignment keeps
+  // tile loads nearly equal (paper, Section V).
+  const Pattern p = make_sbc(21);
+  const PatternDistribution dist(p, 70, /*symmetric=*/true);
+  const auto loads = dist.tile_loads();
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  EXPECT_GT(*lo, 0);
+  const double spread =
+      static_cast<double>(*hi - *lo) / static_cast<double>(*hi);
+  EXPECT_LT(spread, 0.05);
+}
+
+TEST(Distribution, GcrmPatternBindsEverywhere) {
+  const GcrmResult result = gcrm_build(23, 10, 5);
+  ASSERT_TRUE(result.valid);
+  const std::int64_t t = 25;
+  const PatternDistribution dist(result.pattern, t, /*symmetric=*/true);
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const NodeId owner = dist.owner(i, j);
+      EXPECT_GE(owner, 0);
+      EXPECT_LT(owner, 23);
+    }
+}
+
+TEST(Distribution, DifferentReplicasMayGetDifferentOwners) {
+  // The same free diagonal cell, replicated across the matrix, can be bound
+  // to different nodes — that is what evens out the load.
+  const Pattern p = make_sbc(21);
+  const PatternDistribution dist(p, 70, /*symmetric=*/true);
+  bool saw_difference = false;
+  for (std::int64_t d = 0; d < 7 && !saw_difference; ++d) {
+    const NodeId first = dist.owner(d, d);
+    for (std::int64_t rep = 1; 7 * rep + d < 70; ++rep) {
+      if (dist.owner(7 * rep + d, 7 * rep + d) != first) {
+        saw_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_difference);
+}
+
+TEST(Distribution, ExplicitDistribution) {
+  std::vector<NodeId> owners = {0, 1, 1, 0};
+  const ExplicitDistribution dist(std::move(owners), 2, 2, "test");
+  EXPECT_EQ(dist.owner(0, 0), 0);
+  EXPECT_EQ(dist.owner(0, 1), 1);
+  EXPECT_EQ(dist.owner(1, 0), 1);
+  EXPECT_EQ(dist.owner(1, 1), 0);
+  EXPECT_EQ(dist.num_nodes(), 2);
+  EXPECT_EQ(dist.name(), "test");
+}
+
+TEST(Distribution, ExplicitRejectsWrongSize) {
+  EXPECT_THROW(ExplicitDistribution({0, 1, 2}, 2, 3), std::invalid_argument);
+}
+
+TEST(Distribution, InvalidTileGrid) {
+  EXPECT_THROW(PatternDistribution(make_2dbc(2, 2), 0, false),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::core

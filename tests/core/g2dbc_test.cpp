@@ -1,0 +1,122 @@
+#include "core/g2dbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(G2dbc, ParamsForPaperExample) {
+  // Paper, Fig. 3: P = 10 gives a = 4, b = 3, c = 2.
+  const G2dbcParams p = g2dbc_params(10);
+  EXPECT_EQ(p.a, 4);
+  EXPECT_EQ(p.b, 3);
+  EXPECT_EQ(p.c, 2);
+  EXPECT_FALSE(p.degenerate());
+  EXPECT_EQ(p.pattern_rows(), 6);
+  EXPECT_EQ(p.pattern_cols(), 10);
+}
+
+TEST(G2dbc, ParamsForExperimentalCases) {
+  // Paper, Table Ia: pattern dimensions for the test cases.
+  const struct {
+    std::int64_t P, rows, cols;
+  } cases[] = {{23, 20, 23}, {31, 30, 31}, {35, 30, 35}, {39, 30, 39}};
+  for (const auto& c : cases) {
+    const G2dbcParams p = g2dbc_params(c.P);
+    EXPECT_EQ(p.pattern_rows(), c.rows) << "P=" << c.P;
+    EXPECT_EQ(p.pattern_cols(), c.cols) << "P=" << c.P;
+  }
+}
+
+TEST(G2dbc, DegeneratesToPlain2dbc) {
+  // c = 0 exactly when P = p^2 or P = p(p+1) (paper, Section IV-B).
+  for (const std::int64_t P : {1, 2, 4, 6, 9, 12, 16, 20, 25, 30, 36, 42}) {
+    const G2dbcParams params = g2dbc_params(P);
+    EXPECT_TRUE(params.degenerate()) << "P=" << P;
+    const Pattern pattern = make_g2dbc(P);
+    EXPECT_EQ(pattern.rows() * pattern.cols(), P);
+    EXPECT_TRUE(pattern.is_balanced());
+  }
+}
+
+TEST(G2dbc, IncompletePatternLayout) {
+  const G2dbcParams params = g2dbc_params(10);
+  const Pattern ip = g2dbc_incomplete_pattern(params);
+  EXPECT_EQ(ip.rows(), 3);
+  EXPECT_EQ(ip.cols(), 4);
+  // Nodes 0..9 row-major; last c = 2 cells of the last row free.
+  EXPECT_EQ(ip.at(0, 0), 0);
+  EXPECT_EQ(ip.at(1, 3), 7);
+  EXPECT_EQ(ip.at(2, 1), 9);
+  EXPECT_EQ(ip.at(2, 2), Pattern::kFree);
+  EXPECT_EQ(ip.at(2, 3), Pattern::kFree);
+}
+
+TEST(G2dbc, SubPatternFillsFromRowI) {
+  const G2dbcParams params = g2dbc_params(10);
+  const Pattern p1 = g2dbc_sub_pattern(params, 1);
+  // Undefined cells take the last c elements of IP row 1, column-aligned.
+  EXPECT_EQ(p1.at(2, 2), 2);
+  EXPECT_EQ(p1.at(2, 3), 3);
+  const Pattern p2 = g2dbc_sub_pattern(params, 2);
+  EXPECT_EQ(p2.at(2, 2), 6);
+  EXPECT_EQ(p2.at(2, 3), 7);
+  EXPECT_THROW(g2dbc_sub_pattern(params, 0), std::out_of_range);
+  EXPECT_THROW(g2dbc_sub_pattern(params, 3), std::out_of_range);
+}
+
+class G2dbcPropertyTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(G2dbcPropertyTest, BalancedLemma1) {
+  const std::int64_t P = GetParam();
+  const Pattern pattern = make_g2dbc(P);
+  EXPECT_TRUE(pattern.validate().empty()) << pattern.validate();
+  // Lemma 1: each node appears exactly b(b-1) times (or once if degenerate).
+  const auto loads = pattern.node_loads();
+  const std::int64_t expected = pattern.rows() * pattern.cols() / P;
+  for (const auto load : loads) EXPECT_EQ(load, expected) << "P=" << P;
+}
+
+TEST_P(G2dbcPropertyTest, EveryRowHasExactlyADistinctNodes) {
+  const std::int64_t P = GetParam();
+  const G2dbcParams params = g2dbc_params(P);
+  if (params.degenerate()) return;
+  const Pattern pattern = make_g2dbc(P);
+  for (std::int64_t i = 0; i < pattern.rows(); ++i)
+    EXPECT_EQ(pattern.distinct_in_row(i), params.a) << "P=" << P << " i=" << i;
+}
+
+TEST_P(G2dbcPropertyTest, CostMatchesClosedForm) {
+  const std::int64_t P = GetParam();
+  const Pattern pattern = make_g2dbc(P);
+  EXPECT_NEAR(lu_cost(pattern), g2dbc_cost_formula(P), 1e-9) << "P=" << P;
+}
+
+TEST_P(G2dbcPropertyTest, CostWithinLemma2Bound) {
+  const std::int64_t P = GetParam();
+  EXPECT_LE(g2dbc_cost_formula(P), g2dbc_cost_bound(P) + 1e-9) << "P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllP, G2dbcPropertyTest, ::testing::Range<std::int64_t>(1, 130));
+
+TEST(G2dbc, CostForPaperTable) {
+  // Table Ia reports T for the G-2DBC experimental patterns.  The closed
+  // form (verified against the constructed pattern above) matches the
+  // published values for P = 31, 35, 39; for P = 23 the paper prints 9.261
+  // where the construction yields 107/23 + 5 = 9.652 (see EXPERIMENTS.md).
+  EXPECT_NEAR(g2dbc_cost_formula(31), 11.194, 0.001);
+  EXPECT_NEAR(g2dbc_cost_formula(35), 11.857, 0.001);
+  EXPECT_NEAR(g2dbc_cost_formula(39), 12.615, 0.001);
+  EXPECT_NEAR(g2dbc_cost_formula(23), 5.0 + 107.0 / 23.0, 1e-9);
+}
+
+TEST(G2dbc, InvalidP) {
+  EXPECT_THROW(g2dbc_params(0), std::invalid_argument);
+  EXPECT_THROW(make_g2dbc(-3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::core

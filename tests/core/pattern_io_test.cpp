@@ -1,0 +1,111 @@
+#include "core/pattern_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(PatternIo, RenderCompletePattern) {
+  const Pattern p = make_2dbc(2, 3);
+  EXPECT_EQ(render_pattern(p), "0 1 2\n3 4 5\n");
+}
+
+TEST(PatternIo, RenderFreeCellsAsDots) {
+  Pattern p(2, 2, 2);
+  p.set(0, 1, 0);
+  p.set(1, 0, 1);
+  EXPECT_EQ(render_pattern(p), ". 0\n1 .\n");
+}
+
+TEST(PatternIo, RenderAlignsWideIds) {
+  const Pattern p = make_2dbc(1, 12);
+  const std::string text = render_pattern(p);
+  EXPECT_NE(text.find(" 0"), std::string::npos);
+  EXPECT_NE(text.find("11"), std::string::npos);
+}
+
+TEST(PatternIo, SerializeParseRoundTrip) {
+  for (const Pattern& p :
+       {make_2dbc(3, 4), make_g2dbc(23), make_sbc(21), make_sbc(32)}) {
+    const std::string text = serialize_pattern(p);
+    const auto parsed = parse_pattern_string(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(PatternIo, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_pattern_string("nonsense").has_value());
+  EXPECT_FALSE(parse_pattern_string("pattern 2 2 2\n0 1\n").has_value());
+  EXPECT_FALSE(parse_pattern_string("pattern 2 2 2\n0 1 5 0\n").has_value());
+  EXPECT_FALSE(parse_pattern_string("pattern 0 2 2\n").has_value());
+}
+
+TEST(PatternIo, DatabaseRoundTrip) {
+  PatternDatabase db;
+  db.put(23, PatternDatabase::Kind::kNonSymmetric, make_g2dbc(23));
+  db.put(21, PatternDatabase::Kind::kSymmetric, make_sbc(21));
+  db.put(16, PatternDatabase::Kind::kNonSymmetric, make_2dbc(4, 4));
+  EXPECT_EQ(db.size(), 3u);
+
+  std::stringstream stream;
+  db.save(stream);
+  PatternDatabase loaded;
+  ASSERT_TRUE(loaded.load(stream));
+  EXPECT_EQ(loaded.size(), 3u);
+  const auto g = loaded.get(23, PatternDatabase::Kind::kNonSymmetric);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g, make_g2dbc(23));
+  const auto s = loaded.get(21, PatternDatabase::Kind::kSymmetric);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, make_sbc(21));
+  EXPECT_FALSE(
+      loaded.get(23, PatternDatabase::Kind::kSymmetric).has_value());
+}
+
+TEST(PatternIo, DatabaseKindsAreSeparate) {
+  PatternDatabase db;
+  db.put(21, PatternDatabase::Kind::kNonSymmetric, make_2dbc(7, 3));
+  db.put(21, PatternDatabase::Kind::kSymmetric, make_sbc(21));
+  EXPECT_EQ(db.get(21, PatternDatabase::Kind::kNonSymmetric)->rows(), 7);
+  EXPECT_EQ(db.get(21, PatternDatabase::Kind::kSymmetric)->rows(), 7);
+  EXPECT_NE(*db.get(21, PatternDatabase::Kind::kNonSymmetric),
+            *db.get(21, PatternDatabase::Kind::kSymmetric));
+}
+
+TEST(PatternIo, DatabaseLoadFailureLeavesEmpty) {
+  PatternDatabase db;
+  db.put(5, PatternDatabase::Kind::kNonSymmetric, make_2dbc(5, 1));
+  std::stringstream bad("garbage");
+  EXPECT_FALSE(db.load(bad));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(PatternIo, DatabaseFileRoundTrip) {
+  PatternDatabase db;
+  db.put(10, PatternDatabase::Kind::kNonSymmetric, make_g2dbc(10));
+  const std::string path = ::testing::TempDir() + "/anyblock_db_test.txt";
+  ASSERT_TRUE(db.save_file(path));
+  PatternDatabase loaded;
+  ASSERT_TRUE(loaded.load_file(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PatternIo, DatabaseOverwrite) {
+  PatternDatabase db;
+  db.put(4, PatternDatabase::Kind::kNonSymmetric, make_2dbc(4, 1));
+  db.put(4, PatternDatabase::Kind::kNonSymmetric, make_2dbc(2, 2));
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.get(4, PatternDatabase::Kind::kNonSymmetric)->rows(), 2);
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -1,0 +1,99 @@
+#include "core/pattern_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+GcrmSearchOptions fast_options() {
+  GcrmSearchOptions options;
+  options.seeds = 10;  // keep unit tests quick; benches use the full 100
+  return options;
+}
+
+TEST(PatternSearch, FeasibleSizesRespectConstraints) {
+  const auto sizes = gcrm_feasible_sizes(23, 30);
+  EXPECT_FALSE(sizes.empty());
+  for (const auto r : sizes) {
+    EXPECT_TRUE(gcrm_feasible(23, r));
+    EXPECT_LE(r, 30);
+  }
+  // r = 8 violates Eq. 3 for P = 23 (ceil(56/23)*23 = 69 > 64) and must be
+  // absent.
+  EXPECT_EQ(std::find(sizes.begin(), sizes.end(), 8), sizes.end());
+}
+
+TEST(PatternSearch, FindsValidBalancedPattern) {
+  const GcrmSearchResult result = gcrm_search(23, fast_options());
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.best.validate().empty());
+  EXPECT_TRUE(result.best.is_balanced(1));
+  EXPECT_DOUBLE_EQ(result.best_cost, cholesky_cost(result.best));
+}
+
+TEST(PatternSearch, BeatsOrMatchesSbcNeighborhood) {
+  // Fig. 10's claim: GCR&M costs sit near or below the SBC curve sqrt(2P).
+  for (const std::int64_t P : {23, 31, 35}) {
+    const GcrmSearchResult result = gcrm_search(P, fast_options());
+    ASSERT_TRUE(result.found) << P;
+    EXPECT_LT(result.best_cost, sbc_cost_reference(P) + 1.0) << P;
+    EXPECT_GT(result.best_cost, gcrm_cost_limit(P) - 1.0) << P;
+  }
+}
+
+TEST(PatternSearch, SamplesRecordedWhenRequested) {
+  GcrmSearchOptions options = fast_options();
+  options.seeds = 3;
+  const GcrmSearchResult result = gcrm_search(23, options, true);
+  const auto sizes = gcrm_feasible_sizes(
+      23, static_cast<std::int64_t>(6.0 * std::sqrt(23.0)));
+  EXPECT_EQ(result.samples.size(), sizes.size() * 3);
+  for (const auto& sample : result.samples) {
+    EXPECT_TRUE(gcrm_feasible(23, sample.r));
+    if (sample.valid) EXPECT_GT(sample.cost, 0.0);
+  }
+}
+
+TEST(PatternSearch, NoSamplesByDefault) {
+  const GcrmSearchResult result = gcrm_search(10, fast_options());
+  EXPECT_TRUE(result.samples.empty());
+}
+
+TEST(PatternSearch, DeterministicGivenSeed) {
+  const GcrmSearchResult a = gcrm_search(17, fast_options());
+  const GcrmSearchResult b = gcrm_search(17, fast_options());
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(PatternSearch, WorksForAwkwardNodeCounts) {
+  // Primes and near-primes: the cases 2DBC/SBC handle worst.
+  for (const std::int64_t P : {7, 11, 13, 19, 29, 37}) {
+    GcrmSearchOptions options = fast_options();
+    options.seeds = 5;
+    const GcrmSearchResult result = gcrm_search(P, options);
+    ASSERT_TRUE(result.found) << P;
+    EXPECT_TRUE(result.best.is_balanced(1)) << P;
+  }
+}
+
+TEST(PatternSearch, BestGcrmPatternConvenience) {
+  const Pattern p = best_gcrm_pattern(10);
+  EXPECT_TRUE(p.validate().empty());
+  EXPECT_TRUE(p.is_square());
+}
+
+TEST(PatternSearch, InvalidP) {
+  EXPECT_THROW(gcrm_search(0, GcrmSearchOptions{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::core

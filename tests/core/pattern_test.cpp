@@ -1,0 +1,139 @@
+#include "core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anyblock::core {
+namespace {
+
+Pattern small_complete() {
+  // 2x3 block-cyclic over 6 nodes.
+  Pattern p(2, 3, 6);
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      p.set(i, j, static_cast<NodeId>(i * 3 + j));
+  return p;
+}
+
+TEST(Pattern, ConstructionStartsFree) {
+  Pattern p(2, 2, 3);
+  EXPECT_EQ(p.free_cell_count(), 4);
+  EXPECT_FALSE(p.is_complete());
+}
+
+TEST(Pattern, InvalidConstructionThrows) {
+  EXPECT_THROW(Pattern(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(Pattern(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Pattern(2, 2, 0), std::invalid_argument);
+}
+
+TEST(Pattern, SetRejectsBadValues) {
+  Pattern p(2, 2, 3);
+  EXPECT_THROW(p.set(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(p.set(0, 0, 3), std::out_of_range);
+  EXPECT_THROW(p.set(0, 0, -2), std::out_of_range);
+  p.set(0, 0, Pattern::kFree);  // sentinel accepted
+}
+
+TEST(Pattern, OwnerOfTileWrapsCyclically) {
+  const Pattern p = small_complete();
+  EXPECT_EQ(p.owner_of_tile(0, 0), 0);
+  EXPECT_EQ(p.owner_of_tile(2, 3), 0);
+  EXPECT_EQ(p.owner_of_tile(1, 2), 5);
+  EXPECT_EQ(p.owner_of_tile(3, 5), 5);
+  EXPECT_EQ(p.owner_of_tile(5, 7), 4);
+}
+
+TEST(Pattern, LoadsAndBalance) {
+  const Pattern p = small_complete();
+  const auto loads = p.node_loads();
+  ASSERT_EQ(loads.size(), 6u);
+  for (const auto load : loads) EXPECT_EQ(load, 1);
+  EXPECT_TRUE(p.is_balanced());
+}
+
+TEST(Pattern, ImbalanceDetected) {
+  Pattern p(2, 2, 2);
+  p.set(0, 0, 0);
+  p.set(0, 1, 0);
+  p.set(1, 0, 0);
+  p.set(1, 1, 1);
+  EXPECT_FALSE(p.is_balanced());
+  EXPECT_TRUE(p.is_balanced(2));
+}
+
+TEST(Pattern, DistinctCounts) {
+  const Pattern p = small_complete();
+  EXPECT_EQ(p.distinct_in_row(0), 3);
+  EXPECT_EQ(p.distinct_in_row(1), 3);
+  EXPECT_EQ(p.distinct_in_col(0), 2);
+  EXPECT_DOUBLE_EQ(p.mean_row_distinct(), 3.0);
+  EXPECT_DOUBLE_EQ(p.mean_col_distinct(), 2.0);
+}
+
+TEST(Pattern, DistinctWithRepeatedNodes) {
+  Pattern p(1, 4, 2);
+  p.set(0, 0, 0);
+  p.set(0, 1, 1);
+  p.set(0, 2, 0);
+  p.set(0, 3, 1);
+  EXPECT_EQ(p.distinct_in_row(0), 2);
+}
+
+TEST(Pattern, ColrowCountsOnSquarePattern) {
+  // 3x3 pattern: colrow 0 = row 0 + column 0.
+  Pattern p(3, 3, 4);
+  // row 0: 0 1 2 / row 1: 1 3 0 / row 2: 2 0 3
+  const NodeId cells[3][3] = {{0, 1, 2}, {1, 3, 0}, {2, 0, 3}};
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) p.set(i, j, cells[i][j]);
+  EXPECT_EQ(p.distinct_in_colrow(0), 3);  // row {0,1,2} + col {0,1,2}
+  EXPECT_EQ(p.distinct_in_colrow(1), 3);  // row {1,3,0} + col {1,3,0}
+  EXPECT_EQ(p.distinct_in_colrow(2), 3);  // row {2,0,3} + col {2,0,3}
+  EXPECT_DOUBLE_EQ(p.mean_colrow_distinct(), 3.0);
+}
+
+TEST(Pattern, ColrowRequiresSquare) {
+  const Pattern p = small_complete();
+  EXPECT_THROW((void)p.distinct_in_colrow(0), std::logic_error);
+}
+
+TEST(Pattern, FreeDiagonalIgnoredInColrow) {
+  Pattern p(2, 2, 2);
+  p.set(0, 1, 0);
+  p.set(1, 0, 1);
+  // diagonal cells left free
+  EXPECT_EQ(p.distinct_in_colrow(0), 2);
+  EXPECT_EQ(p.distinct_in_colrow(1), 2);
+  EXPECT_EQ(p.free_cell_count(), 2);
+}
+
+TEST(Pattern, ValidateDetectsFreeOffDiagonal) {
+  Pattern p(2, 3, 6);  // rectangular: no free cell allowed anywhere
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      p.set(i, j, static_cast<NodeId>(i * 3 + j));
+  EXPECT_TRUE(p.validate().empty());
+  p.set(0, 1, Pattern::kFree);
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Pattern, ValidateDetectsMissingNode) {
+  Pattern p(2, 2, 4);
+  p.set(0, 0, 0);
+  p.set(0, 1, 1);
+  p.set(1, 0, 2);
+  p.set(1, 1, 2);  // node 3 never appears
+  EXPECT_FALSE(p.validate().empty());
+  p.set(1, 1, 3);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Pattern, ValidateAcceptsFreeDiagonalOnSquare) {
+  Pattern p(2, 2, 2);
+  p.set(0, 1, 0);
+  p.set(1, 0, 1);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+}  // namespace
+}  // namespace anyblock::core

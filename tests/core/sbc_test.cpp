@@ -1,0 +1,126 @@
+#include "core/sbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(Sbc, FeasibleFamilies) {
+  // Triangular a(a-1)/2: 1, 3, 6, 10, 15, 21, 28, 36, 45 ...
+  // Half-square a^2/2 (a even): 2, 8, 18, 32, 50 ...
+  for (const std::int64_t P : {1, 2, 3, 6, 8, 10, 15, 18, 21, 28, 32, 36, 45, 50}) {
+    EXPECT_TRUE(sbc_feasible(P)) << P;
+  }
+  for (const std::int64_t P : {4, 5, 7, 9, 11, 12, 13, 14, 16, 17, 19, 20,
+                               22, 23, 24, 25, 26, 27, 29, 30, 31, 33, 34, 35}) {
+    EXPECT_FALSE(sbc_feasible(P)) << P;
+  }
+}
+
+TEST(Sbc, ParamsIdentifyKind) {
+  const auto t = sbc_params(21);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->kind, SbcKind::kTriangular);
+  EXPECT_EQ(t->a, 7);
+  EXPECT_DOUBLE_EQ(t->cost(), 6.0);
+
+  const auto h = sbc_params(32);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->kind, SbcKind::kHalfSquare);
+  EXPECT_EQ(h->a, 8);
+  EXPECT_DOUBLE_EQ(h->cost(), 8.0);
+}
+
+TEST(Sbc, TriangularPatternStructure) {
+  const Pattern p = make_sbc(21);  // a = 7
+  EXPECT_EQ(p.rows(), 7);
+  EXPECT_EQ(p.cols(), 7);
+  EXPECT_TRUE(p.validate().empty());
+  // Diagonal free; off-diagonal symmetric pair placement.
+  for (std::int64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(p.at(i, i), Pattern::kFree);
+    for (std::int64_t j = 0; j < 7; ++j) {
+      if (i != j) EXPECT_EQ(p.at(i, j), p.at(j, i));
+    }
+  }
+  // Every pair node appears exactly twice.
+  for (const auto load : p.node_loads()) EXPECT_EQ(load, 2);
+}
+
+TEST(Sbc, TriangularCostIsAMinusOne) {
+  for (std::int64_t a = 2; a <= 14; ++a) {
+    const std::int64_t P = a * (a - 1) / 2;
+    const Pattern p = make_sbc(P);
+    EXPECT_DOUBLE_EQ(cholesky_cost(p), static_cast<double>(a - 1))
+        << "P=" << P;
+  }
+}
+
+TEST(Sbc, HalfSquarePatternStructure) {
+  const Pattern p = make_sbc(32);  // a = 8
+  EXPECT_EQ(p.rows(), 8);
+  EXPECT_TRUE(p.is_complete());
+  EXPECT_TRUE(p.validate().empty());
+  for (const auto load : p.node_loads()) EXPECT_EQ(load, 2);
+  // Diagonal nodes pair up consecutive diagonal cells.
+  EXPECT_EQ(p.at(0, 0), p.at(1, 1));
+  EXPECT_EQ(p.at(2, 2), p.at(3, 3));
+  EXPECT_NE(p.at(1, 1), p.at(2, 2));
+}
+
+TEST(Sbc, HalfSquareCostIsA) {
+  for (std::int64_t a = 2; a <= 14; a += 2) {
+    const std::int64_t P = a * a / 2;
+    const Pattern p = make_sbc(P);
+    EXPECT_DOUBLE_EQ(cholesky_cost(p), static_cast<double>(a)) << "P=" << P;
+  }
+}
+
+TEST(Sbc, CostsTrackReferenceCurves) {
+  // Basic ~ sqrt(2P); extended ~ sqrt(2P) - 0.5 (paper, Section V-B).
+  for (std::int64_t a = 4; a <= 20; a += 2) {
+    const std::int64_t P = a * a / 2;
+    EXPECT_NEAR(make_sbc(P).mean_colrow_distinct(), sbc_cost_reference(P),
+                1e-9);
+  }
+  for (std::int64_t a = 4; a <= 20; ++a) {
+    const std::int64_t P = a * (a - 1) / 2;
+    EXPECT_NEAR(make_sbc(P).mean_colrow_distinct(),
+                sbc_extended_cost_reference(P), 0.13)
+        << "P=" << P;
+  }
+}
+
+TEST(Sbc, BestAtMostMatchesPaperTable1b) {
+  // Table Ib: for P = 23, 31, 35, 39 the SBC fallbacks are 21 (7x7, T=6),
+  // 28 (8x8, T=7), 32 (8x8, T=8), 36 (9x9, T=8).
+  const struct {
+    std::int64_t P, fallback, a;
+    double T;
+  } rows[] = {{23, 21, 7, 6}, {31, 28, 8, 7}, {35, 32, 8, 8}, {39, 36, 9, 8}};
+  for (const auto& row : rows) {
+    const SbcParams params = best_sbc_at_most(row.P);
+    EXPECT_EQ(params.P, row.fallback) << "P=" << row.P;
+    EXPECT_EQ(params.a, row.a) << "P=" << row.P;
+    EXPECT_DOUBLE_EQ(params.cost(), row.T) << "P=" << row.P;
+  }
+}
+
+TEST(Sbc, FeasibleValuesAscending) {
+  const auto values = sbc_feasible_values(50);
+  EXPECT_EQ(values.front(), 1);
+  for (std::size_t k = 1; k < values.size(); ++k)
+    EXPECT_LT(values[k - 1], values[k]);
+  EXPECT_EQ(values.back(), 50);
+}
+
+TEST(Sbc, MakeThrowsOnInfeasible) {
+  EXPECT_THROW(make_sbc(23), std::invalid_argument);
+  EXPECT_THROW(make_sbc(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -1,0 +1,118 @@
+// Property tests pinning the constructions to the paper's structural
+// theory, beyond the cost values:
+//  * G-2DBC column structure (Section IV-B): a-c columns per IP copy hold
+//    b distinct nodes, the c duplicated columns hold b-1;
+//  * SBC colrow structure: every node lives on exactly 2 colrows (v = 2);
+//  * GCR&M: z-bar relates to the mean number of colrows per node by the
+//    regular-pattern argument of Section V-B.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/gcrm.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+class G2dbcColumnTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(G2dbcColumnTest, ColumnDistinctCountsAreBOrBMinusOne) {
+  const std::int64_t P = GetParam();
+  const G2dbcParams params = g2dbc_params(P);
+  if (params.degenerate()) return;
+  const Pattern pattern = make_g2dbc(P);
+  // Section IV-B: exactly b(a-c) columns hold b distinct nodes and (b-1)c
+  // columns hold b-1 (duplicates land column-aligned).
+  std::int64_t with_b = 0;
+  std::int64_t with_b_minus_1 = 0;
+  for (std::int64_t j = 0; j < pattern.cols(); ++j) {
+    const std::int64_t distinct = pattern.distinct_in_col(j);
+    if (distinct == params.b) {
+      ++with_b;
+    } else if (distinct == params.b - 1) {
+      ++with_b_minus_1;
+    } else {
+      FAIL() << "column " << j << " has " << distinct << " distinct nodes";
+    }
+  }
+  EXPECT_EQ(with_b, params.b * (params.a - params.c)) << "P=" << P;
+  EXPECT_EQ(with_b_minus_1, (params.b - 1) * params.c) << "P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllP, G2dbcColumnTest,
+                         ::testing::Range<std::int64_t>(3, 100));
+
+class SbcColrowTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SbcColrowTest, EveryNodeLivesOnExactlyTwoColrows) {
+  const std::int64_t P = GetParam();
+  if (!sbc_feasible(P)) return;
+  const Pattern pattern = make_sbc(P);
+  const std::int64_t a = pattern.rows();
+  std::vector<std::set<std::int64_t>> colrows(
+      static_cast<std::size_t>(P));
+  for (std::int64_t i = 0; i < a; ++i) {
+    for (std::int64_t j = 0; j < a; ++j) {
+      const NodeId n = pattern.at(i, j);
+      if (n == Pattern::kFree) continue;
+      colrows[static_cast<std::size_t>(n)].insert(i);
+      colrows[static_cast<std::size_t>(n)].insert(j);
+    }
+  }
+  for (std::int64_t n = 0; n < P; ++n)
+    EXPECT_EQ(colrows[static_cast<std::size_t>(n)].size(), 2u)
+        << "P=" << P << " node " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(FeasibleP, SbcColrowTest,
+                         ::testing::Values(3, 6, 8, 10, 15, 18, 21, 28, 32,
+                                           36, 45, 50));
+
+TEST(TheoryProperties, GcrmZbarMatchesColrowSumIdentity) {
+  // Section V-B: sum_i z_i counts (node, colrow) incidences, so z-bar * r
+  // equals the total number of colrows the nodes actually appear on.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const GcrmResult result = gcrm_build(23, 14, seed);
+    ASSERT_TRUE(result.valid);
+    const Pattern& p = result.pattern;
+    const std::int64_t r = p.rows();
+    std::vector<std::set<std::int64_t>> on_colrow(
+        static_cast<std::size_t>(p.num_nodes()));
+    for (std::int64_t i = 0; i < r; ++i) {
+      for (std::int64_t j = 0; j < r; ++j) {
+        const NodeId n = p.at(i, j);
+        if (n == Pattern::kFree) continue;
+        on_colrow[static_cast<std::size_t>(n)].insert(i);
+        on_colrow[static_cast<std::size_t>(n)].insert(j);
+      }
+    }
+    std::int64_t incidences = 0;
+    for (const auto& s : on_colrow)
+      incidences += static_cast<std::int64_t>(s.size());
+    std::int64_t colrow_sum = 0;
+    for (std::int64_t i = 0; i < r; ++i) colrow_sum += p.distinct_in_colrow(i);
+    EXPECT_EQ(colrow_sum, incidences);
+    EXPECT_NEAR(cholesky_cost(p),
+                static_cast<double>(incidences) / static_cast<double>(r),
+                1e-12);
+  }
+}
+
+TEST(TheoryProperties, SbcColrowCountMatchesVOverSqrtLArgument) {
+  // The regular-pattern estimate z-bar ~ (v / sqrt(l)) * sqrt(P) with
+  // v = 2, l = 2 predicts sqrt(2P); the constructed SBC patterns agree to
+  // within the integer-rounding slack of 1.
+  for (const std::int64_t P : {21, 28, 32, 36, 45, 50}) {
+    const double zbar = cholesky_cost(make_sbc(P));
+    EXPECT_NEAR(zbar, std::sqrt(2.0 * static_cast<double>(P)), 1.0)
+        << "P=" << P;
+  }
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -1,0 +1,98 @@
+#include "core/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/gcrm.hpp"
+#include "core/sbc.hpp"
+
+namespace anyblock::core {
+namespace {
+
+TEST(Transform, TransposeSwapsDims) {
+  const Pattern p = make_2dbc(2, 3);
+  const Pattern pt = transposed(p);
+  EXPECT_EQ(pt.rows(), 3);
+  EXPECT_EQ(pt.cols(), 2);
+  EXPECT_EQ(pt.at(2, 1), p.at(1, 2));
+  EXPECT_EQ(transposed(pt), p);  // involution
+}
+
+TEST(Transform, TransposePreservesLuCost) {
+  for (const Pattern& p :
+       {make_2dbc(4, 3), make_g2dbc(23), make_g2dbc(10)}) {
+    EXPECT_DOUBLE_EQ(lu_cost(transposed(p)), lu_cost(p));
+  }
+}
+
+TEST(Transform, TransposePreservesCholeskyCostOnSquare) {
+  for (const Pattern& p : {make_sbc(21), make_sbc(32), make_2dbc(4, 4)}) {
+    EXPECT_DOUBLE_EQ(cholesky_cost(transposed(p)), cholesky_cost(p));
+  }
+}
+
+TEST(Transform, CanonicalRelabelIsIdempotent) {
+  const Pattern p = make_g2dbc(13);
+  const Pattern c = canonical_relabel(p);
+  EXPECT_EQ(canonical_relabel(c), c);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Transform, RelabelPreservesCosts) {
+  const Pattern p = make_sbc(21);
+  const Pattern c = canonical_relabel(p);
+  EXPECT_DOUBLE_EQ(cholesky_cost(c), cholesky_cost(p));
+  EXPECT_EQ(c.free_cell_count(), p.free_cell_count());
+  const auto a = p.node_loads();
+  auto la = a;
+  auto lc = c.node_loads();
+  std::sort(la.begin(), la.end());
+  std::sort(lc.begin(), lc.end());
+  EXPECT_EQ(la, lc);  // load multiset preserved
+}
+
+TEST(Transform, EquivalenceDetectsRenaming) {
+  // Swap two node ids in a 2DBC grid: still equivalent.
+  Pattern p = make_2dbc(2, 2);
+  Pattern q = p;
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) {
+      if (p.at(i, j) == 1) q.set(i, j, 2);
+      else if (p.at(i, j) == 2) q.set(i, j, 1);
+    }
+  }
+  EXPECT_FALSE(p == q);
+  EXPECT_TRUE(equivalent_up_to_relabel(p, q));
+}
+
+TEST(Transform, EquivalenceRejectsDifferentStructure) {
+  EXPECT_FALSE(equivalent_up_to_relabel(make_2dbc(2, 3), make_2dbc(3, 2)));
+  EXPECT_FALSE(equivalent_up_to_relabel(make_2dbc(2, 2), make_2dbc(2, 3)));
+  // Same shape, same node count, different placement structure.
+  Pattern a(2, 2, 2);
+  a.set(0, 0, 0);
+  a.set(0, 1, 0);
+  a.set(1, 0, 1);
+  a.set(1, 1, 1);
+  Pattern b(2, 2, 2);
+  b.set(0, 0, 0);
+  b.set(0, 1, 1);
+  b.set(1, 0, 1);
+  b.set(1, 1, 0);
+  EXPECT_FALSE(equivalent_up_to_relabel(a, b));
+}
+
+TEST(Transform, GcrmSeedsProduceInequivalentPatterns) {
+  // Fig. 9's spread comes from genuinely different structures, not just
+  // node renamings.
+  const GcrmResult a = gcrm_build(23, 14, 1);
+  const GcrmResult b = gcrm_build(23, 14, 2);
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_FALSE(equivalent_up_to_relabel(a.pattern, b.pattern));
+}
+
+}  // namespace
+}  // namespace anyblock::core

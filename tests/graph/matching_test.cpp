@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/hopcroft_karp.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::graph {
+namespace {
+
+/// Exponential-time exact maximum matching by augmenting paths (Kuhn);
+/// correct for any graph, used as the oracle for randomized tests.
+std::size_t kuhn_max_matching(const BipartiteGraph& g) {
+  std::vector<std::int32_t> match_right(g.right_count(), -1);
+  std::vector<bool> used;
+  std::function<bool(std::size_t)> try_augment = [&](std::size_t u) -> bool {
+    for (const std::uint32_t v : g.neighbors(u)) {
+      if (used[v]) continue;
+      used[v] = true;
+      if (match_right[v] == -1 ||
+          try_augment(static_cast<std::size_t>(match_right[v]))) {
+        match_right[v] = static_cast<std::int32_t>(u);
+        return true;
+      }
+    }
+    return false;
+  };
+  std::size_t size = 0;
+  for (std::size_t u = 0; u < g.left_count(); ++u) {
+    used.assign(g.right_count(), false);
+    if (try_augment(u)) ++size;
+  }
+  return size;
+}
+
+TEST(Matching, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(Matching, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) g.add_edge(i, i);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 5u);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(m.match_left[i], static_cast<std::int32_t>(i));
+}
+
+TEST(Matching, RequiresAugmentingPath) {
+  // Greedy on this graph can match (0 -> 0) and leave 1 unmatched unless it
+  // augments: left 0 connects to {0, 1}, left 1 connects only to {0}.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(Matching, CompleteBipartite) {
+  BipartiteGraph g(4, 7);
+  for (std::size_t u = 0; u < 4; ++u)
+    for (std::size_t v = 0; v < 7; ++v) g.add_edge(u, v);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4u);
+  EXPECT_TRUE(is_valid_matching(g, m));
+}
+
+TEST(Matching, GreedyIsValidButMaybeSmaller) {
+  BipartiteGraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 1);
+  const Matching greedy = greedy_matching(g);
+  EXPECT_TRUE(is_valid_matching(g, greedy));
+  const Matching max = hopcroft_karp(g);
+  EXPECT_TRUE(is_valid_matching(g, max));
+  EXPECT_LE(greedy.size, max.size);
+  // Left 1 and left 2 compete for rights {0, 1} together with left 0, and
+  // only two right vertices are reachable, so the maximum is 2.
+  EXPECT_EQ(max.size, 2u);
+}
+
+TEST(Matching, WarmStartPreservesMaximality) {
+  BipartiteGraph g(6, 6);
+  for (std::size_t u = 0; u < 6; ++u) {
+    g.add_edge(u, u);
+    g.add_edge(u, (u + 1) % 6);
+  }
+  const Matching cold = hopcroft_karp(g);
+  const Matching warm = hopcroft_karp(g, greedy_matching(g));
+  EXPECT_EQ(cold.size, warm.size);
+  EXPECT_EQ(cold.size, 6u);
+}
+
+struct RandomGraphCase {
+  std::size_t left;
+  std::size_t right;
+  double density;
+  std::uint64_t seed;
+};
+
+class MatchingRandomTest : public ::testing::TestWithParam<RandomGraphCase> {};
+
+TEST_P(MatchingRandomTest, MatchesKuhnOracle) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  BipartiteGraph g(param.left, param.right);
+  for (std::size_t u = 0; u < param.left; ++u)
+    for (std::size_t v = 0; v < param.right; ++v)
+      if (rng.uniform() < param.density) g.add_edge(u, v);
+  const Matching m = hopcroft_karp(g);
+  EXPECT_TRUE(is_valid_matching(g, m));
+  EXPECT_EQ(m.size, kuhn_max_matching(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MatchingRandomTest,
+    ::testing::Values(RandomGraphCase{10, 10, 0.2, 1},
+                      RandomGraphCase{10, 10, 0.5, 2},
+                      RandomGraphCase{30, 20, 0.1, 3},
+                      RandomGraphCase{20, 30, 0.3, 4},
+                      RandomGraphCase{50, 50, 0.05, 5},
+                      RandomGraphCase{50, 50, 0.9, 6},
+                      RandomGraphCase{64, 8, 0.4, 7},
+                      RandomGraphCase{8, 64, 0.4, 8}));
+
+}  // namespace
+}  // namespace anyblock::graph

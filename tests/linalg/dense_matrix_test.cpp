@@ -1,0 +1,83 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anyblock::linalg {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.norm(), 5.0);
+}
+
+TEST(DenseMatrix, Subtract) {
+  DenseMatrix a(2, 2, 5.0);
+  DenseMatrix b(2, 2, 2.0);
+  a.subtract(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 3.0);
+}
+
+TEST(DenseMatrix, SubtractDimensionMismatchThrows) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(3, 2);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+}
+
+TEST(DenseMatrix, MultiplyIdentity) {
+  DenseMatrix a(3, 3);
+  DenseMatrix id(3, 3);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    id(i, i) = 1.0;
+    for (std::int64_t j = 0; j < 3; ++j)
+      a(i, j) = static_cast<double>(i * 3 + j + 1);
+  }
+  const DenseMatrix c = DenseMatrix::multiply(a, id);
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(c(i, j), a(i, j));
+}
+
+TEST(DenseMatrix, MultiplyKnownProduct) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double va = 1.0;
+  for (std::int64_t i = 0; i < 2; ++i)
+    for (std::int64_t j = 0; j < 3; ++j) a(i, j) = va++;
+  double vb = 7.0;
+  for (std::int64_t i = 0; i < 3; ++i)
+    for (std::int64_t j = 0; j < 2; ++j) b(i, j) = vb++;
+  const DenseMatrix c = DenseMatrix::multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(DenseMatrix, Transposed) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -1.0;
+  const DenseMatrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -1.0);
+}
+
+}  // namespace
+}  // namespace anyblock::linalg

@@ -1,0 +1,110 @@
+#include "linalg/factorizations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/generators.hpp"
+#include "linalg/verify.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::linalg {
+namespace {
+
+struct GridCase {
+  std::int64_t tiles;
+  std::int64_t nb;
+  std::uint64_t seed;
+};
+
+class TiledLuTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(TiledLuTest, ResidualIsSmall) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const DenseMatrix original =
+      diag_dominant_matrix(param.tiles * param.nb, rng);
+  TiledMatrix a = TiledMatrix::from_dense(original, param.nb);
+  ASSERT_TRUE(tiled_lu_nopiv(a));
+  EXPECT_LT(lu_residual(original, a), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TiledLuTest,
+                         ::testing::Values(GridCase{1, 8, 1},
+                                           GridCase{2, 8, 2},
+                                           GridCase{3, 5, 3},
+                                           GridCase{4, 4, 4},
+                                           GridCase{5, 7, 5},
+                                           GridCase{8, 3, 6}));
+
+class TiledCholeskyTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(TiledCholeskyTest, ResidualIsSmall) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const DenseMatrix original = spd_matrix(param.tiles * param.nb, rng);
+  TiledMatrix a = TiledMatrix::from_dense(original, param.nb);
+  ASSERT_TRUE(tiled_cholesky(a));
+  EXPECT_LT(cholesky_residual(original, a), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TiledCholeskyTest,
+                         ::testing::Values(GridCase{1, 8, 11},
+                                           GridCase{2, 8, 12},
+                                           GridCase{3, 5, 13},
+                                           GridCase{4, 4, 14},
+                                           GridCase{5, 7, 15},
+                                           GridCase{8, 3, 16}));
+
+TEST(TiledLu, MatchesDenseEliminationOnSmallCase) {
+  // 2x2 tiles of size 2: LU of the tiled algorithm must equal LU of the
+  // plain dense algorithm (no pivoting in either).
+  Rng rng(21);
+  const DenseMatrix original = diag_dominant_matrix(4, rng);
+  TiledMatrix tiled = TiledMatrix::from_dense(original, 2);
+  ASSERT_TRUE(tiled_lu_nopiv(tiled));
+
+  // Dense reference elimination.
+  DenseMatrix dense = original;
+  for (std::int64_t k = 0; k < 4; ++k) {
+    for (std::int64_t i = k + 1; i < 4; ++i) {
+      dense(i, k) /= dense(k, k);
+      for (std::int64_t j = k + 1; j < 4; ++j)
+        dense(i, j) -= dense(i, k) * dense(k, j);
+    }
+  }
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(tiled.at(i, j), dense(i, j), 1e-11);
+}
+
+TEST(TiledCholesky, FailsGracefullyOnIndefinite) {
+  TiledMatrix a(2, 4);  // all zeros: not positive definite
+  EXPECT_FALSE(tiled_cholesky(a));
+}
+
+TEST(TiledLu, FailsGracefullyOnSingular) {
+  TiledMatrix a(2, 4);  // all zeros: singular
+  EXPECT_FALSE(tiled_lu_nopiv(a));
+}
+
+TEST(Generators, SpdMatrixIsSymmetric) {
+  Rng rng(31);
+  const DenseMatrix m = spd_matrix(16, rng);
+  for (std::int64_t i = 0; i < 16; ++i)
+    for (std::int64_t j = 0; j < 16; ++j)
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+}
+
+TEST(Generators, DiagDominantHasHeavyDiagonal) {
+  Rng rng(32);
+  const std::int64_t n = 20;
+  const DenseMatrix m = diag_dominant_matrix(n, rng);
+  for (std::int64_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::int64_t j = 0; j < n; ++j)
+      if (j != i) off += std::abs(m(i, j));
+    EXPECT_GT(std::abs(m(i, i)), off);
+  }
+}
+
+}  // namespace
+}  // namespace anyblock::linalg

@@ -1,0 +1,242 @@
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/generators.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::linalg {
+namespace {
+
+constexpr std::int64_t kNb = 8;
+
+std::vector<double> random_tile(Rng& rng, std::int64_t nb = kNb) {
+  std::vector<double> tile(static_cast<std::size_t>(nb * nb));
+  for (double& v : tile) v = 2.0 * rng.uniform() - 1.0;
+  return tile;
+}
+
+std::vector<double> diag_dominant_tile(Rng& rng, std::int64_t nb = kNb) {
+  auto tile = random_tile(rng, nb);
+  for (std::int64_t i = 0; i < nb; ++i)
+    tile[static_cast<std::size_t>(i * nb + i)] += static_cast<double>(nb);
+  return tile;
+}
+
+DenseMatrix as_dense(const std::vector<double>& tile, std::int64_t nb = kNb) {
+  DenseMatrix m(nb, nb);
+  for (std::int64_t i = 0; i < nb; ++i)
+    for (std::int64_t j = 0; j < nb; ++j)
+      m(i, j) = tile[static_cast<std::size_t>(i * nb + j)];
+  return m;
+}
+
+TEST(Kernels, GemmUpdateMatchesReference) {
+  Rng rng(1);
+  const auto a = random_tile(rng);
+  const auto b = random_tile(rng);
+  auto c = random_tile(rng);
+  const DenseMatrix expected = [&] {
+    DenseMatrix e = as_dense(c);
+    e.subtract(DenseMatrix::multiply(as_dense(a), as_dense(b)));
+    return e;
+  }();
+  gemm_update(a, b, c, kNb);
+  const DenseMatrix got = as_dense(c);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(got(i, j), expected(i, j), 1e-12);
+}
+
+TEST(Kernels, GemmUpdateTransBMatchesReference) {
+  Rng rng(2);
+  const auto a = random_tile(rng);
+  const auto b = random_tile(rng);
+  auto c = random_tile(rng);
+  const DenseMatrix expected = [&] {
+    DenseMatrix e = as_dense(c);
+    e.subtract(DenseMatrix::multiply(as_dense(a), as_dense(b).transposed()));
+    return e;
+  }();
+  gemm_update_trans_b(a, b, c, kNb);
+  const DenseMatrix got = as_dense(c);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(got(i, j), expected(i, j), 1e-12);
+}
+
+TEST(Kernels, GeneralGemmAlphaBetaTranspose) {
+  Rng rng(3);
+  const auto a = random_tile(rng);
+  const auto b = random_tile(rng);
+  auto c = random_tile(rng);
+  const DenseMatrix expected = [&] {
+    DenseMatrix prod = DenseMatrix::multiply(as_dense(a).transposed(),
+                                             as_dense(b).transposed());
+    DenseMatrix e = as_dense(c);
+    for (std::int64_t i = 0; i < kNb; ++i)
+      for (std::int64_t j = 0; j < kNb; ++j)
+        e(i, j) = 0.5 * prod(i, j) + 2.0 * e(i, j);
+    return e;
+  }();
+  gemm(0.5, a, /*trans_a=*/true, b, /*trans_b=*/true, 2.0, c, kNb);
+  const DenseMatrix got = as_dense(c);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(got(i, j), expected(i, j), 1e-12);
+}
+
+TEST(Kernels, SyrkUpdatesOnlyLowerTriangle) {
+  Rng rng(4);
+  const auto a = random_tile(rng);
+  auto c = random_tile(rng);
+  const auto c_before = c;
+  syrk_update_lower(a, c, kNb);
+  const DenseMatrix aat =
+      DenseMatrix::multiply(as_dense(a), as_dense(a).transposed());
+  for (std::int64_t i = 0; i < kNb; ++i) {
+    for (std::int64_t j = 0; j < kNb; ++j) {
+      const auto idx = static_cast<std::size_t>(i * kNb + j);
+      if (j <= i) {
+        EXPECT_NEAR(c[idx], c_before[idx] - aat(i, j), 1e-12);
+      } else {
+        EXPECT_DOUBLE_EQ(c[idx], c_before[idx]);  // untouched
+      }
+    }
+  }
+}
+
+TEST(Kernels, GetrfReconstructs) {
+  Rng rng(5);
+  auto a = diag_dominant_tile(rng);
+  const DenseMatrix original = as_dense(a);
+  ASSERT_TRUE(getrf_nopiv(a, kNb));
+  // Rebuild L (unit lower) * U (upper) and compare with the original.
+  DenseMatrix l(kNb, kNb);
+  DenseMatrix u(kNb, kNb);
+  for (std::int64_t i = 0; i < kNb; ++i) {
+    l(i, i) = 1.0;
+    for (std::int64_t j = 0; j < i; ++j)
+      l(i, j) = a[static_cast<std::size_t>(i * kNb + j)];
+    for (std::int64_t j = i; j < kNb; ++j)
+      u(i, j) = a[static_cast<std::size_t>(i * kNb + j)];
+  }
+  const DenseMatrix lu = DenseMatrix::multiply(l, u);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(lu(i, j), original(i, j), 1e-10);
+}
+
+TEST(Kernels, GetrfFailsOnZeroPivot) {
+  std::vector<double> a(static_cast<std::size_t>(kNb * kNb), 0.0);
+  EXPECT_FALSE(getrf_nopiv(a, kNb));
+}
+
+TEST(Kernels, PotrfReconstructs) {
+  Rng rng(6);
+  // Symmetric diagonally dominant tile.
+  std::vector<double> a(static_cast<std::size_t>(kNb * kNb));
+  for (std::int64_t i = 0; i < kNb; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const double v = 2.0 * rng.uniform() - 1.0;
+      a[static_cast<std::size_t>(i * kNb + j)] = v;
+      a[static_cast<std::size_t>(j * kNb + i)] = v;
+    }
+    a[static_cast<std::size_t>(i * kNb + i)] += static_cast<double>(kNb);
+  }
+  const DenseMatrix original = as_dense(a);
+  ASSERT_TRUE(potrf_lower(a, kNb));
+  DenseMatrix l(kNb, kNb);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      l(i, j) = a[static_cast<std::size_t>(i * kNb + j)];
+  const DenseMatrix llt = DenseMatrix::multiply(l, l.transposed());
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(llt(i, j), original(i, j), 1e-10);
+}
+
+TEST(Kernels, PotrfRejectsIndefinite) {
+  std::vector<double> a(static_cast<std::size_t>(kNb * kNb), 0.0);
+  a[0] = -1.0;
+  EXPECT_FALSE(potrf_lower(a, kNb));
+}
+
+TEST(Kernels, TrsmRightUpperSolves) {
+  Rng rng(7);
+  auto lu = diag_dominant_tile(rng);
+  ASSERT_TRUE(getrf_nopiv(lu, kNb));
+  auto b = random_tile(rng);
+  const DenseMatrix b0 = as_dense(b);
+  trsm_right_upper(lu, b, kNb);
+  // Check X * U == B.
+  DenseMatrix u(kNb, kNb);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = i; j < kNb; ++j)
+      u(i, j) = lu[static_cast<std::size_t>(i * kNb + j)];
+  const DenseMatrix xu = DenseMatrix::multiply(as_dense(b), u);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(xu(i, j), b0(i, j), 1e-10);
+}
+
+TEST(Kernels, TrsmLeftLowerUnitSolves) {
+  Rng rng(8);
+  auto lu = diag_dominant_tile(rng);
+  ASSERT_TRUE(getrf_nopiv(lu, kNb));
+  auto b = random_tile(rng);
+  const DenseMatrix b0 = as_dense(b);
+  trsm_left_lower_unit(lu, b, kNb);
+  DenseMatrix l(kNb, kNb);
+  for (std::int64_t i = 0; i < kNb; ++i) {
+    l(i, i) = 1.0;
+    for (std::int64_t j = 0; j < i; ++j)
+      l(i, j) = lu[static_cast<std::size_t>(i * kNb + j)];
+  }
+  const DenseMatrix lx = DenseMatrix::multiply(l, as_dense(b));
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(lx(i, j), b0(i, j), 1e-10);
+}
+
+TEST(Kernels, TrsmRightLowerTransSolves) {
+  Rng rng(9);
+  // Cholesky factor of a symmetric dominant tile.
+  std::vector<double> a(static_cast<std::size_t>(kNb * kNb));
+  for (std::int64_t i = 0; i < kNb; ++i) {
+    for (std::int64_t j = 0; j <= i; ++j) {
+      const double v = 2.0 * rng.uniform() - 1.0;
+      a[static_cast<std::size_t>(i * kNb + j)] = v;
+      a[static_cast<std::size_t>(j * kNb + i)] = v;
+    }
+    a[static_cast<std::size_t>(i * kNb + i)] += static_cast<double>(kNb);
+  }
+  ASSERT_TRUE(potrf_lower(a, kNb));
+  auto b = random_tile(rng);
+  const DenseMatrix b0 = as_dense(b);
+  trsm_right_lower_trans(a, b, kNb);
+  DenseMatrix l(kNb, kNb);
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      l(i, j) = a[static_cast<std::size_t>(i * kNb + j)];
+  const DenseMatrix xlt = DenseMatrix::multiply(as_dense(b), l.transposed());
+  for (std::int64_t i = 0; i < kNb; ++i)
+    for (std::int64_t j = 0; j < kNb; ++j)
+      EXPECT_NEAR(xlt(i, j), b0(i, j), 1e-10);
+}
+
+TEST(Kernels, FlopCountsScaleCubically) {
+  EXPECT_DOUBLE_EQ(gemm_flops(10), 2000.0);
+  EXPECT_DOUBLE_EQ(trsm_flops(10), 1000.0);
+  EXPECT_NEAR(getrf_flops(10), 2000.0 / 3.0, 1e-9);
+  EXPECT_NEAR(potrf_flops(10), 1000.0 / 3.0, 1e-9);
+  EXPECT_GT(syrk_flops(10), 1000.0);
+  EXPECT_NEAR(lu_total_flops(100), 2.0 / 3.0 * 1e6, 1e-6);
+  EXPECT_NEAR(cholesky_total_flops(100), 1e6 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace anyblock::linalg

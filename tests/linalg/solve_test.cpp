@@ -1,0 +1,109 @@
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/factorizations.hpp"
+#include "linalg/generators.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::linalg {
+namespace {
+
+std::vector<double> random_vector(std::int64_t n, Rng& rng) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) x = 2.0 * rng.uniform() - 1.0;
+  return v;
+}
+
+struct SolveCase {
+  std::int64_t tiles;
+  std::int64_t nb;
+  std::uint64_t seed;
+};
+
+class LuSolveTest : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(LuSolveTest, SolvesLinearSystem) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const std::int64_t n = param.tiles * param.nb;
+  const DenseMatrix a = diag_dominant_matrix(n, rng);
+  const std::vector<double> b = random_vector(n, rng);
+
+  TiledMatrix factored = TiledMatrix::from_dense(a, param.nb);
+  ASSERT_TRUE(tiled_lu_nopiv(factored));
+  const std::vector<double> x = lu_solve(factored, b);
+  EXPECT_LT(solve_residual(a, x, b), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSolveTest,
+                         ::testing::Values(SolveCase{1, 4, 1},
+                                           SolveCase{2, 8, 2},
+                                           SolveCase{5, 6, 3},
+                                           SolveCase{8, 5, 4}));
+
+class CholeskySolveTest : public ::testing::TestWithParam<SolveCase> {};
+
+TEST_P(CholeskySolveTest, SolvesSpdSystem) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const std::int64_t n = param.tiles * param.nb;
+  const DenseMatrix a = spd_matrix(n, rng);
+  const std::vector<double> b = random_vector(n, rng);
+
+  TiledMatrix factored = TiledMatrix::from_dense(a, param.nb);
+  ASSERT_TRUE(tiled_cholesky(factored));
+  const std::vector<double> x = cholesky_solve(factored, b);
+  EXPECT_LT(solve_residual(a, x, b), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySolveTest,
+                         ::testing::Values(SolveCase{1, 4, 11},
+                                           SolveCase{2, 8, 12},
+                                           SolveCase{5, 6, 13},
+                                           SolveCase{8, 5, 14}));
+
+TEST(Solve, IdentitySolveReturnsRhs) {
+  // A = I: the packed LU of the identity is the identity.
+  const std::int64_t n = 8;
+  DenseMatrix eye(n, n);
+  for (std::int64_t i = 0; i < n; ++i) eye(i, i) = 1.0;
+  TiledMatrix factored = TiledMatrix::from_dense(eye, 4);
+  ASSERT_TRUE(tiled_lu_nopiv(factored));
+  Rng rng(5);
+  const std::vector<double> b = random_vector(n, rng);
+  const std::vector<double> x = lu_solve(factored, b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Solve, TriangularPiecesAgreeWithFullSolve) {
+  Rng rng(6);
+  const std::int64_t n = 12;
+  const DenseMatrix a = spd_matrix(n, rng);
+  TiledMatrix l = TiledMatrix::from_dense(a, 4);
+  ASSERT_TRUE(tiled_cholesky(l));
+  std::vector<double> b = random_vector(n, rng);
+  std::vector<double> staged = b;
+  forward_substitute(l, staged);
+  backward_substitute_trans(l, staged);
+  const std::vector<double> direct = cholesky_solve(l, b);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_DOUBLE_EQ(staged[i], direct[i]);
+}
+
+TEST(Solve, RejectsWrongLength) {
+  TiledMatrix m(2, 4);
+  std::vector<double> x(7, 0.0);
+  EXPECT_THROW(forward_substitute_unit(m, x), std::invalid_argument);
+  EXPECT_THROW(lu_solve(m, x), std::invalid_argument);
+}
+
+TEST(Solve, ResidualRejectsMismatch) {
+  DenseMatrix a(3, 3);
+  EXPECT_THROW(
+      solve_residual(a, std::vector<double>(2), std::vector<double>(3)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::linalg

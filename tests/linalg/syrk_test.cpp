@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "linalg/factorizations.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/tiled_panel.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::linalg {
+namespace {
+
+DenseMatrix random_dense(std::int64_t rows, std::int64_t cols, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i)
+    for (std::int64_t j = 0; j < cols; ++j)
+      m(i, j) = 2.0 * rng.uniform() - 1.0;
+  return m;
+}
+
+TEST(TiledPanel, RoundTripAndAccess) {
+  Rng rng(1);
+  const DenseMatrix dense = random_dense(12, 8, rng);
+  const TiledPanel panel = TiledPanel::from_dense(dense, 4);
+  EXPECT_EQ(panel.tile_rows(), 3);
+  EXPECT_EQ(panel.tile_cols(), 2);
+  const DenseMatrix back = panel.to_dense();
+  for (std::int64_t i = 0; i < 12; ++i)
+    for (std::int64_t j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(back(i, j), dense(i, j));
+}
+
+TEST(TiledPanel, RejectsIndivisible) {
+  DenseMatrix dense(10, 8);
+  EXPECT_THROW(TiledPanel::from_dense(dense, 4), std::invalid_argument);
+  EXPECT_THROW(TiledPanel(0, 2, 4), std::invalid_argument);
+}
+
+struct SyrkCase {
+  std::int64_t t;
+  std::int64_t k;
+  std::int64_t nb;
+  std::uint64_t seed;
+};
+
+class TiledSyrkTest : public ::testing::TestWithParam<SyrkCase> {};
+
+TEST_P(TiledSyrkTest, MatchesDenseReference) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const DenseMatrix a_dense =
+      random_dense(param.t * param.nb, param.k * param.nb, rng);
+  const DenseMatrix c_dense = [&] {
+    DenseMatrix m = random_dense(param.t * param.nb, param.t * param.nb, rng);
+    // Symmetrize so the lower triangle is self-consistent.
+    for (std::int64_t i = 0; i < m.rows(); ++i)
+      for (std::int64_t j = 0; j < i; ++j) m(j, i) = m(i, j);
+    return m;
+  }();
+
+  const TiledPanel a = TiledPanel::from_dense(a_dense, param.nb);
+  TiledMatrix c = TiledMatrix::from_dense(c_dense, param.nb);
+  tiled_syrk(a, c);
+
+  DenseMatrix expected = c_dense;
+  expected.subtract(DenseMatrix::multiply(a_dense, a_dense.transposed()));
+  for (std::int64_t i = 0; i < expected.rows(); ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(c.at(i, j), expected(i, j), 1e-10)
+          << "(" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TiledSyrkTest,
+                         ::testing::Values(SyrkCase{1, 1, 4, 1},
+                                           SyrkCase{3, 2, 4, 2},
+                                           SyrkCase{4, 4, 3, 3},
+                                           SyrkCase{2, 5, 6, 4},
+                                           SyrkCase{6, 1, 5, 5}));
+
+TEST(TiledSyrk, LeavesUpperTriangleUntouched) {
+  Rng rng(9);
+  const TiledPanel a = TiledPanel::from_dense(random_dense(8, 4, rng), 4);
+  TiledMatrix c = TiledMatrix::from_dense(random_dense(8, 8, rng), 4);
+  const double before = c.at(0, 7);
+  tiled_syrk(a, c);
+  EXPECT_DOUBLE_EQ(c.at(0, 7), before);
+}
+
+TEST(TiledSyrk, RejectsShapeMismatch) {
+  TiledPanel a(3, 2, 4);
+  TiledMatrix c(2, 4);
+  EXPECT_THROW(tiled_syrk(a, c), std::invalid_argument);
+  TiledMatrix c2(3, 5);
+  EXPECT_THROW(tiled_syrk(a, c2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::linalg

@@ -1,0 +1,67 @@
+#include "linalg/tiled_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/generators.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::linalg {
+namespace {
+
+TEST(TiledMatrix, Dimensions) {
+  TiledMatrix m(4, 8);
+  EXPECT_EQ(m.tiles(), 4);
+  EXPECT_EQ(m.tile_size(), 8);
+  EXPECT_EQ(m.dim(), 32);
+  EXPECT_EQ(m.tile_elems(), 64);
+}
+
+TEST(TiledMatrix, TileSpanIsContiguousAndDistinct) {
+  TiledMatrix m(3, 4);
+  auto t01 = m.tile(0, 1);
+  auto t10 = m.tile(1, 0);
+  EXPECT_EQ(t01.size(), 16u);
+  t01[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 7.0);  // tile (0,1), local (0,0)
+  t10[5] = -3.0;
+  EXPECT_DOUBLE_EQ(m.at(5, 1), -3.0);  // tile (1,0), local (1,1)
+}
+
+TEST(TiledMatrix, ScalarAccessRoundTrip) {
+  TiledMatrix m(2, 3);
+  double v = 0.0;
+  for (std::int64_t i = 0; i < m.dim(); ++i)
+    for (std::int64_t j = 0; j < m.dim(); ++j) m.at(i, j) = v++;
+  v = 0.0;
+  for (std::int64_t i = 0; i < m.dim(); ++i)
+    for (std::int64_t j = 0; j < m.dim(); ++j)
+      EXPECT_DOUBLE_EQ(m.at(i, j), v++);
+}
+
+TEST(TiledMatrix, DenseRoundTrip) {
+  Rng rng(3);
+  const DenseMatrix dense = random_matrix(12, rng);
+  const TiledMatrix tiled = TiledMatrix::from_dense(dense, 3);
+  const DenseMatrix back = tiled.to_dense();
+  for (std::int64_t i = 0; i < 12; ++i)
+    for (std::int64_t j = 0; j < 12; ++j)
+      EXPECT_DOUBLE_EQ(back(i, j), dense(i, j));
+}
+
+TEST(TiledMatrix, FromDenseRejectsIndivisible) {
+  DenseMatrix dense(10, 10);
+  EXPECT_THROW(TiledMatrix::from_dense(dense, 3), std::invalid_argument);
+}
+
+TEST(TiledMatrix, FromDenseRejectsNonSquare) {
+  DenseMatrix dense(10, 8);
+  EXPECT_THROW(TiledMatrix::from_dense(dense, 2), std::invalid_argument);
+}
+
+TEST(TiledMatrix, InvalidConstruction) {
+  EXPECT_THROW(TiledMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(TiledMatrix(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::linalg

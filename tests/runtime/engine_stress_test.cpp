@@ -1,0 +1,95 @@
+// Randomized stress test: the STF engine must produce exactly the result a
+// sequential execution of the submitted tasks would, for arbitrary DAGs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/task_engine.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::runtime {
+namespace {
+
+struct StressCase {
+  int handles;
+  int tasks;
+  int workers;
+  std::uint64_t seed;
+};
+
+class EngineStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(EngineStressTest, MatchesSequentialReplay) {
+  const auto param = GetParam();
+
+  // Generate a random program: each task reads 0-2 handles and writes 1,
+  // and mutates the written cell from the values it read.  The same
+  // program is replayed sequentially as the oracle.
+  struct Op {
+    int read_a;   // handle index or -1
+    int read_b;   // handle index or -1
+    int write;    // handle index
+    std::int64_t constant;
+  };
+  Rng rng(param.seed);
+  std::vector<Op> program;
+  program.reserve(static_cast<std::size_t>(param.tasks));
+  const auto handle_count = static_cast<std::uint64_t>(param.handles);
+  for (int k = 0; k < param.tasks; ++k) {
+    Op op;
+    op.read_a = rng.below(3) == 0
+                    ? -1
+                    : static_cast<int>(rng.below(handle_count));
+    op.read_b = rng.below(3) == 0
+                    ? -1
+                    : static_cast<int>(rng.below(handle_count));
+    op.write = static_cast<int>(rng.below(handle_count));
+    op.constant = static_cast<std::int64_t>(rng.below(97));
+    program.push_back(op);
+  }
+
+  const auto apply = [](const Op& op, std::vector<std::int64_t>& cells) {
+    std::int64_t value = op.constant;
+    if (op.read_a >= 0) value += 3 * cells[static_cast<std::size_t>(op.read_a)];
+    if (op.read_b >= 0) value ^= cells[static_cast<std::size_t>(op.read_b)];
+    auto& out = cells[static_cast<std::size_t>(op.write)];
+    out = out * 2 + value;
+  };
+
+  // Oracle: sequential replay.
+  std::vector<std::int64_t> expected(static_cast<std::size_t>(param.handles),
+                                     1);
+  for (const Op& op : program) apply(op, expected);
+
+  // Engine execution: declare the same accesses and let the workers race.
+  std::vector<std::int64_t> cells(static_cast<std::size_t>(param.handles), 1);
+  TaskEngine engine(param.workers);
+  std::vector<HandleId> handles(static_cast<std::size_t>(param.handles));
+  for (auto& h : handles) h = engine.register_data();
+  for (const Op& op : program) {
+    std::vector<Access> accesses;
+    if (op.read_a >= 0)
+      accesses.push_back(
+          {handles[static_cast<std::size_t>(op.read_a)], AccessMode::kRead});
+    if (op.read_b >= 0)
+      accesses.push_back(
+          {handles[static_cast<std::size_t>(op.read_b)], AccessMode::kRead});
+    accesses.push_back(
+        {handles[static_cast<std::size_t>(op.write)], AccessMode::kReadWrite});
+    engine.submit([&cells, &apply, op] { apply(op, cells); },
+                  std::move(accesses));
+  }
+  engine.wait_all();
+  EXPECT_EQ(cells, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, EngineStressTest,
+    ::testing::Values(StressCase{1, 200, 4, 1}, StressCase{2, 300, 4, 2},
+                      StressCase{5, 500, 2, 3}, StressCase{5, 500, 8, 4},
+                      StressCase{16, 800, 4, 5}, StressCase{16, 800, 8, 6},
+                      StressCase{64, 1000, 4, 7},
+                      StressCase{4, 1000, 16, 8}));
+
+}  // namespace
+}  // namespace anyblock::runtime

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "linalg/factorizations.hpp"
+#include "runtime/stf_factorizations.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::runtime {
+namespace {
+
+linalg::DenseMatrix random_dense(std::int64_t rows, std::int64_t cols,
+                                 Rng& rng) {
+  linalg::DenseMatrix m(rows, cols);
+  for (std::int64_t i = 0; i < rows; ++i)
+    for (std::int64_t j = 0; j < cols; ++j)
+      m(i, j) = 2.0 * rng.uniform() - 1.0;
+  return m;
+}
+
+struct StfSyrkCase {
+  std::int64_t t;
+  std::int64_t k;
+  std::int64_t nb;
+  int workers;
+};
+
+class StfSyrkTest : public ::testing::TestWithParam<StfSyrkCase> {};
+
+TEST_P(StfSyrkTest, MatchesSequentialBitwise) {
+  const auto param = GetParam();
+  Rng rng(31);
+  const linalg::DenseMatrix a_dense =
+      random_dense(param.t * param.nb, param.k * param.nb, rng);
+  const linalg::DenseMatrix c_dense =
+      random_dense(param.t * param.nb, param.t * param.nb, rng);
+  const linalg::TiledPanel a =
+      linalg::TiledPanel::from_dense(a_dense, param.nb);
+
+  linalg::TiledMatrix sequential =
+      linalg::TiledMatrix::from_dense(c_dense, param.nb);
+  linalg::tiled_syrk(a, sequential);
+
+  linalg::TiledMatrix task_based =
+      linalg::TiledMatrix::from_dense(c_dense, param.nb);
+  TaskEngine engine(param.workers);
+  stf_syrk(engine, a, task_based);
+
+  for (std::int64_t i = 0; i < task_based.dim(); ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_DOUBLE_EQ(task_based.at(i, j), sequential.at(i, j))
+          << "(" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StfSyrkTest,
+                         ::testing::Values(StfSyrkCase{1, 1, 4, 1},
+                                           StfSyrkCase{3, 2, 4, 2},
+                                           StfSyrkCase{4, 4, 3, 4},
+                                           StfSyrkCase{6, 3, 4, 3}));
+
+TEST(StfSyrk, RejectsShapeMismatch) {
+  linalg::TiledPanel a(3, 2, 4);
+  linalg::TiledMatrix c(2, 4);
+  TaskEngine engine(2);
+  EXPECT_THROW(stf_syrk(engine, a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::runtime

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+
+#include "runtime/task_engine.hpp"
+
+namespace anyblock::runtime {
+namespace {
+
+TEST(Tracing, OffByDefault) {
+  TaskEngine engine(2);
+  engine.submit([] {}, {}, 0, "a");
+  engine.wait_all();
+  EXPECT_TRUE(engine.take_trace().empty());
+}
+
+TEST(Tracing, RecordsOneEventPerTask) {
+  TaskEngine engine(2);
+  engine.enable_tracing();
+  for (int k = 0; k < 20; ++k) engine.submit([] {}, {}, 0, "work");
+  engine.wait_all();
+  const auto trace = engine.take_trace();
+  EXPECT_EQ(trace.size(), 20u);
+  for (const auto& event : trace) {
+    EXPECT_EQ(event.name, "work");
+    EXPECT_GE(event.worker, 0);
+    EXPECT_LT(event.worker, 2);
+    EXPECT_LE(event.start_seconds, event.end_seconds);
+    EXPECT_GE(event.start_seconds, 0.0);
+  }
+}
+
+TEST(Tracing, TakeTraceClears) {
+  TaskEngine engine(1);
+  engine.enable_tracing();
+  engine.submit([] {}, {}, 0, "x");
+  engine.wait_all();
+  EXPECT_EQ(engine.take_trace().size(), 1u);
+  EXPECT_TRUE(engine.take_trace().empty());
+}
+
+TEST(Tracing, DependentTasksDoNotOverlapInTime) {
+  TaskEngine engine(4);
+  engine.enable_tracing();
+  const HandleId h = engine.register_data();
+  std::atomic<int> dummy{0};
+  for (int k = 0; k < 10; ++k) {
+    engine.submit([&] { ++dummy; }, {{h, AccessMode::kReadWrite}}, 0,
+                  "chain" + std::to_string(k));
+  }
+  engine.wait_all();
+  auto trace = engine.take_trace();
+  ASSERT_EQ(trace.size(), 10u);
+  // Chained tasks execute in submission order; each starts no earlier than
+  // the previous one's start (monotone schedule).
+  std::sort(trace.begin(), trace.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.name < b.name;  // chain0 < chain1 < ... (single digit)
+            });
+  for (std::size_t k = 1; k < trace.size(); ++k)
+    EXPECT_GE(trace[k].start_seconds, trace[k - 1].start_seconds - 1e-9);
+}
+
+}  // namespace
+}  // namespace anyblock::runtime

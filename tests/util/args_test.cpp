@@ -1,0 +1,103 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace anyblock {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::initializer_list<const char*> args) {
+    for (const char* a : args) storage_.emplace_back(a);
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Args, DefaultsApply) {
+  ArgParser parser("prog", "test");
+  parser.add("nodes", "23", "node count");
+  Argv argv({"prog"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("nodes"), 23);
+}
+
+TEST(Args, SpaceSeparatedValue) {
+  ArgParser parser("prog", "test");
+  parser.add("nodes", "1", "node count");
+  Argv argv({"prog", "--nodes", "39"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("nodes"), 39);
+}
+
+TEST(Args, EqualsValue) {
+  ArgParser parser("prog", "test");
+  parser.add("tile", "2000", "tile size");
+  Argv argv({"prog", "--tile=500"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(parser.get_int("tile"), 500);
+}
+
+TEST(Args, Flags) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("verbose", "chatty");
+  Argv argv({"prog", "--verbose"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(parser.get_flag("verbose"));
+
+  ArgParser parser2("prog", "test");
+  parser2.add_flag("verbose", "chatty");
+  Argv argv2({"prog"});
+  ASSERT_TRUE(parser2.parse(argv2.argc(), argv2.argv()));
+  EXPECT_FALSE(parser2.get_flag("verbose"));
+}
+
+TEST(Args, UnknownOptionRejected) {
+  ArgParser parser("prog", "test");
+  Argv argv({"prog", "--bogus", "1"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Args, IntList) {
+  ArgParser parser("prog", "test");
+  parser.add("sizes", "1,2,3", "matrix sizes");
+  Argv argv({"prog", "--sizes", "50000,100000,200000"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  const auto sizes = parser.get_int_list("sizes");
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 50000);
+  EXPECT_EQ(sizes[2], 200000);
+}
+
+TEST(Args, DoubleValues) {
+  ArgParser parser("prog", "test");
+  parser.add("bw", "12.5", "bandwidth GB/s");
+  Argv argv({"prog", "--bw", "25.0"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_DOUBLE_EQ(parser.get_double("bw"), 25.0);
+}
+
+TEST(Args, PositionalCollected) {
+  ArgParser parser("prog", "test");
+  Argv argv({"prog", "file1", "file2"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "file1");
+}
+
+TEST(Args, HelpReturnsFalse) {
+  ArgParser parser("prog", "test");
+  Argv argv({"prog", "--help"});
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+}  // namespace
+}  // namespace anyblock

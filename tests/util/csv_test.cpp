@@ -1,0 +1,45 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace anyblock {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"P", "pattern", "T"});
+  csv.row(23, "20x23", 9.652);
+  EXPECT_EQ(out.str(), "P,pattern,T\n23,20x23,9.652\n");
+}
+
+TEST(Csv, EscapesSeparatorsAndQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("a,b", "say \"hi\"", "plain");
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(Csv, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(CsvWriter::escape("clean"), "clean");
+}
+
+TEST(Csv, RowFields) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row_fields({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "1,2,3\n");
+}
+
+TEST(Csv, MixedTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(1, 2.5, "x", std::string("y"));
+  EXPECT_EQ(out.str(), "1,2.5,x,y\n");
+}
+
+}  // namespace
+}  // namespace anyblock

@@ -1,0 +1,60 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anyblock {
+namespace {
+
+TEST(CeilDiv, BasicCases) {
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(5, 5), 1);
+  EXPECT_EQ(ceil_div(6, 5), 2);
+  EXPECT_EQ(ceil_div(23, 5), 5);
+  EXPECT_EQ(ceil_div(24, 5), 5);
+  EXPECT_EQ(ceil_div(25, 5), 5);
+  EXPECT_EQ(ceil_div(26, 5), 6);
+}
+
+TEST(Isqrt, ExactSquares) {
+  for (std::int64_t r = 0; r <= 1000; ++r) {
+    EXPECT_EQ(isqrt_floor(r * r), r);
+    EXPECT_EQ(isqrt_ceil(r * r), r);
+    EXPECT_TRUE(is_square(r * r));
+  }
+}
+
+TEST(Isqrt, BetweenSquares) {
+  for (std::int64_t r = 1; r <= 1000; ++r) {
+    EXPECT_EQ(isqrt_floor(r * r + 1), r);
+    EXPECT_EQ(isqrt_ceil(r * r + 1), r + 1);
+    EXPECT_FALSE(is_square(r * r + 1));
+    EXPECT_EQ(isqrt_floor(r * r + 2 * r), r) << r;  // (r+1)^2 - 1
+    EXPECT_EQ(isqrt_ceil(r * r + 2 * r), r + 1);
+  }
+}
+
+TEST(Isqrt, PaperValues) {
+  // a = ceil(sqrt(P)) for the paper's experimental node counts.
+  EXPECT_EQ(isqrt_ceil(23), 5);
+  EXPECT_EQ(isqrt_ceil(31), 6);
+  EXPECT_EQ(isqrt_ceil(35), 6);
+  EXPECT_EQ(isqrt_ceil(39), 7);
+}
+
+TEST(Isqrt, LargeValues) {
+  const std::int64_t big = 3037000499LL;  // floor(sqrt(2^63 - 1))
+  EXPECT_EQ(isqrt_floor(big * big), big);
+  EXPECT_EQ(isqrt_floor(big * big - 1), big - 1);
+}
+
+TEST(Gcd, BasicCases) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(17, 5), 1);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(gcd64(36, 24), 12);
+}
+
+}  // namespace
+}  // namespace anyblock

@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+namespace anyblock {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedProducesNonZeroStream) {
+  Rng rng(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 16; ++i) any_nonzero |= (rng() != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 0.05 * expected);
+  }
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled.begin(), shuffled.end());
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleOfEmptyAndSingleton) {
+  Rng rng(23);
+  std::vector<int> empty;
+  rng.shuffle(empty.begin(), empty.end());
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one.begin(), one.end());
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+}  // namespace
+}  // namespace anyblock

@@ -1,0 +1,145 @@
+#include "vmpi/vmpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace anyblock::vmpi {
+namespace {
+
+TEST(Vmpi, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  const RunReport report = run_ranks(1, [&](RankContext& ctx) {
+    EXPECT_EQ(ctx.rank(), 0);
+    EXPECT_EQ(ctx.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(report.total_messages(), 0);
+}
+
+TEST(Vmpi, RejectsZeroRanks) {
+  EXPECT_THROW(run_ranks(0, [](RankContext&) {}), std::invalid_argument);
+}
+
+TEST(Vmpi, PingPong) {
+  run_ranks(2, [](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 7, {1.0, 2.0, 3.0});
+      const Payload reply = ctx.recv(1, 8);
+      ASSERT_EQ(reply.size(), 3u);
+      EXPECT_DOUBLE_EQ(reply[0], 2.0);
+      EXPECT_DOUBLE_EQ(reply[2], 6.0);
+    } else {
+      Payload data = ctx.recv(0, 7);
+      for (double& v : data) v *= 2.0;
+      ctx.send(0, 8, std::move(data));
+    }
+  });
+}
+
+TEST(Vmpi, TagMatchingIsSelective) {
+  // Rank 1 sends two tags; rank 0 receives them in the opposite order.
+  run_ranks(2, [](RankContext& ctx) {
+    if (ctx.rank() == 1) {
+      ctx.send(0, 100, {100.0});
+      ctx.send(0, 200, {200.0});
+    } else {
+      const Payload second = ctx.recv(1, 200);
+      const Payload first = ctx.recv(1, 100);
+      EXPECT_DOUBLE_EQ(second[0], 200.0);
+      EXPECT_DOUBLE_EQ(first[0], 100.0);
+    }
+  });
+}
+
+TEST(Vmpi, SameTagDeliveredInSendOrder) {
+  run_ranks(2, [](RankContext& ctx) {
+    if (ctx.rank() == 1) {
+      for (int k = 0; k < 5; ++k)
+        ctx.send(0, 9, {static_cast<double>(k)});
+    } else {
+      for (int k = 0; k < 5; ++k) {
+        const Payload data = ctx.recv(1, 9);
+        EXPECT_DOUBLE_EQ(data[0], static_cast<double>(k));
+      }
+    }
+  });
+}
+
+TEST(Vmpi, AnySourceReceivesFromEveryone) {
+  constexpr int kRanks = 5;
+  run_ranks(kRanks, [](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      double sum = 0.0;
+      for (int k = 1; k < kRanks; ++k) sum += ctx.recv(kAnySource, 3)[0];
+      EXPECT_DOUBLE_EQ(sum, 1.0 + 2.0 + 3.0 + 4.0);
+    } else {
+      ctx.send(0, 3, {static_cast<double>(ctx.rank())});
+    }
+  });
+}
+
+TEST(Vmpi, BarrierSynchronizes) {
+  constexpr int kRanks = 4;
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  run_ranks(kRanks, [&](RankContext& ctx) {
+    ++before;
+    ctx.barrier();
+    if (before.load() != kRanks) violated = true;
+    ctx.barrier();  // barriers are reusable
+    ctx.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Vmpi, Broadcast) {
+  run_ranks(4, [](RankContext& ctx) {
+    Payload data;
+    if (ctx.rank() == 2) data = {5.0, 6.0};
+    const Payload result = ctx.broadcast(2, data);
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_DOUBLE_EQ(result[0], 5.0);
+    EXPECT_DOUBLE_EQ(result[1], 6.0);
+  });
+}
+
+TEST(Vmpi, AllreduceSum) {
+  constexpr int kRanks = 6;
+  run_ranks(kRanks, [](RankContext& ctx) {
+    const Payload result =
+        ctx.allreduce_sum({static_cast<double>(ctx.rank()), 1.0});
+    EXPECT_DOUBLE_EQ(result[0], 15.0);  // 0+1+...+5
+    EXPECT_DOUBLE_EQ(result[1], 6.0);
+  });
+}
+
+TEST(Vmpi, TrafficCountersPerRank) {
+  const RunReport report = run_ranks(3, [](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 1, {1.0, 2.0});
+      ctx.send(2, 1, {1.0, 2.0, 3.0});
+    } else {
+      (void)ctx.recv(0, 1);
+    }
+  });
+  EXPECT_EQ(report.per_rank[0].messages_sent, 2);
+  EXPECT_EQ(report.per_rank[0].doubles_sent, 5);
+  EXPECT_EQ(report.per_rank[1].messages_sent, 0);
+  EXPECT_EQ(report.total_messages(), 2);
+  EXPECT_EQ(report.total_doubles(), 5);
+}
+
+TEST(Vmpi, RankBodyExceptionPropagates) {
+  EXPECT_THROW(run_ranks(2,
+                         [](RankContext& ctx) {
+                           if (ctx.rank() == 1)
+                             throw std::runtime_error("rank failure");
+                         }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace anyblock::vmpi

@@ -1,0 +1,270 @@
+// anyblock — command-line front end to the distribution-pattern library.
+//
+//   anyblock recommend --nodes 23 --kernel lu
+//   anyblock cost      --nodes 23
+//   anyblock show      --kind g2dbc --nodes 10
+//   anyblock simulate  --kernel cholesky --nodes 31 --size 200000
+//   anyblock atlas     --min 2 --max 40 --out atlas.db
+//
+// Each subcommand accepts --help.  CSV/structured output goes to stdout.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/block_cyclic.hpp"
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/pattern_io.hpp"
+#include "core/pattern_search.hpp"
+#include "core/recommend.hpp"
+#include "core/sbc.hpp"
+#include "sim/engine.hpp"
+#include "util/args.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+core::Kernel parse_kernel(const std::string& name) {
+  if (name == "lu") return core::Kernel::kLu;
+  if (name == "cholesky") return core::Kernel::kCholesky;
+  if (name == "syrk") return core::Kernel::kSyrk;
+  throw std::invalid_argument("unknown kernel: " + name +
+                              " (expected lu|cholesky|syrk)");
+}
+
+int cmd_recommend(int argc, char** argv) {
+  ArgParser parser("anyblock recommend",
+                   "pick the best distribution scheme for P nodes");
+  parser.add("nodes", "23", "number of nodes P");
+  parser.add("kernel", "lu", "lu | cholesky | syrk");
+  parser.add("seeds", "100", "GCR&M search restarts (symmetric kernels)");
+  parser.add_flag("print-pattern", "also render the pattern");
+  if (!parser.parse(argc, argv)) return 1;
+
+  core::RecommendOptions options;
+  options.search.seeds = parser.get_int("seeds");
+  const core::Recommendation rec = core::recommend_pattern(
+      parser.get_int("nodes"), parse_kernel(parser.get("kernel")), options);
+  std::printf("scheme:    %s\n", rec.scheme.c_str());
+  std::printf("pattern:   %lldx%lld over %lld nodes\n",
+              static_cast<long long>(rec.pattern.rows()),
+              static_cast<long long>(rec.pattern.cols()),
+              static_cast<long long>(rec.pattern.num_nodes()));
+  std::printf("cost T:    %.4f\n", rec.cost);
+  std::printf("rationale: %s\n", rec.rationale.c_str());
+  if (parser.get_flag("print-pattern"))
+    std::printf("%s", core::render_pattern(rec.pattern).c_str());
+  return 0;
+}
+
+int cmd_cost(int argc, char** argv) {
+  ArgParser parser("anyblock cost",
+                   "communication costs of every scheme for P nodes");
+  parser.add("nodes", "23", "number of nodes P");
+  parser.add("seeds", "100", "GCR&M search restarts");
+  if (!parser.parse(argc, argv)) return 1;
+  const std::int64_t P = parser.get_int("nodes");
+
+  std::printf("P = %lld\n\nnon-symmetric (LU), T = x-bar + y-bar:\n",
+              static_cast<long long>(P));
+  for (const auto& [r, c] : core::grid_shapes(P))
+    std::printf("  2DBC %lldx%-4lld T = %lld\n", static_cast<long long>(r),
+                static_cast<long long>(c), static_cast<long long>(r + c));
+  std::printf("  G-2DBC       T = %.4f   (2*sqrt(P) = %.4f)\n",
+              core::g2dbc_cost_formula(P), core::lu_cost_reference(P));
+
+  std::printf("\nsymmetric (Cholesky/SYRK), T = z-bar:\n");
+  if (const auto sbc = core::sbc_params(P)) {
+    std::printf("  SBC %lldx%-5lld T = %.1f\n",
+                static_cast<long long>(sbc->a),
+                static_cast<long long>(sbc->a), sbc->cost());
+  } else {
+    const core::SbcParams fallback = core::best_sbc_at_most(P);
+    std::printf("  SBC: infeasible at P; nearest fallback P = %lld (T = %.1f)\n",
+                static_cast<long long>(fallback.P), fallback.cost());
+  }
+  core::GcrmSearchOptions options;
+  options.seeds = parser.get_int("seeds");
+  if (const auto search = core::gcrm_search(P, options); search.found) {
+    std::printf("  GCR&M %lldx%-3lld T = %.4f   (sqrt(2P) = %.4f, "
+                "sqrt(3P/2) = %.4f)\n",
+                static_cast<long long>(search.best.rows()),
+                static_cast<long long>(search.best.cols()), search.best_cost,
+                core::sbc_cost_reference(P), core::gcrm_cost_limit(P));
+  }
+  return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+  ArgParser parser("anyblock show", "build and render one pattern");
+  parser.add("kind", "g2dbc", "2dbc | g2dbc | sbc | gcrm");
+  parser.add("nodes", "10", "number of nodes P");
+  parser.add("rows", "0", "grid rows (2dbc only; 0 = squarest)");
+  parser.add("r", "0", "pattern size (gcrm only; 0 = search)");
+  parser.add("seed", "0", "random seed (gcrm only)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t P = parser.get_int("nodes");
+  const std::string kind = parser.get("kind");
+  core::Pattern pattern;
+  if (kind == "2dbc") {
+    std::int64_t rows = parser.get_int("rows");
+    if (rows <= 0) rows = core::best_grid(P).first;
+    if (P % rows != 0) {
+      std::fprintf(stderr, "rows must divide P\n");
+      return 1;
+    }
+    pattern = core::make_2dbc(rows, P / rows);
+  } else if (kind == "g2dbc") {
+    pattern = core::make_g2dbc(P);
+  } else if (kind == "sbc") {
+    pattern = core::make_sbc(P);
+  } else if (kind == "gcrm") {
+    const std::int64_t r = parser.get_int("r");
+    if (r > 0) {
+      const core::GcrmResult result = core::gcrm_build(
+          P, r, static_cast<std::uint64_t>(parser.get_int("seed")));
+      if (!result.valid) {
+        std::fprintf(stderr, "construction invalid for this (P, r, seed)\n");
+        return 1;
+      }
+      pattern = result.pattern;
+    } else {
+      pattern = core::best_gcrm_pattern(P);
+    }
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());
+    return 1;
+  }
+  std::printf("%s %lldx%lld over %lld nodes, T_lu = %.4f%s\n", kind.c_str(),
+              static_cast<long long>(pattern.rows()),
+              static_cast<long long>(pattern.cols()),
+              static_cast<long long>(pattern.num_nodes()),
+              core::lu_cost(pattern),
+              pattern.is_square()
+                  ? (", T_sym = " + std::to_string(core::cholesky_cost(pattern)))
+                        .c_str()
+                  : "");
+  std::printf("%s", core::render_pattern(pattern).c_str());
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  ArgParser parser("anyblock simulate",
+                   "simulate a factorization under the recommended pattern");
+  parser.add("nodes", "23", "number of nodes P");
+  parser.add("kernel", "lu", "lu | cholesky");
+  parser.add("size", "200000", "matrix size N");
+  parser.add("tile", "1000", "tile size");
+  parser.add("workers", "34", "compute workers per node");
+  parser.add("gflops", "55", "per-core GFlop/s");
+  parser.add("bandwidth", "12.5", "NIC bandwidth GB/s");
+  parser.add("seeds", "100", "GCR&M search restarts");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t P = parser.get_int("nodes");
+  const std::int64_t t = parser.get_int("size") / parser.get_int("tile");
+  const core::Kernel kernel = parse_kernel(parser.get("kernel"));
+  if (kernel == core::Kernel::kSyrk) {
+    std::fprintf(stderr, "simulate supports lu|cholesky\n");
+    return 1;
+  }
+  core::RecommendOptions options;
+  options.search.seeds = parser.get_int("seeds");
+  const core::Recommendation rec = core::recommend_pattern(P, kernel, options);
+
+  sim::MachineConfig machine;
+  machine.nodes = P;
+  machine.workers_per_node = static_cast<int>(parser.get_int("workers"));
+  machine.core_gflops = parser.get_double("gflops");
+  machine.link_bandwidth_gbps = parser.get_double("bandwidth");
+  machine.tile_size = parser.get_int("tile");
+  const bool symmetric = kernel != core::Kernel::kLu;
+  const core::PatternDistribution dist(rec.pattern, t, symmetric, rec.scheme);
+  const sim::SimReport report =
+      symmetric ? sim::simulate_cholesky(t, dist, machine)
+                : sim::simulate_lu(t, dist, machine);
+  std::printf("%s of N=%lld on %lld nodes with %s (T = %.3f):\n",
+              parser.get("kernel").c_str(),
+              static_cast<long long>(parser.get_int("size")),
+              static_cast<long long>(P), rec.scheme.c_str(), rec.cost);
+  std::printf("  time          %.2f s\n", report.makespan_seconds);
+  std::printf("  throughput    %.0f GFlop/s (%.0f per node)\n",
+              report.total_gflops(), report.per_node_gflops());
+  std::printf("  messages      %lld tiles\n",
+              static_cast<long long>(report.messages));
+  std::printf("  efficiency    %.1f%% of machine peak\n",
+              100.0 * report.total_gflops() / machine.peak_gflops());
+  return 0;
+}
+
+int cmd_atlas(int argc, char** argv) {
+  ArgParser parser("anyblock atlas",
+                   "precompute best patterns for a range of node counts");
+  parser.add("min", "2", "smallest P");
+  parser.add("max", "40", "largest P");
+  parser.add("seeds", "50", "GCR&M search restarts");
+  parser.add("out", "pattern_atlas.db", "output path");
+  if (!parser.parse(argc, argv)) return 1;
+
+  core::PatternDatabase db;
+  core::RecommendOptions options;
+  options.search.seeds = parser.get_int("seeds");
+  for (std::int64_t P = parser.get_int("min"); P <= parser.get_int("max");
+       ++P) {
+    db.put(P, core::PatternDatabase::Kind::kNonSymmetric,
+           core::recommend_pattern(P, core::Kernel::kLu).pattern);
+    db.put(P, core::PatternDatabase::Kind::kSymmetric,
+           core::recommend_pattern(P, core::Kernel::kCholesky, options)
+               .pattern);
+    std::fprintf(stderr, "P=%lld done\n", static_cast<long long>(P));
+  }
+  if (!db.save_file(parser.get("out"))) {
+    std::fprintf(stderr, "cannot write %s\n", parser.get("out").c_str());
+    return 1;
+  }
+  std::printf("%zu patterns -> %s\n", db.size(), parser.get("out").c_str());
+  return 0;
+}
+
+void print_usage() {
+  std::puts(
+      "anyblock — data distribution schemes for dense factorizations on any\n"
+      "number of nodes\n\n"
+      "usage: anyblock <command> [options]\n\n"
+      "commands:\n"
+      "  recommend   pick the best scheme for P nodes and a kernel\n"
+      "  cost        list every scheme's communication cost for P nodes\n"
+      "  show        build and render one pattern\n"
+      "  simulate    run the cluster simulator with the recommended pattern\n"
+      "  atlas       precompute a pattern database over a range of P\n\n"
+      "run 'anyblock <command> --help' for the command's options");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses its own options.
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  try {
+    if (command == "recommend") return cmd_recommend(sub_argc, sub_argv);
+    if (command == "cost") return cmd_cost(sub_argc, sub_argv);
+    if (command == "show") return cmd_show(sub_argc, sub_argv);
+    if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "atlas") return cmd_atlas(sub_argc, sub_argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "anyblock %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  print_usage();
+  return 1;
+}
