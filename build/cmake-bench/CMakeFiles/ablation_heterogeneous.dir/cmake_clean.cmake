@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_heterogeneous"
+  "../bench/ablation_heterogeneous.pdb"
+  "CMakeFiles/ablation_heterogeneous.dir/ablation_heterogeneous.cpp.o"
+  "CMakeFiles/ablation_heterogeneous.dir/ablation_heterogeneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

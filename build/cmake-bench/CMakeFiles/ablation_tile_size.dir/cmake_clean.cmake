@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tile_size"
+  "../bench/ablation_tile_size.pdb"
+  "CMakeFiles/ablation_tile_size.dir/ablation_tile_size.cpp.o"
+  "CMakeFiles/ablation_tile_size.dir/ablation_tile_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

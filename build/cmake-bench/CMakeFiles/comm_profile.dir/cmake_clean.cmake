@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/comm_profile"
+  "../bench/comm_profile.pdb"
+  "CMakeFiles/comm_profile.dir/comm_profile.cpp.o"
+  "CMakeFiles/comm_profile.dir/comm_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_2dbc_shapes"
+  "../bench/fig01_2dbc_shapes.pdb"
+  "CMakeFiles/fig01_2dbc_shapes.dir/fig01_2dbc_shapes.cpp.o"
+  "CMakeFiles/fig01_2dbc_shapes.dir/fig01_2dbc_shapes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_2dbc_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_comm_scheme"
+  "../bench/fig02_comm_scheme.pdb"
+  "CMakeFiles/fig02_comm_scheme.dir/fig02_comm_scheme.cpp.o"
+  "CMakeFiles/fig02_comm_scheme.dir/fig02_comm_scheme.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_comm_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_g2dbc_example"
+  "../bench/fig03_g2dbc_example.pdb"
+  "CMakeFiles/fig03_g2dbc_example.dir/fig03_g2dbc_example.cpp.o"
+  "CMakeFiles/fig03_g2dbc_example.dir/fig03_g2dbc_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_g2dbc_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_g2dbc_example.
+# This may be replaced when dependencies are built.

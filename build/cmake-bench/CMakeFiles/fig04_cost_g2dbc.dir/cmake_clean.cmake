@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_cost_g2dbc"
+  "../bench/fig04_cost_g2dbc.pdb"
+  "CMakeFiles/fig04_cost_g2dbc.dir/fig04_cost_g2dbc.cpp.o"
+  "CMakeFiles/fig04_cost_g2dbc.dir/fig04_cost_g2dbc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cost_g2dbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_lu_p23"
+  "../bench/fig05_lu_p23.pdb"
+  "CMakeFiles/fig05_lu_p23.dir/fig05_lu_p23.cpp.o"
+  "CMakeFiles/fig05_lu_p23.dir/fig05_lu_p23.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_lu_p23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_lu_p39"
+  "../bench/fig06_lu_p39.pdb"
+  "CMakeFiles/fig06_lu_p39.dir/fig06_lu_p39.cpp.o"
+  "CMakeFiles/fig06_lu_p39.dir/fig06_lu_p39.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lu_p39.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07a_scaling_lu"
+  "../bench/fig07a_scaling_lu.pdb"
+  "CMakeFiles/fig07a_scaling_lu.dir/fig07a_scaling_lu.cpp.o"
+  "CMakeFiles/fig07a_scaling_lu.dir/fig07a_scaling_lu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_scaling_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

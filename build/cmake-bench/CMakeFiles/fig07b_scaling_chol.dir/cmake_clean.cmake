@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07b_scaling_chol"
+  "../bench/fig07b_scaling_chol.pdb"
+  "CMakeFiles/fig07b_scaling_chol.dir/fig07b_scaling_chol.cpp.o"
+  "CMakeFiles/fig07b_scaling_chol.dir/fig07b_scaling_chol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_scaling_chol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

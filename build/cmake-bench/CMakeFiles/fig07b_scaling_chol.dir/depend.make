@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07b_scaling_chol.
+# This may be replaced when dependencies are built.

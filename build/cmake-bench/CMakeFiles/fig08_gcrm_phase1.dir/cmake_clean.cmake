@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_gcrm_phase1"
+  "../bench/fig08_gcrm_phase1.pdb"
+  "CMakeFiles/fig08_gcrm_phase1.dir/fig08_gcrm_phase1.cpp.o"
+  "CMakeFiles/fig08_gcrm_phase1.dir/fig08_gcrm_phase1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gcrm_phase1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_gcrm_phase1.
+# This may be replaced when dependencies are built.

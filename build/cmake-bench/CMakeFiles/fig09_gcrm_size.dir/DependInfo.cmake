@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_gcrm_size.cpp" "cmake-bench/CMakeFiles/fig09_gcrm_size.dir/fig09_gcrm_size.cpp.o" "gcc" "cmake-bench/CMakeFiles/fig09_gcrm_size.dir/fig09_gcrm_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/cmake-bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/anyblock_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/anyblock_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/anyblock_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anyblock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anyblock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

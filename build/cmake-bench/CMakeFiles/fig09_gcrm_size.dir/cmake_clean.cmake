@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_gcrm_size"
+  "../bench/fig09_gcrm_size.pdb"
+  "CMakeFiles/fig09_gcrm_size.dir/fig09_gcrm_size.cpp.o"
+  "CMakeFiles/fig09_gcrm_size.dir/fig09_gcrm_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gcrm_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

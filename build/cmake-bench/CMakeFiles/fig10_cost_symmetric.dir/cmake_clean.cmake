@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cost_symmetric"
+  "../bench/fig10_cost_symmetric.pdb"
+  "CMakeFiles/fig10_cost_symmetric.dir/fig10_cost_symmetric.cpp.o"
+  "CMakeFiles/fig10_cost_symmetric.dir/fig10_cost_symmetric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cost_symmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

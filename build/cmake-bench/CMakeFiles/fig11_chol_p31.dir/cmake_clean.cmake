@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_chol_p31"
+  "../bench/fig11_chol_p31.pdb"
+  "CMakeFiles/fig11_chol_p31.dir/fig11_chol_p31.cpp.o"
+  "CMakeFiles/fig11_chol_p31.dir/fig11_chol_p31.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_chol_p31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

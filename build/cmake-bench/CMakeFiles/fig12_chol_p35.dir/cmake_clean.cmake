@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_chol_p35"
+  "../bench/fig12_chol_p35.pdb"
+  "CMakeFiles/fig12_chol_p35.dir/fig12_chol_p35.cpp.o"
+  "CMakeFiles/fig12_chol_p35.dir/fig12_chol_p35.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_chol_p35.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

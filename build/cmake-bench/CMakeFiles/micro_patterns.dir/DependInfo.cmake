@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_patterns.cpp" "cmake-bench/CMakeFiles/micro_patterns.dir/micro_patterns.cpp.o" "gcc" "cmake-bench/CMakeFiles/micro_patterns.dir/micro_patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/cmake-bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/anyblock_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/anyblock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/anyblock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

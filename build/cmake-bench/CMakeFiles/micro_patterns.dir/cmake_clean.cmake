@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_patterns"
+  "../bench/micro_patterns.pdb"
+  "CMakeFiles/micro_patterns.dir/micro_patterns.cpp.o"
+  "CMakeFiles/micro_patterns.dir/micro_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/syrk_comparison"
+  "../bench/syrk_comparison.pdb"
+  "CMakeFiles/syrk_comparison.dir/syrk_comparison.cpp.o"
+  "CMakeFiles/syrk_comparison.dir/syrk_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syrk_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

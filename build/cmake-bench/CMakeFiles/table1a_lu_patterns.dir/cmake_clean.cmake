@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1a_lu_patterns"
+  "../bench/table1a_lu_patterns.pdb"
+  "CMakeFiles/table1a_lu_patterns.dir/table1a_lu_patterns.cpp.o"
+  "CMakeFiles/table1a_lu_patterns.dir/table1a_lu_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1a_lu_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1b_chol_patterns"
+  "../bench/table1b_chol_patterns.pdb"
+  "CMakeFiles/table1b_chol_patterns.dir/table1b_chol_patterns.cpp.o"
+  "CMakeFiles/table1b_chol_patterns.dir/table1b_chol_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1b_chol_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cholesky_anynodes"
+  "../examples/cholesky_anynodes.pdb"
+  "CMakeFiles/cholesky_anynodes.dir/cholesky_anynodes.cpp.o"
+  "CMakeFiles/cholesky_anynodes.dir/cholesky_anynodes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_anynodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cluster_lu"
+  "../examples/cluster_lu.pdb"
+  "CMakeFiles/cluster_lu.dir/cluster_lu.cpp.o"
+  "CMakeFiles/cluster_lu.dir/cluster_lu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pattern_atlas"
+  "../examples/pattern_atlas.pdb"
+  "CMakeFiles/pattern_atlas.dir/pattern_atlas.cpp.o"
+  "CMakeFiles/pattern_atlas.dir/pattern_atlas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stf_runtime"
+  "../examples/stf_runtime.pdb"
+  "CMakeFiles/stf_runtime.dir/stf_runtime.cpp.o"
+  "CMakeFiles/stf_runtime.dir/stf_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/verify_numerics"
+  "../examples/verify_numerics.pdb"
+  "CMakeFiles/verify_numerics.dir/verify_numerics.cpp.o"
+  "CMakeFiles/verify_numerics.dir/verify_numerics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

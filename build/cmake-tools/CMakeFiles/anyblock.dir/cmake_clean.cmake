@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/anyblock"
+  "../tools/anyblock.pdb"
+  "CMakeFiles/anyblock.dir/anyblock_cli.cpp.o"
+  "CMakeFiles/anyblock.dir/anyblock_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

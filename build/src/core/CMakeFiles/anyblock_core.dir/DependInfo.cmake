@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/anyblock_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/block_cyclic.cpp" "src/core/CMakeFiles/anyblock_core.dir/block_cyclic.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/block_cyclic.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/anyblock_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/anyblock_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/anyblock_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/g2dbc.cpp" "src/core/CMakeFiles/anyblock_core.dir/g2dbc.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/g2dbc.cpp.o.d"
+  "/root/repo/src/core/gcrm.cpp" "src/core/CMakeFiles/anyblock_core.dir/gcrm.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/gcrm.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/core/CMakeFiles/anyblock_core.dir/pattern.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/pattern.cpp.o.d"
+  "/root/repo/src/core/pattern_io.cpp" "src/core/CMakeFiles/anyblock_core.dir/pattern_io.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/core/pattern_search.cpp" "src/core/CMakeFiles/anyblock_core.dir/pattern_search.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/pattern_search.cpp.o.d"
+  "/root/repo/src/core/recommend.cpp" "src/core/CMakeFiles/anyblock_core.dir/recommend.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/recommend.cpp.o.d"
+  "/root/repo/src/core/sbc.cpp" "src/core/CMakeFiles/anyblock_core.dir/sbc.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/sbc.cpp.o.d"
+  "/root/repo/src/core/transform.cpp" "src/core/CMakeFiles/anyblock_core.dir/transform.cpp.o" "gcc" "src/core/CMakeFiles/anyblock_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

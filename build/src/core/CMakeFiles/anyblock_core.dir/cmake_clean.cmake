@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_core.dir/analysis.cpp.o"
+  "CMakeFiles/anyblock_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/block_cyclic.cpp.o"
+  "CMakeFiles/anyblock_core.dir/block_cyclic.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/bounds.cpp.o"
+  "CMakeFiles/anyblock_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/cost.cpp.o"
+  "CMakeFiles/anyblock_core.dir/cost.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/distribution.cpp.o"
+  "CMakeFiles/anyblock_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/g2dbc.cpp.o"
+  "CMakeFiles/anyblock_core.dir/g2dbc.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/gcrm.cpp.o"
+  "CMakeFiles/anyblock_core.dir/gcrm.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/pattern.cpp.o"
+  "CMakeFiles/anyblock_core.dir/pattern.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/pattern_io.cpp.o"
+  "CMakeFiles/anyblock_core.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/pattern_search.cpp.o"
+  "CMakeFiles/anyblock_core.dir/pattern_search.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/recommend.cpp.o"
+  "CMakeFiles/anyblock_core.dir/recommend.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/sbc.cpp.o"
+  "CMakeFiles/anyblock_core.dir/sbc.cpp.o.d"
+  "CMakeFiles/anyblock_core.dir/transform.cpp.o"
+  "CMakeFiles/anyblock_core.dir/transform.cpp.o.d"
+  "libanyblock_core.a"
+  "libanyblock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

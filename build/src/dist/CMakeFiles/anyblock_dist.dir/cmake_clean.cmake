@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_dist.dir/dist_factorization.cpp.o"
+  "CMakeFiles/anyblock_dist.dir/dist_factorization.cpp.o.d"
+  "CMakeFiles/anyblock_dist.dir/dist_solve.cpp.o"
+  "CMakeFiles/anyblock_dist.dir/dist_solve.cpp.o.d"
+  "libanyblock_dist.a"
+  "libanyblock_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

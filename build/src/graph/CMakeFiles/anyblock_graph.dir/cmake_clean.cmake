@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_graph.dir/bipartite.cpp.o"
+  "CMakeFiles/anyblock_graph.dir/bipartite.cpp.o.d"
+  "CMakeFiles/anyblock_graph.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/anyblock_graph.dir/hopcroft_karp.cpp.o.d"
+  "libanyblock_graph.a"
+  "libanyblock_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/factorizations.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/factorizations.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/factorizations.cpp.o.d"
+  "/root/repo/src/linalg/generators.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/generators.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/generators.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/kernels.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/kernels.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/solve.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/solve.cpp.o.d"
+  "/root/repo/src/linalg/tiled_matrix.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/tiled_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/tiled_matrix.cpp.o.d"
+  "/root/repo/src/linalg/tiled_panel.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/tiled_panel.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/tiled_panel.cpp.o.d"
+  "/root/repo/src/linalg/verify.cpp" "src/linalg/CMakeFiles/anyblock_linalg.dir/verify.cpp.o" "gcc" "src/linalg/CMakeFiles/anyblock_linalg.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

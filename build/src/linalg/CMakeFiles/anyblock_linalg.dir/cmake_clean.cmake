@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/factorizations.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/factorizations.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/generators.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/generators.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/kernels.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/solve.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/tiled_matrix.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/tiled_matrix.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/tiled_panel.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/tiled_panel.cpp.o.d"
+  "CMakeFiles/anyblock_linalg.dir/verify.cpp.o"
+  "CMakeFiles/anyblock_linalg.dir/verify.cpp.o.d"
+  "libanyblock_linalg.a"
+  "libanyblock_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/stf_factorizations.cpp" "src/runtime/CMakeFiles/anyblock_runtime.dir/stf_factorizations.cpp.o" "gcc" "src/runtime/CMakeFiles/anyblock_runtime.dir/stf_factorizations.cpp.o.d"
+  "/root/repo/src/runtime/task_engine.cpp" "src/runtime/CMakeFiles/anyblock_runtime.dir/task_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/anyblock_runtime.dir/task_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

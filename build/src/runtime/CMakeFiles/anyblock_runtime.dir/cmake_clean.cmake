@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_runtime.dir/stf_factorizations.cpp.o"
+  "CMakeFiles/anyblock_runtime.dir/stf_factorizations.cpp.o.d"
+  "CMakeFiles/anyblock_runtime.dir/task_engine.cpp.o"
+  "CMakeFiles/anyblock_runtime.dir/task_engine.cpp.o.d"
+  "libanyblock_runtime.a"
+  "libanyblock_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

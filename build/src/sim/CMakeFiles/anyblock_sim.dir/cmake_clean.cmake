@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_sim.dir/engine.cpp.o"
+  "CMakeFiles/anyblock_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/anyblock_sim.dir/machine.cpp.o"
+  "CMakeFiles/anyblock_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/anyblock_sim.dir/workload.cpp.o"
+  "CMakeFiles/anyblock_sim.dir/workload.cpp.o.d"
+  "libanyblock_sim.a"
+  "libanyblock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_util.dir/args.cpp.o"
+  "CMakeFiles/anyblock_util.dir/args.cpp.o.d"
+  "CMakeFiles/anyblock_util.dir/csv.cpp.o"
+  "CMakeFiles/anyblock_util.dir/csv.cpp.o.d"
+  "CMakeFiles/anyblock_util.dir/log.cpp.o"
+  "CMakeFiles/anyblock_util.dir/log.cpp.o.d"
+  "CMakeFiles/anyblock_util.dir/math.cpp.o"
+  "CMakeFiles/anyblock_util.dir/math.cpp.o.d"
+  "CMakeFiles/anyblock_util.dir/rng.cpp.o"
+  "CMakeFiles/anyblock_util.dir/rng.cpp.o.d"
+  "libanyblock_util.a"
+  "libanyblock_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

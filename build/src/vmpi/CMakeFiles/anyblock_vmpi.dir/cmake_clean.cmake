@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_vmpi.dir/vmpi.cpp.o"
+  "CMakeFiles/anyblock_vmpi.dir/vmpi.cpp.o.d"
+  "libanyblock_vmpi.a"
+  "libanyblock_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

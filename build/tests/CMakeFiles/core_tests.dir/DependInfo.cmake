@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/atlas_artifact_test.cpp" "tests/CMakeFiles/core_tests.dir/core/atlas_artifact_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/atlas_artifact_test.cpp.o.d"
+  "/root/repo/tests/core/block_cyclic_test.cpp" "tests/CMakeFiles/core_tests.dir/core/block_cyclic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/block_cyclic_test.cpp.o.d"
+  "/root/repo/tests/core/bounds_test.cpp" "tests/CMakeFiles/core_tests.dir/core/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bounds_test.cpp.o.d"
+  "/root/repo/tests/core/cost_crosscheck_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cost_crosscheck_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cost_crosscheck_test.cpp.o.d"
+  "/root/repo/tests/core/cost_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cost_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cost_test.cpp.o.d"
+  "/root/repo/tests/core/distribution_test.cpp" "tests/CMakeFiles/core_tests.dir/core/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/distribution_test.cpp.o.d"
+  "/root/repo/tests/core/g2dbc_test.cpp" "tests/CMakeFiles/core_tests.dir/core/g2dbc_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/g2dbc_test.cpp.o.d"
+  "/root/repo/tests/core/gcrm_test.cpp" "tests/CMakeFiles/core_tests.dir/core/gcrm_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/gcrm_test.cpp.o.d"
+  "/root/repo/tests/core/pattern_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pattern_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pattern_io_test.cpp.o.d"
+  "/root/repo/tests/core/pattern_search_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pattern_search_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pattern_search_test.cpp.o.d"
+  "/root/repo/tests/core/pattern_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pattern_test.cpp.o.d"
+  "/root/repo/tests/core/recommend_test.cpp" "tests/CMakeFiles/core_tests.dir/core/recommend_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/recommend_test.cpp.o.d"
+  "/root/repo/tests/core/sbc_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sbc_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sbc_test.cpp.o.d"
+  "/root/repo/tests/core/theory_properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/theory_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/theory_properties_test.cpp.o.d"
+  "/root/repo/tests/core/transform_test.cpp" "tests/CMakeFiles/core_tests.dir/core/transform_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anyblock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_tests.dir/dist/dist_factorization_test.cpp.o"
+  "CMakeFiles/dist_tests.dir/dist/dist_factorization_test.cpp.o.d"
+  "CMakeFiles/dist_tests.dir/dist/dist_gemm_test.cpp.o"
+  "CMakeFiles/dist_tests.dir/dist/dist_gemm_test.cpp.o.d"
+  "CMakeFiles/dist_tests.dir/dist/dist_solve_test.cpp.o"
+  "CMakeFiles/dist_tests.dir/dist/dist_solve_test.cpp.o.d"
+  "CMakeFiles/dist_tests.dir/dist/dist_syrk_test.cpp.o"
+  "CMakeFiles/dist_tests.dir/dist/dist_syrk_test.cpp.o.d"
+  "dist_tests"
+  "dist_tests.pdb"
+  "dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/dense_matrix_test.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/dense_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/dense_matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/factorizations_test.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/factorizations_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/factorizations_test.cpp.o.d"
+  "/root/repo/tests/linalg/kernels_test.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/kernels_test.cpp.o.d"
+  "/root/repo/tests/linalg/solve_test.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/solve_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/solve_test.cpp.o.d"
+  "/root/repo/tests/linalg/syrk_test.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/syrk_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/syrk_test.cpp.o.d"
+  "/root/repo/tests/linalg/tiled_matrix_test.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/tiled_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/tiled_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anyblock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg/dense_matrix_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/dense_matrix_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/factorizations_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/factorizations_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/kernels_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/kernels_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/solve_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/solve_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/syrk_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/syrk_test.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/tiled_matrix_test.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/tiled_matrix_test.cpp.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+  "linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

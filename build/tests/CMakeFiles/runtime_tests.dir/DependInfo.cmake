@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/engine_stress_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/engine_stress_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/engine_stress_test.cpp.o.d"
+  "/root/repo/tests/runtime/stf_factorizations_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/stf_factorizations_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/stf_factorizations_test.cpp.o.d"
+  "/root/repo/tests/runtime/stf_syrk_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/stf_syrk_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/stf_syrk_test.cpp.o.d"
+  "/root/repo/tests/runtime/task_engine_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/task_engine_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/task_engine_test.cpp.o.d"
+  "/root/repo/tests/runtime/tracing_test.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/tracing_test.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/tracing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anyblock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/anyblock_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

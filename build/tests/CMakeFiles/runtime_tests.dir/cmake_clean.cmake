@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tests.dir/runtime/engine_stress_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/engine_stress_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/stf_factorizations_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/stf_factorizations_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/stf_syrk_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/stf_syrk_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/task_engine_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/task_engine_test.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/tracing_test.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/tracing_test.cpp.o.d"
+  "runtime_tests"
+  "runtime_tests.pdb"
+  "runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmpi_tests.dir/vmpi/vmpi_stress_test.cpp.o"
+  "CMakeFiles/vmpi_tests.dir/vmpi/vmpi_stress_test.cpp.o.d"
+  "CMakeFiles/vmpi_tests.dir/vmpi/vmpi_test.cpp.o"
+  "CMakeFiles/vmpi_tests.dir/vmpi/vmpi_test.cpp.o.d"
+  "vmpi_tests"
+  "vmpi_tests.pdb"
+  "vmpi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmpi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
