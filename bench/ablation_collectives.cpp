@@ -1,51 +1,93 @@
-// Ablation: point-to-point eager sends vs a binomial broadcast tree.
+// Ablation: the three tile-multicast collectives, simulated AND measured.
 //
 // The paper notes Chameleon "does not make use of complex collective
 // communication schemes: each inter-node communication uses a point-to-
 // point MPI communication" (Section II-C), which is why the message count
 // is proportional to the communication volume.  This ablation measures
-// what forwarding trees would buy each distribution: high-T patterns (many
-// receivers per tile) should gain the most.
+// what forwarding collectives would buy each distribution, and puts the
+// three model layers side by side for every algorithm:
+//   sim_gflops / speedup   — full-size cluster simulation,
+//   predicted_messages     — closed form (core::exact_lu_messages),
+//   sim_messages           — simulator total at the small validation size,
+//   measured_messages      — vmpi counters of a real distributed_lu run.
+// The last three agree exactly per algorithm; high-T patterns (many
+// receivers per tile) gain the most from the tree.
 #include <cstdio>
 #include <iostream>
 
+#include "comm/config.hpp"
 #include "common.hpp"
 #include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
 #include "core/g2dbc.hpp"
+#include "dist/dist_factorization.hpp"
+#include "linalg/generators.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 
 using namespace anyblock;
 
 int main(int argc, char** argv) {
   ArgParser parser("ablation_collectives",
-                   "serial eager sends vs binomial broadcast trees (LU)");
+                   "eager p2p vs binomial tree vs pipelined chain (LU)");
   bench::add_machine_options(parser);
-  parser.add("size", "100000", "matrix size N");
+  parser.add("size", "100000", "matrix size N (simulated throughput)");
+  parser.add("vt", "16", "tile grid side of the measured validation run");
+  parser.add("chunks", "4", "chunks per tile for the pipelined chain");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t n = parser.get_int("size");
   const std::int64_t t = n / parser.get_int("tile");
+  const std::int64_t vt = parser.get_int("vt");
   const std::vector<bench::Candidate> candidates = {
       {"2DBC 23x1", core::make_2dbc(23, 1)},
       {"2DBC 7x3", core::make_2dbc(7, 3)},
       {"G-2DBC P=23", core::make_g2dbc(23)},
   };
+  const comm::Algorithm algorithms[] = {comm::Algorithm::kEagerP2P,
+                                        comm::Algorithm::kBinomialTree,
+                                        comm::Algorithm::kPipelinedChain};
 
-  std::fprintf(stderr, "ablation_collectives: LU, N=%lld (t=%lld)\n",
-               static_cast<long long>(n), static_cast<long long>(t));
+  std::fprintf(stderr,
+               "ablation_collectives: LU, N=%lld (t=%lld), validation t=%lld\n",
+               static_cast<long long>(n), static_cast<long long>(t),
+               static_cast<long long>(vt));
   CsvWriter csv(std::cout);
-  csv.header({"distribution", "P", "p2p_gflops", "tree_gflops",
-              "tree_speedup"});
+  csv.header({"distribution", "P", "collective", "sim_gflops", "speedup",
+              "predicted_messages", "sim_messages", "measured_messages"});
   for (const auto& candidate : candidates) {
-    sim::MachineConfig machine =
-        bench::machine_from(parser, candidate.pattern.num_nodes());
+    const std::int64_t P = candidate.pattern.num_nodes();
     const core::PatternDistribution dist(candidate.pattern, t, false);
-    machine.tree_broadcast = false;
-    const double p2p = sim::simulate_lu(t, dist, machine).total_gflops();
-    machine.tree_broadcast = true;
-    const double tree = sim::simulate_lu(t, dist, machine).total_gflops();
-    csv.row(candidate.label, candidate.pattern.num_nodes(), p2p, tree,
-            tree / p2p);
+    const core::PatternDistribution vdist(candidate.pattern, vt, false);
+
+    // One small real matrix per candidate, factored under every algorithm.
+    constexpr std::int64_t kNb = 4;
+    Rng rng(19);
+    const linalg::DenseMatrix a = linalg::diag_dominant_matrix(vt * kNb, rng);
+    const linalg::TiledMatrix input = linalg::TiledMatrix::from_dense(a, kNb);
+
+    double p2p_gflops = 0.0;
+    for (const comm::Algorithm algorithm : algorithms) {
+      comm::CollectiveConfig config;
+      config.algorithm = algorithm;
+      config.chain_chunks = parser.get_int("chunks");
+
+      sim::MachineConfig machine = bench::machine_from(parser, P);
+      machine.collective = config;
+      const double gflops = sim::simulate_lu(t, dist, machine).total_gflops();
+      if (algorithm == comm::Algorithm::kEagerP2P) p2p_gflops = gflops;
+
+      sim::MachineConfig vmachine = bench::machine_from(parser, P);
+      vmachine.collective = config;
+      const std::int64_t sim_messages =
+          sim::simulate_lu(vt, vdist, vmachine).messages;
+      const std::int64_t predicted = core::exact_lu_messages(vdist, vt, config);
+      const dist::DistRunResult run = dist::distributed_lu(input, vdist, config);
+
+      csv.row(candidate.label, P, comm::algorithm_name(algorithm), gflops,
+              gflops / p2p_gflops, predicted, sim_messages,
+              run.ok ? run.tile_messages : -1);
+    }
   }
   return 0;
 }

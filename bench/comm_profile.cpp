@@ -1,16 +1,20 @@
 // Per-iteration communication profile (the structure behind Eq. 1/Eq. 2).
 //
 // For each distribution, prints the tiles sent at every factorization
-// iteration: the steady-state volume decreases linearly with the trailing
+// iteration — the steady-state volume decreases linearly with the trailing
 // matrix (the (m - l) factor of Section III) and collapses over the last
-// r/c iterations (the edge effects the equations neglect), plus the
-// per-node sender totals and their imbalance.
+// r/c iterations (the edge effects the equations neglect) — alongside the
+// per-iteration *message* counts of each collective algorithm (p2p and
+// tree equal the tile count; the chain multiplies it by the chunk count).
+// Sender totals and their imbalance go to stderr.
 #include <cstdio>
 #include <iostream>
 
+#include "comm/config.hpp"
 #include "common.hpp"
 #include "core/analysis.hpp"
 #include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
 #include "core/g2dbc.hpp"
 #include "core/sbc.hpp"
 #include "util/csv.hpp"
@@ -21,29 +25,56 @@ int main(int argc, char** argv) {
   ArgParser parser("comm_profile",
                    "per-iteration communication volume per distribution");
   parser.add("t", "48", "tile grid side");
+  parser.add("chunks", "4", "chunks per tile for the pipelined chain");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t t = parser.get_int("t");
   struct Row {
     const char* kernel;
     const char* label;
+    core::Pattern pattern;
     core::CommProfile profile;
   };
+  const auto lu_row = [&](const char* label, core::Pattern pattern) {
+    auto profile = core::lu_comm_profile(pattern, t);
+    return Row{"lu", label, std::move(pattern), std::move(profile)};
+  };
+  const auto chol_row = [&](const char* label, core::Pattern pattern) {
+    auto profile = core::cholesky_comm_profile(pattern, t);
+    return Row{"cholesky", label, std::move(pattern), std::move(profile)};
+  };
   const std::vector<Row> rows = {
-      {"lu", "2DBC 4x4", core::lu_comm_profile(core::make_2dbc(4, 4), t)},
-      {"lu", "2DBC 23x1", core::lu_comm_profile(core::make_2dbc(23, 1), t)},
-      {"lu", "G-2DBC P=23", core::lu_comm_profile(core::make_g2dbc(23), t)},
-      {"cholesky", "2DBC 5x5",
-       core::cholesky_comm_profile(core::make_2dbc(5, 5), t)},
-      {"cholesky", "SBC P=21",
-       core::cholesky_comm_profile(core::make_sbc(21), t)},
+      lu_row("2DBC 4x4", core::make_2dbc(4, 4)),
+      lu_row("2DBC 23x1", core::make_2dbc(23, 1)),
+      lu_row("G-2DBC P=23", core::make_g2dbc(23)),
+      chol_row("2DBC 5x5", core::make_2dbc(5, 5)),
+      chol_row("SBC P=21", core::make_sbc(21)),
   };
 
+  comm::CollectiveConfig p2p;
+  comm::CollectiveConfig tree;
+  tree.algorithm = comm::Algorithm::kBinomialTree;
+  comm::CollectiveConfig chain;
+  chain.algorithm = comm::Algorithm::kPipelinedChain;
+  chain.chain_chunks = parser.get_int("chunks");
+
   CsvWriter csv(std::cout);
-  csv.header({"kernel", "distribution", "iteration", "tiles_sent"});
+  csv.header({"kernel", "distribution", "iteration", "tiles_sent",
+              "p2p_messages", "tree_messages", "chain_messages"});
   for (const auto& row : rows) {
-    for (std::size_t l = 0; l < row.profile.per_iteration.size(); ++l)
-      csv.row(row.kernel, row.label, l, row.profile.per_iteration[l]);
+    const bool symmetric = std::string(row.kernel) == "cholesky";
+    const core::PatternDistribution dist(row.pattern, t, symmetric);
+    const auto profile_for = [&](const comm::CollectiveConfig& config) {
+      return symmetric ? core::cholesky_message_profile(dist, t, config)
+                       : core::lu_message_profile(dist, t, config);
+    };
+    const auto p2p_messages = profile_for(p2p);
+    const auto tree_messages = profile_for(tree);
+    const auto chain_messages = profile_for(chain);
+    for (std::size_t l = 0; l < row.profile.per_iteration.size(); ++l) {
+      csv.row(row.kernel, row.label, l, row.profile.per_iteration[l],
+              p2p_messages[l], tree_messages[l], chain_messages[l]);
+    }
   }
   for (const auto& row : rows) {
     std::fprintf(stderr, "%-9s %-12s total=%lld sender-imbalance=%.3f\n",

@@ -153,8 +153,9 @@ cmake-bench/CMakeFiles/comm_profile.dir/comm_profile.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/bench/common.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/src/comm/config.hpp \
+ /root/repo/bench/common.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/distribution.hpp \
@@ -210,6 +211,6 @@ cmake-bench/CMakeFiles/comm_profile.dir/comm_profile.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/core/analysis.hpp /root/repo/src/core/block_cyclic.hpp \
- /root/repo/src/core/g2dbc.hpp /root/repo/src/core/sbc.hpp \
- /root/repo/src/util/csv.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/core/cost.hpp /root/repo/src/core/g2dbc.hpp \
+ /root/repo/src/core/sbc.hpp /root/repo/src/util/csv.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

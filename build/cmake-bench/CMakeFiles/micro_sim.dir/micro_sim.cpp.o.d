@@ -185,8 +185,9 @@ cmake-bench/CMakeFiles/micro_sim.dir/micro_sim.cpp.o: \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/pattern.hpp \
  /root/repo/src/core/g2dbc.hpp /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/machine.hpp /root/repo/src/sim/workload.hpp \
- /root/repo/src/core/distribution.hpp /usr/include/c++/12/memory \
+ /root/repo/src/sim/machine.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/sim/workload.hpp /root/repo/src/core/distribution.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

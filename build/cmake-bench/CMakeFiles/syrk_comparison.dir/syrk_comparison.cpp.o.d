@@ -205,9 +205,9 @@ cmake-bench/CMakeFiles/syrk_comparison.dir/syrk_comparison.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/pattern.hpp \
  /root/repo/src/sim/engine.hpp /root/repo/src/sim/machine.hpp \
- /root/repo/src/sim/workload.hpp /root/repo/src/util/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/comm/config.hpp /root/repo/src/sim/workload.hpp \
+ /root/repo/src/util/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/cost.hpp \
  /root/repo/src/core/pattern_search.hpp /root/repo/src/core/gcrm.hpp \

@@ -123,8 +123,8 @@ cmake-examples/CMakeFiles/cluster_lu.dir/cluster_lu.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/block_cyclic.hpp \
  /root/repo/src/core/pattern.hpp /root/repo/src/core/cost.hpp \
- /root/repo/src/core/distribution.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/comm/config.hpp /root/repo/src/core/distribution.hpp \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

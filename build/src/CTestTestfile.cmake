@@ -7,8 +7,9 @@
 subdirs("util")
 subdirs("graph")
 subdirs("linalg")
+subdirs("vmpi")
+subdirs("comm")
 subdirs("core")
 subdirs("runtime")
-subdirs("vmpi")
 subdirs("dist")
 subdirs("sim")

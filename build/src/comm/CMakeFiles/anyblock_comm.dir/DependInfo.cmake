@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/config.cpp" "src/comm/CMakeFiles/anyblock_comm.dir/config.cpp.o" "gcc" "src/comm/CMakeFiles/anyblock_comm.dir/config.cpp.o.d"
+  "/root/repo/src/comm/multicast.cpp" "src/comm/CMakeFiles/anyblock_comm.dir/multicast.cpp.o" "gcc" "src/comm/CMakeFiles/anyblock_comm.dir/multicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmpi/CMakeFiles/anyblock_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anyblock_comm.dir/config.cpp.o"
+  "CMakeFiles/anyblock_comm.dir/config.cpp.o.d"
+  "CMakeFiles/anyblock_comm.dir/multicast.cpp.o"
+  "CMakeFiles/anyblock_comm.dir/multicast.cpp.o.d"
+  "libanyblock_comm.a"
+  "libanyblock_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anyblock_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanyblock_comm.a"
+)

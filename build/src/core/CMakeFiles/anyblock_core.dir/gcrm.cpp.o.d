@@ -136,8 +136,8 @@ src/core/CMakeFiles/anyblock_core.dir/gcrm.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/core/cost.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/core/distribution.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

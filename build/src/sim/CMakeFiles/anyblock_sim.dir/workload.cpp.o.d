@@ -203,4 +203,4 @@ src/sim/CMakeFiles/anyblock_sim.dir/workload.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/pattern.hpp \
- /root/repo/src/sim/machine.hpp
+ /root/repo/src/sim/machine.hpp /root/repo/src/comm/config.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_tests.dir/comm/multicast_test.cpp.o"
+  "CMakeFiles/comm_tests.dir/comm/multicast_test.cpp.o.d"
+  "comm_tests"
+  "comm_tests.pdb"
+  "comm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

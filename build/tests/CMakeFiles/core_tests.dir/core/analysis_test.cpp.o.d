@@ -294,5 +294,5 @@ tests/CMakeFiles/core_tests.dir/core/analysis_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/cost.hpp \
- /root/repo/src/core/g2dbc.hpp /root/repo/src/core/gcrm.hpp \
- /root/repo/src/core/sbc.hpp
+ /root/repo/src/comm/config.hpp /root/repo/src/core/g2dbc.hpp \
+ /root/repo/src/core/gcrm.hpp /root/repo/src/core/sbc.hpp

@@ -297,5 +297,6 @@ tests/CMakeFiles/core_tests.dir/core/atlas_artifact_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/bounds.hpp \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /root/repo/src/core/pattern.hpp /root/repo/src/core/pattern_io.hpp
+ /root/repo/src/core/cost.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/core/pattern.hpp \
+ /root/repo/src/core/pattern_io.hpp

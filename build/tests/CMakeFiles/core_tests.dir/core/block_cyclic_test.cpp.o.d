@@ -315,4 +315,4 @@ tests/CMakeFiles/core_tests.dir/core/block_cyclic_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/cost.hpp \
- /root/repo/src/core/distribution.hpp
+ /root/repo/src/comm/config.hpp /root/repo/src/core/distribution.hpp

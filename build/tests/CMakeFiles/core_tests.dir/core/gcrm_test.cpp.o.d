@@ -296,5 +296,5 @@ tests/CMakeFiles/core_tests.dir/core/gcrm_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /root/repo/src/util/math.hpp
+ /root/repo/src/core/cost.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/util/math.hpp

@@ -295,4 +295,4 @@ tests/CMakeFiles/core_tests.dir/core/sbc_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/bounds.hpp /root/repo/src/core/cost.hpp \
- /root/repo/src/core/distribution.hpp
+ /root/repo/src/comm/config.hpp /root/repo/src/core/distribution.hpp

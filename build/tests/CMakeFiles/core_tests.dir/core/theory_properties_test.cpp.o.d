@@ -318,6 +318,6 @@ tests/CMakeFiles/core_tests.dir/core/theory_properties_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/cost.hpp \
- /root/repo/src/core/distribution.hpp /root/repo/src/core/pattern.hpp \
- /root/repo/src/core/g2dbc.hpp /root/repo/src/core/gcrm.hpp \
- /root/repo/src/core/sbc.hpp
+ /root/repo/src/comm/config.hpp /root/repo/src/core/distribution.hpp \
+ /root/repo/src/core/pattern.hpp /root/repo/src/core/g2dbc.hpp \
+ /root/repo/src/core/gcrm.hpp /root/repo/src/core/sbc.hpp

@@ -316,8 +316,9 @@ tests/CMakeFiles/dist_tests.dir/dist/dist_gemm_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/pattern.hpp \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /root/repo/src/core/g2dbc.hpp /root/repo/src/dist/dist_factorization.hpp \
+ /root/repo/src/core/cost.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/core/g2dbc.hpp \
+ /root/repo/src/dist/dist_factorization.hpp \
  /root/repo/src/linalg/tiled_matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/linalg/dense_matrix.hpp \
  /root/repo/src/linalg/tiled_panel.hpp /root/repo/src/vmpi/vmpi.hpp \

@@ -294,9 +294,9 @@ tests/CMakeFiles/dist_tests.dir/dist/dist_syrk_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/pattern.hpp \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /root/repo/src/core/gcrm.hpp /root/repo/src/core/sbc.hpp \
- /root/repo/src/dist/dist_factorization.hpp \
+ /root/repo/src/core/cost.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/core/gcrm.hpp \
+ /root/repo/src/core/sbc.hpp /root/repo/src/dist/dist_factorization.hpp \
  /root/repo/src/linalg/tiled_matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/linalg/dense_matrix.hpp \
  /root/repo/src/linalg/tiled_panel.hpp /root/repo/src/vmpi/vmpi.hpp \

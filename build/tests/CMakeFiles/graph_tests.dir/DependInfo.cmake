@@ -17,6 +17,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/linalg/CMakeFiles/anyblock_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/anyblock_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/anyblock_vmpi.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

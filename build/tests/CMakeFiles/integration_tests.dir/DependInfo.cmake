@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/dist/CMakeFiles/anyblock_dist.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/anyblock_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/vmpi/CMakeFiles/anyblock_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/anyblock_comm.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

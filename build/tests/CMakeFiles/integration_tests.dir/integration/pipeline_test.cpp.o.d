@@ -294,9 +294,10 @@ tests/CMakeFiles/integration_tests.dir/integration/pipeline_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /root/repo/src/core/pattern.hpp /root/repo/src/core/recommend.hpp \
- /root/repo/src/core/pattern_search.hpp /root/repo/src/core/gcrm.hpp \
+ /root/repo/src/comm/config.hpp /root/repo/src/core/cost.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/core/pattern.hpp \
+ /root/repo/src/core/g2dbc.hpp /root/repo/src/core/pattern_search.hpp \
+ /root/repo/src/core/gcrm.hpp /root/repo/src/core/recommend.hpp \
  /root/repo/src/dist/dist_factorization.hpp \
  /root/repo/src/linalg/tiled_matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/linalg/dense_matrix.hpp \

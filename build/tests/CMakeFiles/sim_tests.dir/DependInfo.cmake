@@ -9,8 +9,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/sim_collectives_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/sim_collectives_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/sim_collectives_test.cpp.o.d"
   "/root/repo/tests/sim/sim_extensions_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/sim_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/sim_extensions_test.cpp.o.d"
-  "/root/repo/tests/sim/tree_broadcast_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/tree_broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/tree_broadcast_test.cpp.o.d"
   "/root/repo/tests/sim/workload_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/workload_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/workload_test.cpp.o.d"
   )
 
@@ -21,6 +21,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/graph/CMakeFiles/anyblock_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/anyblock_util.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/anyblock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/anyblock_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/anyblock_vmpi.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

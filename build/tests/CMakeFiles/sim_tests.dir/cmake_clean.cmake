@@ -1,10 +1,10 @@
 file(REMOVE_RECURSE
   "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o"
   "CMakeFiles/sim_tests.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sim_collectives_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/sim_collectives_test.cpp.o.d"
   "CMakeFiles/sim_tests.dir/sim/sim_extensions_test.cpp.o"
   "CMakeFiles/sim_tests.dir/sim/sim_extensions_test.cpp.o.d"
-  "CMakeFiles/sim_tests.dir/sim/tree_broadcast_test.cpp.o"
-  "CMakeFiles/sim_tests.dir/sim/tree_broadcast_test.cpp.o.d"
   "CMakeFiles/sim_tests.dir/sim/workload_test.cpp.o"
   "CMakeFiles/sim_tests.dir/sim/workload_test.cpp.o.d"
   "sim_tests"

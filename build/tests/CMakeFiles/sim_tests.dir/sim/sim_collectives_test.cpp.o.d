@@ -1,5 +1,5 @@
-tests/CMakeFiles/sim_tests.dir/sim/tree_broadcast_test.cpp.o: \
- /root/repo/tests/sim/tree_broadcast_test.cpp /usr/include/stdc-predef.h \
+tests/CMakeFiles/sim_tests.dir/sim/sim_collectives_test.cpp.o: \
+ /root/repo/tests/sim/sim_collectives_test.cpp /usr/include/stdc-predef.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
@@ -293,7 +293,8 @@ tests/CMakeFiles/sim_tests.dir/sim/tree_broadcast_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/pattern.hpp \
- /root/repo/src/core/g2dbc.hpp /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/machine.hpp /root/repo/src/sim/workload.hpp \
- /root/repo/src/core/distribution.hpp
+ /root/repo/src/comm/config.hpp /root/repo/src/core/block_cyclic.hpp \
+ /root/repo/src/core/pattern.hpp /root/repo/src/core/cost.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/core/g2dbc.hpp \
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/machine.hpp \
+ /root/repo/src/sim/workload.hpp

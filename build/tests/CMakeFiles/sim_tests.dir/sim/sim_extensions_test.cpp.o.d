@@ -294,6 +294,7 @@ tests/CMakeFiles/sim_tests.dir/sim/sim_extensions_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/block_cyclic.hpp /root/repo/src/core/pattern.hpp \
- /root/repo/src/core/cost.hpp /root/repo/src/core/distribution.hpp \
- /root/repo/src/core/sbc.hpp /root/repo/src/sim/engine.hpp \
- /root/repo/src/sim/machine.hpp /root/repo/src/sim/workload.hpp
+ /root/repo/src/core/cost.hpp /root/repo/src/comm/config.hpp \
+ /root/repo/src/core/distribution.hpp /root/repo/src/core/sbc.hpp \
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/machine.hpp \
+ /root/repo/src/sim/workload.hpp

@@ -9,6 +9,7 @@ include("/root/repo/build/tests/graph_tests[1]_include.cmake")
 include("/root/repo/build/tests/linalg_tests[1]_include.cmake")
 include("/root/repo/build/tests/runtime_tests[1]_include.cmake")
 include("/root/repo/build/tests/vmpi_tests[1]_include.cmake")
+include("/root/repo/build/tests/comm_tests[1]_include.cmake")
 include("/root/repo/build/tests/dist_tests[1]_include.cmake")
 include("/root/repo/build/tests/sim_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")

@@ -1,0 +1,68 @@
+#include "comm/config.hpp"
+
+#include <stdexcept>
+
+namespace anyblock::comm {
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kEagerP2P: return "p2p";
+    case Algorithm::kBinomialTree: return "tree";
+    case Algorithm::kPipelinedChain: return "chain";
+  }
+  throw std::invalid_argument("unknown collective algorithm");
+}
+
+Algorithm parse_algorithm(std::string_view name) {
+  if (name == "p2p" || name == "eager") return Algorithm::kEagerP2P;
+  if (name == "tree" || name == "binomial") return Algorithm::kBinomialTree;
+  if (name == "chain" || name == "pipeline") return Algorithm::kPipelinedChain;
+  throw std::invalid_argument("unknown collective algorithm: " +
+                              std::string(name) +
+                              " (expected p2p|tree|chain)");
+}
+
+std::int64_t multicast_messages(std::int64_t receivers,
+                                const CollectiveConfig& config) {
+  if (receivers < 0)
+    throw std::invalid_argument("multicast_messages: negative receiver count");
+  if (receivers == 0) return 0;
+  switch (config.algorithm) {
+    case Algorithm::kEagerP2P:
+    case Algorithm::kBinomialTree: return receivers;
+    case Algorithm::kPipelinedChain:
+      if (config.chain_chunks < 1)
+        throw std::invalid_argument("chain_chunks must be >= 1");
+      return receivers * config.chain_chunks;
+  }
+  throw std::invalid_argument("unknown collective algorithm");
+}
+
+std::int64_t multicast_critical_path(std::int64_t receivers,
+                                     const CollectiveConfig& config) {
+  if (receivers < 0)
+    throw std::invalid_argument(
+        "multicast_critical_path: negative receiver count");
+  if (receivers == 0) return 0;
+  switch (config.algorithm) {
+    case Algorithm::kEagerP2P: return receivers;
+    case Algorithm::kBinomialTree: {
+      // ceil(log2(receivers + 1)): rounds of doubling until the whole
+      // group (producer + receivers) holds the payload.
+      std::int64_t rounds = 0;
+      std::int64_t holders = 1;
+      while (holders < receivers + 1) {
+        holders *= 2;
+        ++rounds;
+      }
+      return rounds;
+    }
+    case Algorithm::kPipelinedChain:
+      if (config.chain_chunks < 1)
+        throw std::invalid_argument("chain_chunks must be >= 1");
+      return receivers + config.chain_chunks - 1;
+  }
+  throw std::invalid_argument("unknown collective algorithm");
+}
+
+}  // namespace anyblock::comm

@@ -1,0 +1,51 @@
+// Tile multicast over vmpi: one producer, an ordered group of consumers.
+//
+// Both sides of a multicast are driven by the *same* deterministic group
+// description — the root rank plus the ordered list of distinct destination
+// ranks (root excluded).  In the owner-computes factorizations every rank
+// can recompute that list from the distribution alone, so no control
+// messages are needed: a receiver derives its position in the group, learns
+// which rank forwards to it, and which ranks it must forward to.
+//
+// Algorithms (selected by CollectiveConfig):
+//   kEagerP2P       root multisends to every destination (shared buffer);
+//                   receivers take one message from the root.
+//   kBinomialTree   positions 0..d with the root at 0 and dests[p-1] at p;
+//                   position p receives from p - 2^floor(log2 p) and
+//                   forwards to p + s for every power of two s > p still in
+//                   range — d messages total, ceil(log2(d+1)) rounds.
+//   kPipelinedChain the payload is cut into config.chain_chunks pieces
+//                   forwarded along the destination list in order; each
+//                   chunk is relayed as soon as it arrives (vmpi's
+//                   per-(source, tag) FIFO keeps chunks ordered) —
+//                   d * chunks messages, d + chunks - 1 pipeline steps.
+//
+// Deadlock discipline: forwarding happens inside multicast_recv, so ranks
+// that belong to several groups must call multicast_recv in a globally
+// consistent order (the dist layer receives published tiles in publication
+// order per iteration, which satisfies this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/config.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace anyblock::comm {
+
+/// Root side: delivers `data` to every rank in `dests` under `config`.
+/// `dests` must be distinct ranks, in the group order every receiver will
+/// also compute, and must not contain the calling rank.
+void multicast_send(vmpi::RankContext& ctx, const CollectiveConfig& config,
+                    std::int64_t tag, const vmpi::Payload& data,
+                    const std::vector<int>& dests);
+
+/// Receiver side: blocks until the payload multicast by `root` under `tag`
+/// arrives, forwarding onward as the algorithm requires.  The calling rank
+/// must appear in `dests`, and (root, dests) must match the sender's call.
+vmpi::Payload multicast_recv(vmpi::RankContext& ctx,
+                             const CollectiveConfig& config, std::int64_t tag,
+                             int root, const std::vector<int>& dests);
+
+}  // namespace anyblock::comm

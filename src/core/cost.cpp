@@ -216,6 +216,85 @@ double predicted_gemm_volume(const Pattern& pattern, std::int64_t t,
          (lu_cost(pattern) - 2.0);
 }
 
+std::vector<std::int64_t> lu_message_profile(
+    const Distribution& distribution, std::int64_t t,
+    const comm::CollectiveConfig& config) {
+  DistinctCounter distinct(distribution.num_nodes());
+  std::vector<std::int64_t> profile(static_cast<std::size_t>(t), 0);
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return distribution.owner(i, j);
+  };
+  const auto cost = [&] {
+    return comm::multicast_messages(distinct.count(), config);
+  };
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    auto& messages = profile[static_cast<std::size_t>(l)];
+    distinct.begin(owner(l, l));
+    for (std::int64_t j = l + 1; j < t; ++j) distinct.add(owner(l, j));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, l));
+    messages += cost();
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j < t; ++j) distinct.add(owner(i, j));
+      messages += cost();
+    }
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      distinct.begin(owner(l, j));
+      for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, j));
+      messages += cost();
+    }
+  }
+  return profile;
+}
+
+std::vector<std::int64_t> cholesky_message_profile(
+    const Distribution& distribution, std::int64_t t,
+    const comm::CollectiveConfig& config) {
+  DistinctCounter distinct(distribution.num_nodes());
+  std::vector<std::int64_t> profile(static_cast<std::size_t>(t), 0);
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return distribution.owner(i, j);
+  };
+  const auto cost = [&] {
+    return comm::multicast_messages(distinct.count(), config);
+  };
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    auto& messages = profile[static_cast<std::size_t>(l)];
+    distinct.begin(owner(l, l));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, l));
+    messages += cost();
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j <= i; ++j) distinct.add(owner(i, j));
+      for (std::int64_t m = i; m < t; ++m) distinct.add(owner(m, i));
+      messages += cost();
+    }
+  }
+  return profile;
+}
+
+namespace {
+
+std::int64_t sum_of(const std::vector<std::int64_t>& values) {
+  std::int64_t total = 0;
+  for (const auto v : values) total += v;
+  return total;
+}
+
+}  // namespace
+
+std::int64_t exact_lu_messages(const Distribution& distribution,
+                               std::int64_t t,
+                               const comm::CollectiveConfig& config) {
+  return sum_of(lu_message_profile(distribution, t, config));
+}
+
+std::int64_t exact_cholesky_messages(const Distribution& distribution,
+                                     std::int64_t t,
+                                     const comm::CollectiveConfig& config) {
+  return sum_of(cholesky_message_profile(distribution, t, config));
+}
+
 std::int64_t exact_gemm_volume(const Pattern& pattern, std::int64_t t,
                                std::int64_t k) {
   const PatternDistribution dist_c(pattern, t, /*symmetric=*/false);

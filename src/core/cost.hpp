@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "comm/config.hpp"
 #include "core/distribution.hpp"
 #include "core/pattern.hpp"
 
@@ -80,5 +82,31 @@ double predicted_gemm_volume(const Pattern& pattern, std::int64_t t,
 /// (non-symmetric binding), A inherits columns mod t, B inherits rows mod t.
 std::int64_t exact_gemm_volume(const Pattern& pattern, std::int64_t t,
                                std::int64_t k);
+
+/// Closed-form message-count predictions per collective algorithm.
+///
+/// Each published tile with d distinct remote consumers costs
+/// comm::multicast_messages(d, config) messages:
+///   p2p   d              (Eq. 1/2 territory: messages == volume)
+///   tree  d              (same count, critical path ceil(log2(d+1)))
+///   chain d * chunks     (every chain link carries every chunk)
+/// These are the numbers the vmpi-measured counters of dist::distributed_*
+/// and the simulator's per-run totals must match *exactly* — the
+/// three-layer cross-check the comm subsystem is built around.
+std::int64_t exact_lu_messages(const Distribution& distribution,
+                               std::int64_t t,
+                               const comm::CollectiveConfig& config);
+std::int64_t exact_cholesky_messages(const Distribution& distribution,
+                                     std::int64_t t,
+                                     const comm::CollectiveConfig& config);
+
+/// Per-iteration breakdown of the exact message counts above (entry l =
+/// messages for tiles published at iteration l); sums to exact_*_messages.
+std::vector<std::int64_t> lu_message_profile(
+    const Distribution& distribution, std::int64_t t,
+    const comm::CollectiveConfig& config);
+std::vector<std::int64_t> cholesky_message_profile(
+    const Distribution& distribution, std::int64_t t,
+    const comm::CollectiveConfig& config);
 
 }  // namespace anyblock::core

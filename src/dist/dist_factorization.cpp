@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+#include "comm/multicast.hpp"
 #include "dist/rank_helpers.hpp"
 #include "linalg/kernels.hpp"
 
@@ -43,53 +45,65 @@ void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
 
 void lu_factorize_rank(RankContext& ctx, TileStore& store,
                        const core::Distribution& distribution, std::int64_t t,
-                       std::int64_t nb, std::atomic<bool>& ok) {
+                       std::int64_t nb, std::atomic<bool>& ok,
+                       const comm::CollectiveConfig& config) {
   const int self = ctx.rank();
   const auto owner = [&](std::int64_t i, std::int64_t j) {
     return distribution.owner(i, j);
   };
 
   for (std::int64_t l = 0; l < t; ++l) {
-    // --- GETRF(l, l) on its owner; broadcast along colrow l.
+    // --- GETRF(l, l) on its owner; multicast along colrow l.  Every rank
+    // rebuilds the identical destination list, so forwarding collectives
+    // can derive their role from the list alone.
+    const auto diag_group = lu_diag_group(distribution, t, l);
     if (owner(l, l) == self) {
       if (!linalg::getrf_nopiv(store.get(l, l), nb)) ok.store(false);
-      DestSet dests(self);
-      for (std::int64_t i = l + 1; i < t; ++i) dests.add(owner(i, l));
-      for (std::int64_t j = l + 1; j < t; ++j) dests.add(owner(l, j));
-      for (const NodeId d : dests.dests())
-        ctx.send(static_cast<int>(d), store.key(l, l), store.get(l, l));
+      comm::multicast_send(ctx, config, store.key(l, l), store.get(l, l),
+                           diag_group);
+    } else {
+      receive_published(store, ctx, config, l, l, owner(l, l), diag_group);
     }
 
-    // --- TRSM on owned column-panel tiles; each result goes to every
-    // distinct owner of the trailing row it feeds.
+    // --- TRSM on owned column-panel tiles; each result is multicast to
+    // every distinct owner of the trailing row it feeds.  TRSM owners are
+    // always diag-group members, so the diagonal tile is local by now.
     for (std::int64_t i = l + 1; i < t; ++i) {
       if (owner(i, l) != self) continue;
-      const Payload& diag = obtain(store, ctx, distribution, l, l);
-      linalg::trsm_right_upper(diag, store.get(i, l), nb);
-      DestSet dests(self);
-      for (std::int64_t j = l + 1; j < t; ++j) dests.add(owner(i, j));
-      for (const NodeId d : dests.dests())
-        ctx.send(static_cast<int>(d), store.key(i, l), store.get(i, l));
+      linalg::trsm_right_upper(store.get(l, l), store.get(i, l), nb);
+      comm::multicast_send(ctx, config, store.key(i, l), store.get(i, l),
+                           lu_col_panel_group(distribution, t, l, i));
     }
 
     // --- TRSM on owned row-panel tiles; results go down the columns.
     for (std::int64_t j = l + 1; j < t; ++j) {
       if (owner(l, j) != self) continue;
-      const Payload& diag = obtain(store, ctx, distribution, l, l);
-      linalg::trsm_left_lower_unit(diag, store.get(l, j), nb);
-      DestSet dests(self);
-      for (std::int64_t i = l + 1; i < t; ++i) dests.add(owner(i, j));
-      for (const NodeId d : dests.dests())
-        ctx.send(static_cast<int>(d), store.key(l, j), store.get(l, j));
+      linalg::trsm_left_lower_unit(store.get(l, l), store.get(l, j), nb);
+      comm::multicast_send(ctx, config, store.key(l, j), store.get(l, j),
+                           lu_row_panel_group(distribution, t, l, j));
+    }
+
+    // --- Receive the published panels in publication order (column panels
+    // ascending i, then row panels ascending j).  The order is identical on
+    // every rank, so relay obligations of the tree and chain algorithms can
+    // never form a cycle; afterwards all GEMM inputs are local.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      if (owner(i, l) == self) continue;
+      receive_published(store, ctx, config, i, l, owner(i, l),
+                        lu_col_panel_group(distribution, t, l, i));
+    }
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      if (owner(l, j) == self) continue;
+      receive_published(store, ctx, config, l, j, owner(l, j),
+                        lu_row_panel_group(distribution, t, l, j));
     }
 
     // --- GEMM updates on owned trailing tiles.
     for (std::int64_t i = l + 1; i < t; ++i) {
       for (std::int64_t j = l + 1; j < t; ++j) {
         if (owner(i, j) != self) continue;
-        const Payload& left = obtain(store, ctx, distribution, i, l);
-        const Payload& top = obtain(store, ctx, distribution, l, j);
-        linalg::gemm_update(left, top, store.get(i, j), nb);
+        linalg::gemm_update(store.get(i, l), store.get(l, j),
+                            store.get(i, j), nb);
       }
     }
   }
@@ -98,7 +112,8 @@ void lu_factorize_rank(RankContext& ctx, TileStore& store,
 void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
                              const core::Distribution& distribution,
                              std::int64_t t, std::int64_t nb,
-                             std::atomic<bool>& ok) {
+                             std::atomic<bool>& ok,
+                             const comm::CollectiveConfig& config) {
   const int self = ctx.rank();
   const auto owner = [&](std::int64_t i, std::int64_t j) {
     return distribution.owner(i, j);
@@ -106,12 +121,13 @@ void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
 
   for (std::int64_t l = 0; l < t; ++l) {
     // --- POTRF(l, l); the factor feeds the TRSMs below it.
+    const auto diag_group = chol_diag_group(distribution, t, l);
     if (owner(l, l) == self) {
       if (!linalg::potrf_lower(store.get(l, l), nb)) ok.store(false);
-      DestSet dests(self);
-      for (std::int64_t i = l + 1; i < t; ++i) dests.add(owner(i, l));
-      for (const NodeId d : dests.dests())
-        ctx.send(static_cast<int>(d), store.key(l, l), store.get(l, l));
+      comm::multicast_send(ctx, config, store.key(l, l), store.get(l, l),
+                           diag_group);
+    } else {
+      receive_published(store, ctx, config, l, l, owner(l, l), diag_group);
     }
 
     // --- TRSM on owned panel tiles; each result travels along *colrow i*
@@ -119,25 +135,31 @@ void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
     // l < j <= i, then column segment (k, i) for k >= i.
     for (std::int64_t i = l + 1; i < t; ++i) {
       if (owner(i, l) != self) continue;
-      const Payload& diag = obtain(store, ctx, distribution, l, l);
-      linalg::trsm_right_lower_trans(diag, store.get(i, l), nb);
-      DestSet dests(self);
-      for (std::int64_t j = l + 1; j <= i; ++j) dests.add(owner(i, j));
-      for (std::int64_t k = i; k < t; ++k) dests.add(owner(k, i));
-      for (const NodeId d : dests.dests())
-        ctx.send(static_cast<int>(d), store.key(i, l), store.get(i, l));
+      linalg::trsm_right_lower_trans(store.get(l, l), store.get(i, l), nb);
+      comm::multicast_send(ctx, config, store.key(i, l), store.get(i, l),
+                           chol_panel_group(distribution, t, l, i));
+    }
+
+    // --- Receive the published panels ascending i (publication order —
+    // the globally consistent order the forwarding algorithms require).
+    // An owned update tile (i, j) needs panels (i, l) and (j, l); its
+    // owner sits on colrow j via cell (i, j) with i >= j, hence is a
+    // member of both panel groups.
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      if (owner(i, l) == self) continue;
+      receive_published(store, ctx, config, i, l, owner(i, l),
+                        chol_panel_group(distribution, t, l, i));
     }
 
     // --- SYRK/GEMM updates on owned trailing tiles (lower triangle).
     for (std::int64_t i = l + 1; i < t; ++i) {
       for (std::int64_t j = l + 1; j <= i; ++j) {
         if (owner(i, j) != self) continue;
-        const Payload& left = obtain(store, ctx, distribution, i, l);
         if (i == j) {
-          linalg::syrk_update_lower(left, store.get(i, i), nb);
+          linalg::syrk_update_lower(store.get(i, l), store.get(i, i), nb);
         } else {
-          const Payload& right = obtain(store, ctx, distribution, j, l);
-          linalg::gemm_update_trans_b(left, right, store.get(i, j), nb);
+          linalg::gemm_update_trans_b(store.get(i, l), store.get(j, l),
+                                      store.get(i, j), nb);
         }
       }
     }
@@ -147,8 +169,9 @@ void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
 }  // namespace detail
 
 namespace {
-using detail::DestSet;
+using detail::GroupBuilder;
 using detail::TileStore;
+using detail::in_group;
 using core::NodeId;
 using linalg::TiledMatrix;
 using vmpi::Payload;
@@ -156,7 +179,8 @@ using vmpi::RankContext;
 }  // namespace
 
 DistRunResult distributed_lu(const TiledMatrix& input,
-                             const core::Distribution& distribution) {
+                             const core::Distribution& distribution,
+                             const comm::CollectiveConfig& config) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   const int ranks = static_cast<int>(distribution.num_nodes());
@@ -169,7 +193,7 @@ DistRunResult distributed_lu(const TiledMatrix& input,
 
   result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
     TileStore store(input, distribution, ctx.rank(), /*lower_only=*/false);
-    detail::lu_factorize_rank(ctx, store, distribution, t, nb, ok);
+    detail::lu_factorize_rank(ctx, store, distribution, t, nb, ok, config);
     factor_messages[static_cast<std::size_t>(ctx.rank())] =
         ctx.traffic().messages_sent;
     detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/false,
@@ -182,7 +206,8 @@ DistRunResult distributed_lu(const TiledMatrix& input,
 }
 
 DistRunResult distributed_cholesky(const TiledMatrix& input,
-                                   const core::Distribution& distribution) {
+                                   const core::Distribution& distribution,
+                                   const comm::CollectiveConfig& config) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   const int ranks = static_cast<int>(distribution.num_nodes());
@@ -195,7 +220,8 @@ DistRunResult distributed_cholesky(const TiledMatrix& input,
 
   result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
     TileStore store(input, distribution, ctx.rank(), /*lower_only=*/true);
-    detail::cholesky_factorize_rank(ctx, store, distribution, t, nb, ok);
+    detail::cholesky_factorize_rank(ctx, store, distribution, t, nb, ok,
+                                    config);
     factor_messages[static_cast<std::size_t>(ctx.rank())] =
         ctx.traffic().messages_sent;
     detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/true,
@@ -210,7 +236,8 @@ DistRunResult distributed_cholesky(const TiledMatrix& input,
 DistRunResult distributed_syrk(const TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const core::Distribution& dist_c,
-                               const core::Distribution& dist_a) {
+                               const core::Distribution& dist_a,
+                               const comm::CollectiveConfig& config) {
   const std::int64_t t = c_input.tiles();
   const std::int64_t k = a_input.tile_cols();
   const std::int64_t nb = c_input.tile_size();
@@ -229,6 +256,13 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
   const auto owner_a = [&](std::int64_t i, std::int64_t l) {
     return dist_a.owner(i, l % t);
   };
+  // A(i, l) travels along colrow i of C (the Cholesky panel pattern).
+  const auto a_group = [&](std::int64_t i, std::int64_t l) {
+    GroupBuilder group(owner_a(i, l));
+    for (std::int64_t j = 0; j <= i; ++j) group.add(dist_c.owner(i, j));
+    for (std::int64_t m = i; m < t; ++m) group.add(dist_c.owner(m, i));
+    return std::move(group).take();
+  };
 
   result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
     const int self = ctx.rank();
@@ -243,36 +277,33 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
         a_tiles.emplace(a_tag(i, l), Payload(tile.begin(), tile.end()));
       }
     }
-    const auto obtain_a = [&](std::int64_t i, std::int64_t l) -> Payload& {
-      const std::int64_t tag = a_tag(i, l);
-      auto it = a_tiles.find(tag);
-      if (it == a_tiles.end()) {
-        it = a_tiles
-                 .emplace(tag, ctx.recv(static_cast<int>(owner_a(i, l)), tag))
-                 .first;
-      }
-      return it->second;
-    };
 
     for (std::int64_t l = 0; l < k; ++l) {
-      // Broadcast owned panel tiles along their C colrows.
+      // Multicast owned panel tiles along their C colrows; consumers
+      // receive ascending i — the same order on every rank, so the
+      // forwarding collectives cannot deadlock.
       for (std::int64_t i = 0; i < t; ++i) {
-        if (owner_a(i, l) != self) continue;
-        DestSet dests(self);
-        for (std::int64_t j = 0; j <= i; ++j) dests.add(dist_c.owner(i, j));
-        for (std::int64_t m = i; m < t; ++m) dests.add(dist_c.owner(m, i));
-        for (const NodeId d : dests.dests())
-          ctx.send(static_cast<int>(d), a_tag(i, l), a_tiles.at(a_tag(i, l)));
+        const auto dests = a_group(i, l);
+        if (owner_a(i, l) == self) {
+          comm::multicast_send(ctx, config, a_tag(i, l),
+                               a_tiles.at(a_tag(i, l)), dests);
+        } else if (in_group(self, dests)) {
+          a_tiles.emplace(a_tag(i, l),
+                          comm::multicast_recv(
+                              ctx, config, a_tag(i, l),
+                              static_cast<int>(owner_a(i, l)), dests));
+        }
       }
-      // Update owned C tiles.
+      // Update owned C tiles; the colrow memberships above guarantee both
+      // A inputs of every owned tile are local.
       for (std::int64_t i = 0; i < t; ++i) {
         for (std::int64_t j = 0; j <= i; ++j) {
           if (dist_c.owner(i, j) != self) continue;
-          const Payload& left = obtain_a(i, l);
+          const Payload& left = a_tiles.at(a_tag(i, l));
           if (i == j) {
             linalg::syrk_update_lower(left, store.get(i, i), nb);
           } else {
-            linalg::gemm_update_trans_b(left, obtain_a(j, l),
+            linalg::gemm_update_trans_b(left, a_tiles.at(a_tag(j, l)),
                                         store.get(i, j), nb);
           }
         }
@@ -313,7 +344,8 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
 DistRunResult distributed_gemm(const TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const linalg::TiledPanel& b_input,
-                               const core::Distribution& dist) {
+                               const core::Distribution& dist,
+                               const comm::CollectiveConfig& config) {
   const std::int64_t t = c_input.tiles();
   const std::int64_t k = a_input.tile_cols();
   const std::int64_t nb = c_input.tile_size();
@@ -339,6 +371,17 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
   const auto owner_b = [&](std::int64_t l, std::int64_t j) {
     return dist.owner(l % t, j);
   };
+  // A(i, l) travels along row i of C; B(l, j) travels down column j.
+  const auto a_group = [&](std::int64_t i, std::int64_t l) {
+    GroupBuilder group(owner_a(i, l));
+    for (std::int64_t j = 0; j < t; ++j) group.add(dist.owner(i, j));
+    return std::move(group).take();
+  };
+  const auto b_group = [&](std::int64_t l, std::int64_t j) {
+    GroupBuilder group(owner_b(l, j));
+    for (std::int64_t i = 0; i < t; ++i) group.add(dist.owner(i, j));
+    return std::move(group).take();
+  };
 
   result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
     const int self = ctx.rank();
@@ -359,37 +402,31 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
         }
       }
     }
-    const auto obtain_input = [&](std::int64_t tag, NodeId owner) -> Payload& {
-      auto it = inputs.find(tag);
-      if (it == inputs.end()) {
-        it = inputs.emplace(tag, ctx.recv(static_cast<int>(owner), tag)).first;
+    // Send-or-receive one published input tile; publication order (A rows
+    // ascending, then B columns ascending) is the globally consistent
+    // receive order that keeps the forwarding collectives deadlock-free.
+    const auto exchange = [&](std::int64_t tag, NodeId root,
+                              const std::vector<int>& dests) {
+      if (root == self) {
+        comm::multicast_send(ctx, config, tag, inputs.at(tag), dests);
+      } else if (in_group(self, dests)) {
+        inputs.emplace(tag, comm::multicast_recv(ctx, config, tag,
+                                                 static_cast<int>(root),
+                                                 dests));
       }
-      return it->second;
     };
 
     for (std::int64_t l = 0; l < k; ++l) {
-      // Broadcast owned A tiles along their C rows, B tiles down columns.
-      for (std::int64_t i = 0; i < t; ++i) {
-        if (owner_a(i, l) != self) continue;
-        DestSet dests(self);
-        for (std::int64_t j = 0; j < t; ++j) dests.add(dist.owner(i, j));
-        for (const NodeId d : dests.dests())
-          ctx.send(static_cast<int>(d), a_tag(i, l), inputs.at(a_tag(i, l)));
-      }
-      for (std::int64_t j = 0; j < t; ++j) {
-        if (owner_b(l, j) != self) continue;
-        DestSet dests(self);
-        for (std::int64_t i = 0; i < t; ++i) dests.add(dist.owner(i, j));
-        for (const NodeId d : dests.dests())
-          ctx.send(static_cast<int>(d), b_tag(l, j), inputs.at(b_tag(l, j)));
-      }
-      // Accumulate owned C tiles.
+      for (std::int64_t i = 0; i < t; ++i)
+        exchange(a_tag(i, l), owner_a(i, l), a_group(i, l));
+      for (std::int64_t j = 0; j < t; ++j)
+        exchange(b_tag(l, j), owner_b(l, j), b_group(l, j));
+      // Accumulate owned C tiles; all inputs are local by now.
       for (std::int64_t i = 0; i < t; ++i) {
         for (std::int64_t j = 0; j < t; ++j) {
           if (dist.owner(i, j) != self) continue;
-          const Payload& left = obtain_input(a_tag(i, l), owner_a(i, l));
-          const Payload& right = obtain_input(b_tag(l, j), owner_b(l, j));
-          linalg::gemm(1.0, left, false, right, false, 1.0, store.get(i, j),
+          linalg::gemm(1.0, inputs.at(a_tag(i, l)), false,
+                       inputs.at(b_tag(l, j)), false, 1.0, store.get(i, j),
                        nb);
         }
       }

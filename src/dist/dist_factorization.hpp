@@ -2,17 +2,19 @@
 //
 // Each node (thread rank) owns the tiles its Distribution assigns to it and
 // performs every task writing those tiles (the owner-computes rule of
-// Section II-C); input tiles it lacks arrive as point-to-point messages,
-// one tile per message, sent eagerly by the producing node to every
-// distinct consumer node.  The send sets are exactly the communication
-// scheme of Fig. 2 — so the measured per-run message counts equal
-// exact_lu_volume / exact_cholesky_volume, and (up to edge effects) the
-// Eq. 1 / Eq. 2 predictions.  That equality, plus factorization residuals,
-// is what the integration tests assert.
+// Section II-C); input tiles it lacks arrive through a comm::Multicast
+// collective rooted at the producing node, whose destination list is
+// exactly the communication scheme of Fig. 2.  Under the default eager-p2p
+// algorithm the measured per-run message counts equal exact_lu_volume /
+// exact_cholesky_volume, and (up to edge effects) the Eq. 1 / Eq. 2
+// predictions; under every algorithm they equal the closed-form
+// exact_*_messages of core/cost.  Those equalities, plus factorization
+// residuals, are what the integration tests assert.
 #pragma once
 
 #include <cstdint>
 
+#include "comm/config.hpp"
 #include "core/distribution.hpp"
 #include "linalg/tiled_matrix.hpp"
 #include "linalg/tiled_panel.hpp"
@@ -33,14 +35,17 @@ struct DistRunResult {
 };
 
 /// Distributed right-looking LU without pivoting.  `distribution` must map
-/// node ids in [0, P) and serve at least input.tiles() tiles.
+/// node ids in [0, P) and serve at least input.tiles() tiles.  `config`
+/// selects the tile-multicast collective (eager p2p by default).
 DistRunResult distributed_lu(const linalg::TiledMatrix& input,
-                             const core::Distribution& distribution);
+                             const core::Distribution& distribution,
+                             const comm::CollectiveConfig& config = {});
 
 /// Distributed right-looking lower Cholesky (tiles strictly above the
 /// diagonal are neither referenced nor communicated).
 DistRunResult distributed_cholesky(const linalg::TiledMatrix& input,
-                                   const core::Distribution& distribution);
+                                   const core::Distribution& distribution,
+                                   const comm::CollectiveConfig& config = {});
 
 /// Distributed SYRK: C := C - A*A^T on the lower triangle of C.  C tiles
 /// follow `dist_c` (owner computes); A tiles follow `dist_a` with column l
@@ -50,7 +55,8 @@ DistRunResult distributed_cholesky(const linalg::TiledMatrix& input,
 DistRunResult distributed_syrk(const linalg::TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const core::Distribution& dist_c,
-                               const core::Distribution& dist_a);
+                               const core::Distribution& dist_a,
+                               const comm::CollectiveConfig& config = {});
 
 /// Distributed GEMM: C := C + A*B with A of t x k tiles and B of k x t.
 /// A(i, l) is broadcast along row i of C and B(l, j) down column j — the
@@ -60,6 +66,7 @@ DistRunResult distributed_syrk(const linalg::TiledMatrix& c_input,
 DistRunResult distributed_gemm(const linalg::TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const linalg::TiledPanel& b_input,
-                               const core::Distribution& dist);
+                               const core::Distribution& dist,
+                               const comm::CollectiveConfig& config = {});
 
 }  // namespace anyblock::dist

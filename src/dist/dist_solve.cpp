@@ -5,13 +5,15 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "comm/multicast.hpp"
 #include "dist/rank_helpers.hpp"
 
 namespace anyblock::dist {
 namespace {
 
-using detail::DestSet;
+using detail::GroupBuilder;
 using detail::TileStore;
+using detail::in_group;
 using core::NodeId;
 using vmpi::Payload;
 using vmpi::RankContext;
@@ -46,20 +48,24 @@ enum class Pass { kLuForward, kLuBackward, kCholForward, kCholBackward };
 /// For each segment index in pass order, contribution owners apply their
 /// tile to the already-final segments they hold, send the partial to the
 /// diagonal owner, which reduces, solves the diagonal tile system, stores
-/// the segment into `segments`, and sends it to the distinct owners that
-/// will need it later in this pass.
+/// the segment into `segments`, and multicasts it to the distinct owners
+/// that will need it later in this pass.  Every segment consumer receives
+/// the segment at the end of its step (pass order on every rank), so the
+/// forwarding collectives of comm::Multicast cannot deadlock.
 class SubstitutionPass {
  public:
   SubstitutionPass(RankContext& ctx, TileStore& store,
                    const core::Distribution& dist, std::int64_t t,
-                   std::int64_t nb, Pass pass, const SolveTags& tags)
+                   std::int64_t nb, Pass pass, const SolveTags& tags,
+                   const comm::CollectiveConfig& config)
       : ctx_(ctx),
         store_(store),
         dist_(dist),
         t_(t),
         nb_(nb),
         pass_(pass),
-        tags_(tags) {}
+        tags_(tags),
+        config_(config) {}
 
   /// `rhs(i)` provides the initial right-hand segment i on the diagonal
   /// owner; finished segments are stored into `segments`.
@@ -71,6 +77,7 @@ class SubstitutionPass {
       const std::int64_t i = forward ? step : t_ - 1 - step;
       send_contributions(i, segments);
       reduce_and_solve(i, segments, rhs);
+      receive_segment(i, segments);
     }
   }
 
@@ -115,23 +122,25 @@ class SubstitutionPass {
     return forward ? tags_.fwd_segment(i) : tags_.bwd_segment(i);
   }
 
-  /// Nodes that will apply segment i to a later row of this pass.
-  void segment_dests(std::int64_t i, DestSet& dests) const {
+  /// The multicast group of finished segment i: the distinct nodes that
+  /// apply it to a later row of this pass, in deterministic order (every
+  /// rank rebuilds the identical list, as comm::multicast_recv requires).
+  [[nodiscard]] std::vector<int> segment_group(std::int64_t i) const {
+    GroupBuilder group(dist_.owner(i, i));
     switch (pass_) {
       case Pass::kLuForward:
-        for (std::int64_t k = i + 1; k < t_; ++k) dests.add(dist_.owner(k, i));
+      case Pass::kCholForward:
+        for (std::int64_t k = i + 1; k < t_; ++k) group.add(dist_.owner(k, i));
         break;
       case Pass::kLuBackward:
-        for (std::int64_t k = 0; k < i; ++k) dests.add(dist_.owner(k, i));
-        break;
-      case Pass::kCholForward:
-        for (std::int64_t k = i + 1; k < t_; ++k) dests.add(dist_.owner(k, i));
+        for (std::int64_t k = 0; k < i; ++k) group.add(dist_.owner(k, i));
         break;
       case Pass::kCholBackward:
         // Contribution for row m < i uses tile (i, m), owned lower-side.
-        for (std::int64_t m = 0; m < i; ++m) dests.add(dist_.owner(i, m));
+        for (std::int64_t m = 0; m < i; ++m) group.add(dist_.owner(i, m));
         break;
     }
+    return std::move(group).take();
   }
 
   void send_contributions(std::int64_t i,
@@ -141,17 +150,12 @@ class SubstitutionPass {
     for (std::int64_t j = 0; j < t_; ++j) {
       if (!is_contrib(i, j)) continue;
       if (tile_owner(i, j) != self) continue;
-      // Segment j is final (earlier in pass order); fetch it if missing.
-      auto it = segments.find(segment_tag(j));
-      if (it == segments.end()) {
-        it = segments
-                 .emplace(segment_tag(j),
-                          ctx_.recv(static_cast<int>(dist_.owner(j, j)),
-                                    segment_tag(j)))
-                 .first;
-      }
+      // Segment j is final and local: it arrived in receive_segment at the
+      // end of step j (this rank is a segment_group(j) member by owning a
+      // contributing tile of a later row).
+      const Payload& segment = segments.at(segment_tag(j));
       Payload contribution(static_cast<std::size_t>(nb_), 0.0);
-      apply_tile(i, j, it->second, contribution);
+      apply_tile(i, j, segment, contribution);
       if (diag_owner == self) {
         local_[i * t_ + j] = std::move(contribution);
       } else {
@@ -192,11 +196,22 @@ class SubstitutionPass {
         linalg::trsv_lower_trans(diag, segment, nb_);
         break;
     }
-    DestSet dests(self);
-    segment_dests(i, dests);
-    for (const NodeId d : dests.dests())
-      ctx_.send(static_cast<int>(d), segment_tag(i), segment);
+    comm::multicast_send(ctx_, config_, segment_tag(i), segment,
+                         segment_group(i));
     segments[segment_tag(i)] = std::move(segment);
+  }
+
+  /// Consumer half of the segment multicast, run by every group member at
+  /// the end of step i.
+  void receive_segment(std::int64_t i,
+                       std::unordered_map<std::int64_t, Payload>& segments) {
+    const NodeId diag_owner = dist_.owner(i, i);
+    if (diag_owner == ctx_.rank()) return;  // root stored it already
+    const auto dests = segment_group(i);
+    if (!in_group(ctx_.rank(), dests)) return;
+    segments.emplace(segment_tag(i),
+                     comm::multicast_recv(ctx_, config_, segment_tag(i),
+                                          static_cast<int>(diag_owner), dests));
   }
 
   RankContext& ctx_;
@@ -206,6 +221,7 @@ class SubstitutionPass {
   std::int64_t nb_;
   Pass pass_;
   const SolveTags& tags_;
+  const comm::CollectiveConfig& config_;
   /// Contributions a rank owes itself (diag owner == contributor).
   std::unordered_map<std::int64_t, Payload> local_;
 };
@@ -213,7 +229,7 @@ class SubstitutionPass {
 DistSolveResult run_solve(const linalg::TiledMatrix& input,
                           const std::vector<double>& b,
                           const core::Distribution& distribution,
-                          bool cholesky) {
+                          bool cholesky, const comm::CollectiveConfig& config) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   if (static_cast<std::int64_t>(b.size()) != input.dim())
@@ -232,9 +248,10 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
     const int self = ctx.rank();
     TileStore store(input, distribution, self, /*lower_only=*/cholesky);
     if (cholesky) {
-      detail::cholesky_factorize_rank(ctx, store, distribution, t, nb, ok);
+      detail::cholesky_factorize_rank(ctx, store, distribution, t, nb, ok,
+                                      config);
     } else {
-      detail::lu_factorize_rank(ctx, store, distribution, t, nb, ok);
+      detail::lu_factorize_rank(ctx, store, distribution, t, nb, ok, config);
     }
     factor_counts[static_cast<std::size_t>(self)] =
         ctx.traffic().messages_sent;
@@ -243,7 +260,7 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
     std::unordered_map<std::int64_t, Payload> fwd_segments;
     SubstitutionPass forward(ctx, store, distribution, t, nb,
                              cholesky ? Pass::kCholForward : Pass::kLuForward,
-                             tags);
+                             tags, config);
     forward.run(fwd_segments, [&](std::int64_t i) {
       return Payload(b.begin() + i * nb, b.begin() + (i + 1) * nb);
     });
@@ -253,7 +270,7 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
     std::unordered_map<std::int64_t, Payload> bwd_segments;
     SubstitutionPass backward(
         ctx, store, distribution, t, nb,
-        cholesky ? Pass::kCholBackward : Pass::kLuBackward, tags);
+        cholesky ? Pass::kCholBackward : Pass::kLuBackward, tags, config);
     backward.run(bwd_segments, [&](std::int64_t i) {
       return fwd_segments.at(tags.fwd_segment(i));
     });
@@ -291,14 +308,16 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
 
 DistSolveResult distributed_lu_solve(const linalg::TiledMatrix& input,
                                      const std::vector<double>& b,
-                                     const core::Distribution& distribution) {
-  return run_solve(input, b, distribution, /*cholesky=*/false);
+                                     const core::Distribution& distribution,
+                                     const comm::CollectiveConfig& config) {
+  return run_solve(input, b, distribution, /*cholesky=*/false, config);
 }
 
 DistSolveResult distributed_cholesky_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
-    const core::Distribution& distribution) {
-  return run_solve(input, b, distribution, /*cholesky=*/true);
+    const core::Distribution& distribution,
+    const comm::CollectiveConfig& config) {
+  return run_solve(input, b, distribution, /*cholesky=*/true, config);
 }
 
 }  // namespace anyblock::dist

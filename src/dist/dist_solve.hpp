@@ -4,14 +4,16 @@
 // The substitution phases follow the owner-computes rule too: the owner of
 // tile (i, j) computes that tile's contribution to segment i and sends it
 // to the diagonal owner, which solves the tile-level triangular system and
-// broadcasts the finished segment to the distinct owners that still need
-// it.  This is the operation end users run factorizations *for*, so the
-// library ships it end to end.
+// multicasts the finished segment — through the comm::Multicast algorithm
+// selected by the config — to the distinct owners that still need it.
+// This is the operation end users run factorizations *for*, so the library
+// ships it end to end.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "comm/config.hpp"
 #include "core/distribution.hpp"
 #include "linalg/tiled_matrix.hpp"
 #include "vmpi/vmpi.hpp"
@@ -31,14 +33,16 @@ struct DistSolveResult {
 
 /// LU factorization + forward/backward substitution; A diagonally dominant
 /// (no pivoting).
-DistSolveResult distributed_lu_solve(const linalg::TiledMatrix& input,
-                                     const std::vector<double>& b,
-                                     const core::Distribution& distribution);
+DistSolveResult distributed_lu_solve(
+    const linalg::TiledMatrix& input, const std::vector<double>& b,
+    const core::Distribution& distribution,
+    const comm::CollectiveConfig& config = {});
 
 /// Cholesky factorization + the two triangular solves; A symmetric positive
 /// definite, lower triangle used.
 DistSolveResult distributed_cholesky_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
-    const core::Distribution& distribution);
+    const core::Distribution& distribution,
+    const comm::CollectiveConfig& config = {});
 
 }  // namespace anyblock::dist

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "comm/multicast.hpp"
 #include "core/distribution.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/tiled_matrix.hpp"
@@ -59,32 +60,89 @@ class TileStore {
   std::unordered_map<std::int64_t, Payload> tiles_;
 };
 
-/// Collects distinct destination ranks, excluding the sender.
-class DestSet {
+/// Collects the ordered distinct destination ranks of one tile multicast,
+/// excluding the producing (root) rank.  The insertion order is fixed by
+/// the caller's loop structure, so every rank that rebuilds the same group
+/// obtains the identical list — the property comm::multicast_recv relies
+/// on to derive forwarding roles without control messages.
+class GroupBuilder {
  public:
-  explicit DestSet(int self) : self_(self) {}
+  explicit GroupBuilder(NodeId root) : root_(static_cast<int>(root)) {}
   void add(NodeId node) {
-    if (node == self_) return;
-    if (std::find(dests_.begin(), dests_.end(), node) == dests_.end())
-      dests_.push_back(node);
+    const int rank = static_cast<int>(node);
+    if (rank == root_) return;
+    if (std::find(dests_.begin(), dests_.end(), rank) == dests_.end())
+      dests_.push_back(rank);
   }
-  [[nodiscard]] const std::vector<NodeId>& dests() const { return dests_; }
+  [[nodiscard]] std::vector<int> take() && { return std::move(dests_); }
 
  private:
-  int self_;
-  std::vector<NodeId> dests_;
+  int root_;
+  std::vector<int> dests_;
 };
 
-/// Fetches tile (i, j): the local copy if owned, the cached received copy,
-/// or blocks on recv from the owner (exactly one recv per needed tile).
-inline Payload& obtain(TileStore& store, RankContext& ctx,
-                       const core::Distribution& distribution, std::int64_t i,
-                       std::int64_t j) {
-  if (!store.has(i, j)) {
-    store.put(i, j, ctx.recv(static_cast<int>(distribution.owner(i, j)),
-                             store.key(i, j)));
-  }
-  return store.get(i, j);
+/// Consumers of the LU diagonal tile (l, l): the TRSM owners on column l
+/// and row l of the trailing matrix.
+inline std::vector<int> lu_diag_group(const core::Distribution& dist,
+                                      std::int64_t t, std::int64_t l) {
+  GroupBuilder group(dist.owner(l, l));
+  for (std::int64_t i = l + 1; i < t; ++i) group.add(dist.owner(i, l));
+  for (std::int64_t j = l + 1; j < t; ++j) group.add(dist.owner(l, j));
+  return std::move(group).take();
+}
+
+/// Consumers of the LU column-panel tile (i, l): GEMM owners on row i.
+inline std::vector<int> lu_col_panel_group(const core::Distribution& dist,
+                                           std::int64_t t, std::int64_t l,
+                                           std::int64_t i) {
+  GroupBuilder group(dist.owner(i, l));
+  for (std::int64_t j = l + 1; j < t; ++j) group.add(dist.owner(i, j));
+  return std::move(group).take();
+}
+
+/// Consumers of the LU row-panel tile (l, j): GEMM owners on column j.
+inline std::vector<int> lu_row_panel_group(const core::Distribution& dist,
+                                           std::int64_t t, std::int64_t l,
+                                           std::int64_t j) {
+  GroupBuilder group(dist.owner(l, j));
+  for (std::int64_t i = l + 1; i < t; ++i) group.add(dist.owner(i, j));
+  return std::move(group).take();
+}
+
+/// Consumers of the Cholesky diagonal tile (l, l): TRSM owners below it.
+inline std::vector<int> chol_diag_group(const core::Distribution& dist,
+                                        std::int64_t t, std::int64_t l) {
+  GroupBuilder group(dist.owner(l, l));
+  for (std::int64_t i = l + 1; i < t; ++i) group.add(dist.owner(i, l));
+  return std::move(group).take();
+}
+
+/// Consumers of the Cholesky panel tile (i, l): the update owners on
+/// colrow i of the trailing matrix (Fig. 2, right).
+inline std::vector<int> chol_panel_group(const core::Distribution& dist,
+                                         std::int64_t t, std::int64_t l,
+                                         std::int64_t i) {
+  GroupBuilder group(dist.owner(i, l));
+  for (std::int64_t j = l + 1; j <= i; ++j) group.add(dist.owner(i, j));
+  for (std::int64_t k = i; k < t; ++k) group.add(dist.owner(k, i));
+  return std::move(group).take();
+}
+
+/// True when `rank` belongs to the multicast destination list.
+inline bool in_group(int rank, const std::vector<int>& dests) {
+  return std::find(dests.begin(), dests.end(), rank) != dests.end();
+}
+
+/// Receiver half of a tile multicast: when this rank consumes the tile
+/// (appears in `dests`), blocks until it arrives — forwarding onward as the
+/// collective algorithm requires — and stores it.  No-op otherwise.
+inline void receive_published(TileStore& store, RankContext& ctx,
+                              const comm::CollectiveConfig& config,
+                              std::int64_t i, std::int64_t j, NodeId root,
+                              const std::vector<int>& dests) {
+  if (!in_group(ctx.rank(), dests)) return;
+  store.put(i, j, comm::multicast_recv(ctx, config, store.key(i, j),
+                                       static_cast<int>(root), dests));
 }
 
 /// Gathers all owned tiles to rank 0 and assembles the factored matrix.
@@ -95,14 +153,20 @@ void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
 
 /// One rank's share of the right-looking LU factorization (tile tags in
 /// [0, t*t)).  On return the rank's owned tiles hold their final values.
+/// Every published tile travels through comm::Multicast under `config`;
+/// tiles are received in publication order (diagonal, column panels by
+/// row, row panels by column), the globally consistent order the
+/// forwarding algorithms require.
 void lu_factorize_rank(RankContext& ctx, TileStore& store,
                        const core::Distribution& distribution, std::int64_t t,
-                       std::int64_t nb, std::atomic<bool>& ok);
+                       std::int64_t nb, std::atomic<bool>& ok,
+                       const comm::CollectiveConfig& config);
 
 /// Same for the lower Cholesky factorization.
 void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
                              const core::Distribution& distribution,
                              std::int64_t t, std::int64_t nb,
-                             std::atomic<bool>& ok);
+                             std::atomic<bool>& ok,
+                             const comm::CollectiveConfig& config);
 
 }  // namespace anyblock::dist::detail

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace anyblock::sim {
 namespace {
@@ -28,6 +29,7 @@ struct Event {
   enum class Kind : std::uint8_t { kTaskFinish, kArrival } kind;
   std::int32_t a;  ///< task id (finish) or instance id (arrival)
   std::int32_t b;  ///< destination node (arrival); group index
+  std::int32_t c;  ///< chunk index (pipelined-chain arrivals; 0 otherwise)
   std::uint64_t sequence;  ///< deterministic FIFO tie-break
 };
 
@@ -63,6 +65,9 @@ class Simulator {
     report_.per_node.resize(static_cast<std::size_t>(machine.nodes));
     if (machine.workers_per_node < 1)
       throw std::invalid_argument("need at least one worker per node");
+    if (machine.collective.algorithm == comm::Algorithm::kPipelinedChain &&
+        machine.collective.chain_chunks < 1)
+      throw std::invalid_argument("chain_chunks must be at least 1");
     if (!machine.node_speed.empty()) {
       if (machine.node_speed.size() !=
           static_cast<std::size_t>(machine.nodes))
@@ -90,7 +95,7 @@ class Simulator {
       if (event.kind == Event::Kind::kTaskFinish) {
         on_task_finish(event.a);
       } else {
-        on_arrival(event.a, event.b);
+        on_arrival(event.a, event.b, event.c);
       }
     }
 
@@ -102,8 +107,8 @@ class Simulator {
 
  private:
   void push_event(double time, Event::Kind kind, std::int32_t a,
-                  std::int32_t b) {
-    events_.push({time, kind, a, b, sequence_++});
+                  std::int32_t b, std::int32_t c = 0) {
+    events_.push({time, kind, a, b, c, sequence_++});
   }
 
   /// A task became runnable at `time`: start it if a worker is free on its
@@ -154,24 +159,52 @@ class Simulator {
     // Chain successor (same tile, same node).
     if (task.successor >= 0) satisfy(task.successor, now_);
 
-    // Published tile: local consumers now; remote groups receive messages —
-    // serially from the producer (the Chameleon point-to-point model) or
-    // through a binomial forwarding tree (collectives ablation).
+    // Published tile: local consumers now; remote groups receive messages
+    // through the configured collective — the exact counterpart of
+    // comm::multicast_send, so simulated message counts match the measured
+    // vmpi counters per algorithm.
     if (task.publishes >= 0) {
       const Instance& instance =
           work_.instances[static_cast<std::size_t>(task.publishes)];
-      for (std::size_t g = 0; g < instance.groups.size(); ++g) {
-        const InstanceGroup& group = instance.groups[g];
-        if (group.node == task.node) {
+      for (const InstanceGroup& group : instance.groups) {
+        if (group.node == task.node)
           for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
-        } else if (!machine_.tree_broadcast) {
-          send_tile(task.node, group.node, task.publishes,
-                    static_cast<std::int32_t>(g));
+      }
+      switch (machine_.collective.algorithm) {
+        case comm::Algorithm::kEagerP2P: {
+          for (std::size_t g = 0; g < instance.groups.size(); ++g) {
+            if (instance.groups[g].node == task.node) continue;
+            send_tile(task.node, instance.groups[g].node, task.publishes,
+                      static_cast<std::int32_t>(g), 0, machine_.tile_bytes());
+          }
+          break;
+        }
+        case comm::Algorithm::kBinomialTree: {
+          forward_tree(task.publishes, /*position=*/0, task.node);
+          break;
+        }
+        case comm::Algorithm::kPipelinedChain: {
+          // The producer pushes every chunk to the head of the chain; each
+          // receiver relays chunks onward as they arrive (on_arrival).
+          const auto remotes = remote_groups(task.publishes);
+          if (remotes.empty()) break;
+          const std::int32_t head =
+              instance.groups[static_cast<std::size_t>(remotes[0])].node;
+          for (std::int64_t chunk = 0; chunk < chain_chunks(); ++chunk) {
+            send_tile(task.node, head, task.publishes, remotes[0],
+                      static_cast<std::int32_t>(chunk), chunk_bytes());
+          }
+          break;
         }
       }
-      if (machine_.tree_broadcast)
-        forward_tree(task.publishes, /*position=*/0, task.node);
     }
+  }
+
+  [[nodiscard]] std::int64_t chain_chunks() const {
+    return machine_.collective.chain_chunks;
+  }
+  [[nodiscard]] double chunk_bytes() const {
+    return machine_.tile_bytes() / static_cast<double>(chain_chunks());
   }
 
   /// Remote group indices of an instance, in group order; position p in the
@@ -203,43 +236,75 @@ class Simulator {
           work_.instances[static_cast<std::size_t>(instance_id)];
       send_tile(from_node,
                 instance.groups[static_cast<std::size_t>(group_index)].node,
-                instance_id, group_index);
+                instance_id, group_index, 0, machine_.tile_bytes());
     }
   }
 
-  /// Schedules one tile transfer src -> dst; links serialize transfers in
-  /// the order they are requested (full duplex: the out-link of the sender
-  /// and the in-link of the receiver are distinct resources).
+  /// Schedules one transfer of `bytes` src -> dst; links serialize
+  /// transfers in the order they are requested (full duplex: the out-link
+  /// of the sender and the in-link of the receiver are distinct resources).
   void send_tile(std::int32_t src, std::int32_t dst, std::int32_t instance,
-                 std::int32_t group) {
+                 std::int32_t group, std::int32_t chunk, double bytes) {
     auto& out = out_free_[static_cast<std::size_t>(src)];
     auto& in = in_free_[static_cast<std::size_t>(dst)];
     const double start = std::max({now_, out, in});
-    const double end = start + machine_.tile_transfer_seconds();
+    const double end = start + bytes / (machine_.link_bandwidth_gbps * 1e9);
     out = end;
     in = end;
     push_event(end + machine_.latency_seconds(), Event::Kind::kArrival,
-               instance, group);
+               instance, group, chunk);
     auto& node = report_.per_node[static_cast<std::size_t>(src)];
     ++node.messages_sent;
-    node.bytes_sent += machine_.tile_bytes();
+    node.bytes_sent += bytes;
     ++report_.messages;
   }
 
-  void on_arrival(std::int32_t instance_id, std::int32_t group_index) {
+  /// Position of `group_index` in the remote order (1-based, producer = 0).
+  [[nodiscard]] static std::int64_t position_of(
+      const std::vector<std::int32_t>& remotes, std::int32_t group_index) {
+    for (std::size_t p = 0; p < remotes.size(); ++p) {
+      if (remotes[p] == group_index) return static_cast<std::int64_t>(p) + 1;
+    }
+    throw std::logic_error("arrival at a node outside the multicast group");
+  }
+
+  void on_arrival(std::int32_t instance_id, std::int32_t group_index,
+                  std::int32_t chunk) {
+    const Instance& instance =
+        work_.instances[static_cast<std::size_t>(instance_id)];
     const InstanceGroup& group =
-        work_.instances[static_cast<std::size_t>(instance_id)]
-            .groups[static_cast<std::size_t>(group_index)];
-    for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
-    if (machine_.tree_broadcast) {
-      // This receiver becomes a forwarder: find its tree position.
-      const auto remotes = remote_groups(instance_id);
-      for (std::size_t p = 0; p < remotes.size(); ++p) {
-        if (remotes[p] == group_index) {
-          forward_tree(instance_id, static_cast<std::int64_t>(p) + 1,
-                       group.node);
-          break;
+        instance.groups[static_cast<std::size_t>(group_index)];
+    switch (machine_.collective.algorithm) {
+      case comm::Algorithm::kEagerP2P: {
+        for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        break;
+      }
+      case comm::Algorithm::kBinomialTree: {
+        for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        // This receiver becomes a forwarder at its tree position.
+        const auto remotes = remote_groups(instance_id);
+        forward_tree(instance_id, position_of(remotes, group_index),
+                     group.node);
+        break;
+      }
+      case comm::Algorithm::kPipelinedChain: {
+        // Relay the chunk down the chain, then count it; waiters run only
+        // once the whole tile (every chunk) has arrived.
+        const auto remotes = remote_groups(instance_id);
+        const std::int64_t position = position_of(remotes, group_index);
+        if (position < static_cast<std::int64_t>(remotes.size())) {
+          const std::int32_t next = remotes[static_cast<std::size_t>(position)];
+          send_tile(group.node,
+                    instance.groups[static_cast<std::size_t>(next)].node,
+                    instance_id, next, chunk, chunk_bytes());
         }
+        const std::int64_t key =
+            (static_cast<std::int64_t>(instance_id) << 32) |
+            static_cast<std::uint32_t>(group_index);
+        if (++chain_arrived_[key] == chain_chunks()) {
+          for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        }
+        break;
       }
     }
   }
@@ -259,6 +324,8 @@ class Simulator {
       ready_;
   std::vector<double> out_free_;
   std::vector<double> in_free_;
+  /// Chunks arrived so far per (instance << 32 | group), chain mode only.
+  std::unordered_map<std::int64_t, std::int64_t> chain_arrived_;
 };
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "comm/config.hpp"
+
 namespace anyblock::sim {
 
 /// kLoad models an already-resident input tile (zero compute): its only
@@ -45,12 +47,15 @@ struct MachineConfig {
   /// StarPU-style critical-path priorities (panel ops and early iterations
   /// first).  Turn off for the FIFO-scheduling ablation.
   bool priority_scheduling = true;
-  /// Replace the runtime's serial eager sends (one point-to-point message
-  /// per destination, as Chameleon does — paper, Section II-C) with a
-  /// binomial broadcast tree in which receivers forward the tile.  An
-  /// optimization the paper notes Chameleon does *not* implement; exposed
-  /// for the collectives ablation.
-  bool tree_broadcast = false;
+  /// Tile-multicast collective, mirroring comm::Multicast exactly: eager
+  /// p2p is the Chameleon model (serial point-to-point sends from the
+  /// producer — paper, Section II-C); the binomial tree and pipelined
+  /// chain are the forwarding optimizations the paper notes Chameleon does
+  /// *not* implement, exposed for the collectives ablation.  Per published
+  /// tile with d remote consumers the simulated message count follows the
+  /// same closed forms as core::exact_*_messages: d for p2p and tree,
+  /// d * chain_chunks for the chain.
+  comm::CollectiveConfig collective;
 
   /// Relative speed of one node (1.0 when homogeneous).
   [[nodiscard]] double speed_of(std::int64_t node) const {

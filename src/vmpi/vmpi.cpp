@@ -1,6 +1,7 @@
 #include "vmpi/vmpi.hpp"
 
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 
@@ -8,10 +9,17 @@ namespace anyblock::vmpi {
 
 namespace {
 
+/// Messages reference their payload through a shared pointer so a
+/// multisend can fan one buffer out to many mailboxes without copying.
+/// `exclusive` records at delivery time whether this mailbox owns the
+/// buffer alone (plain send) or shares it with other receivers
+/// (multisend); a use_count() check at extraction would race with the
+/// other receivers' reference drops.
 struct Message {
   int source;
   std::int64_t tag;
-  Payload data;
+  std::shared_ptr<Payload> data;
+  bool exclusive;
 };
 
 /// One mailbox per destination rank.
@@ -20,6 +28,13 @@ struct Mailbox {
   std::condition_variable cv;
   std::deque<Message> messages;
 };
+
+/// Extracts the payload from a delivered message: moves when this mailbox
+/// owned the buffer exclusively, copies when it came from a multisend.
+Payload extract(Message&& message) {
+  if (message.exclusive) return std::move(*message.data);
+  return *message.data;
+}
 
 }  // namespace
 
@@ -34,21 +49,21 @@ class World {
   [[nodiscard]] int size() const { return size_; }
 
   void send(int source, int dest, std::int64_t tag, Payload data) {
-    if (dest < 0 || dest >= size_)
-      throw std::out_of_range("vmpi send: bad destination rank");
-    {
-      const std::lock_guard<std::mutex> lock(
-          traffic_mutexes_[static_cast<std::size_t>(source)]);
-      auto& t = traffic_[static_cast<std::size_t>(source)];
-      ++t.messages_sent;
-      t.doubles_sent += static_cast<std::int64_t>(data.size());
-    }
-    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
-    {
-      const std::lock_guard<std::mutex> lock(box.mutex);
-      box.messages.push_back({source, tag, std::move(data)});
-    }
-    box.cv.notify_all();
+    check_dest(dest);
+    count_sent(source, 1, static_cast<std::int64_t>(data.size()));
+    deliver(dest, {source, tag, std::make_shared<Payload>(std::move(data)),
+                   /*exclusive=*/true});
+  }
+
+  void multisend(int source, const std::vector<int>& dests, std::int64_t tag,
+                 const Payload& data) {
+    for (const int dest : dests) check_dest(dest);
+    count_sent(source, static_cast<std::int64_t>(dests.size()),
+               static_cast<std::int64_t>(dests.size()) *
+                   static_cast<std::int64_t>(data.size()));
+    const auto shared = std::make_shared<Payload>(data);
+    for (const int dest : dests)
+      deliver(dest, {source, tag, shared, /*exclusive=*/false});
   }
 
   Payload recv(int self, int source, std::int64_t tag) {
@@ -58,12 +73,31 @@ class World {
       for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
         if (it->tag != tag) continue;
         if (source != kAnySource && it->source != source) continue;
-        Payload data = std::move(it->data);
+        Message message = std::move(*it);
         box.messages.erase(it);
-        return data;
+        lock.unlock();
+        return receive_payload(self, std::move(message));
       }
       box.cv.wait(lock);
     }
+  }
+
+  std::optional<Envelope> probe(int self) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    if (box.messages.empty()) return std::nullopt;
+    return Envelope{box.messages.front().source, box.messages.front().tag};
+  }
+
+  std::pair<Envelope, Payload> recv_any(int self) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    box.cv.wait(lock, [&] { return !box.messages.empty(); });
+    Message message = std::move(box.messages.front());
+    box.messages.pop_front();
+    lock.unlock();
+    const Envelope envelope{message.source, message.tag};
+    return {envelope, receive_payload(self, std::move(message))};
   }
 
   void barrier() {
@@ -85,6 +119,39 @@ class World {
   }
 
  private:
+  void check_dest(int dest) const {
+    if (dest < 0 || dest >= size_)
+      throw std::out_of_range("vmpi send: bad destination rank");
+  }
+
+  void deliver(int dest, Message message) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      const std::lock_guard<std::mutex> lock(box.mutex);
+      box.messages.push_back(std::move(message));
+    }
+    box.cv.notify_all();
+  }
+
+  void count_sent(int source, std::int64_t messages, std::int64_t doubles) {
+    const std::lock_guard<std::mutex> lock(
+        traffic_mutexes_[static_cast<std::size_t>(source)]);
+    auto& t = traffic_[static_cast<std::size_t>(source)];
+    t.messages_sent += messages;
+    t.doubles_sent += doubles;
+  }
+
+  /// Books the receive-side counters and extracts the payload.
+  Payload receive_payload(int self, Message&& message) {
+    Payload data = extract(std::move(message));
+    const std::lock_guard<std::mutex> lock(
+        traffic_mutexes_[static_cast<std::size_t>(self)]);
+    auto& t = traffic_[static_cast<std::size_t>(self)];
+    ++t.messages_received;
+    t.doubles_received += static_cast<std::int64_t>(data.size());
+    return data;
+  }
+
   int size_;
   std::vector<Mailbox> mailboxes_;
   std::vector<TrafficStats> traffic_;
@@ -106,8 +173,19 @@ void RankContext::send(int dest, std::int64_t tag, Payload&& data) {
   world_.send(rank_, dest, tag, std::move(data));
 }
 
+void RankContext::multisend(const std::vector<int>& dests, std::int64_t tag,
+                            const Payload& data) {
+  world_.multisend(rank_, dests, tag, data);
+}
+
 Payload RankContext::recv(int source, std::int64_t tag) {
   return world_.recv(rank_, source, tag);
+}
+
+std::optional<Envelope> RankContext::probe() { return world_.probe(rank_); }
+
+std::pair<Envelope, Payload> RankContext::recv_any() {
+  return world_.recv_any(rank_);
 }
 
 void RankContext::barrier() { world_.barrier(); }
@@ -117,9 +195,12 @@ Payload RankContext::broadcast(int root, Payload data) {
   // with application tags (tile ids are non-negative).
   constexpr std::int64_t kBcastTag = -1000;
   if (rank_ == root) {
+    std::vector<int> dests;
+    dests.reserve(static_cast<std::size_t>(size()) - 1);
     for (int dest = 0; dest < size(); ++dest) {
-      if (dest != root) send(dest, kBcastTag, data);
+      if (dest != root) dests.push_back(dest);
     }
+    multisend(dests, kBcastTag, data);
     return data;
   }
   return recv(root, kBcastTag);
@@ -153,6 +234,18 @@ std::int64_t RunReport::total_messages() const {
 std::int64_t RunReport::total_doubles() const {
   std::int64_t total = 0;
   for (const auto& stats : per_rank) total += stats.doubles_sent;
+  return total;
+}
+
+std::int64_t RunReport::total_messages_received() const {
+  std::int64_t total = 0;
+  for (const auto& stats : per_rank) total += stats.messages_received;
+  return total;
+}
+
+std::int64_t RunReport::total_doubles_received() const {
+  std::int64_t total = 0;
+  for (const auto& stats : per_rank) total += stats.doubles_received;
   return total;
 }
 

@@ -3,11 +3,14 @@
 // The paper's runs use one MPI process per node with point-to-point tile
 // messages (Section II-C).  vmpi reproduces that model inside one process:
 // run_ranks() spawns R threads, each receiving a RankContext with the
-// familiar primitives — tagged send/recv, barrier, broadcast, reduce — plus
-// per-rank traffic counters.  Sends are asynchronous (they enqueue and
-// return, like MPI_Isend with an eager protocol) so the owner-computes
-// factorizations cannot deadlock on send ordering; recv blocks until a
-// matching message arrives.
+// familiar primitives — tagged send/recv, any-source probe/recv, barrier,
+// broadcast, reduce — plus per-rank traffic counters on both the send and
+// the receive side.  Sends are asynchronous (they enqueue and return, like
+// MPI_Isend with an eager protocol) so the owner-computes factorizations
+// cannot deadlock on send ordering; recv blocks until a matching message
+// arrives.  multisend() fans one payload out to many destinations through a
+// single shared buffer (no per-destination copy at send time) — the
+// primitive the comm::Multicast algorithms and broadcast() build on.
 //
 // This is how the library validates distributions end to end: the *actual*
 // message counts of a factorization run are compared against the paper's
@@ -20,6 +23,8 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace anyblock::vmpi {
@@ -32,6 +37,15 @@ inline constexpr int kAnySource = -1;
 struct TrafficStats {
   std::int64_t messages_sent = 0;
   std::int64_t doubles_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t doubles_received = 0;
+};
+
+/// The (source, tag) header of a queued message, as returned by probe()
+/// and recv_any().
+struct Envelope {
+  int source;
+  std::int64_t tag;
 };
 
 class World;
@@ -48,14 +62,28 @@ class RankContext {
   void send(int dest, std::int64_t tag, const Payload& data);
   void send(int dest, std::int64_t tag, Payload&& data);
 
+  /// Sends the same payload to every destination, sharing one underlying
+  /// buffer across all messages (the payload is copied once, not once per
+  /// destination).  Counts one message per destination, like send().
+  void multisend(const std::vector<int>& dests, std::int64_t tag,
+                 const Payload& data);
+
   /// Blocks until a message with this (source, tag) arrives.  Messages from
   /// one source with equal tags are delivered in send order.
   Payload recv(int source, std::int64_t tag);
+
+  /// Non-blocking: the envelope of the oldest queued message, if any.
+  [[nodiscard]] std::optional<Envelope> probe();
+
+  /// Blocks until any message arrives and delivers the oldest queued one,
+  /// returning its (source, tag) alongside the payload.
+  std::pair<Envelope, Payload> recv_any();
 
   /// Blocks until all ranks reach the barrier.
   void barrier();
 
   /// Root's payload is distributed to everyone (returns it on all ranks).
+  /// Implemented over multisend: one shared buffer, not one copy per rank.
   Payload broadcast(int root, Payload data);
 
   /// Element-wise sum across ranks; every rank gets the total.
@@ -73,6 +101,8 @@ struct RunReport {
   std::vector<TrafficStats> per_rank;
   [[nodiscard]] std::int64_t total_messages() const;
   [[nodiscard]] std::int64_t total_doubles() const;
+  [[nodiscard]] std::int64_t total_messages_received() const;
+  [[nodiscard]] std::int64_t total_doubles_received() const;
 };
 
 /// Spawns `ranks` threads running `body` and joins them.  Exceptions thrown

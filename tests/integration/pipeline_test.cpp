@@ -6,7 +6,10 @@
 // analytic counters at every step.
 #include <gtest/gtest.h>
 
+#include "comm/config.hpp"
 #include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/pattern_search.hpp"
 #include "core/recommend.hpp"
 #include "dist/dist_factorization.hpp"
 #include "dist/dist_solve.hpp"
@@ -92,6 +95,96 @@ TEST_P(PipelineTest, CholeskyEndToEnd) {
 
 INSTANTIATE_TEST_SUITE_P(NodeCounts, PipelineTest,
                          ::testing::Values(2, 5, 7, 10, 12));
+
+/// One end-to-end case per collective algorithm on an irregular P=23
+/// distribution: the vmpi-measured message counters, the simulator totals
+/// and the closed-form core::exact_*_messages prediction must agree
+/// *exactly*, and the numerics must stay correct — the three-layer
+/// cross-check the comm subsystem is built around.
+class CollectiveAlgorithms
+    : public ::testing::TestWithParam<comm::Algorithm> {};
+
+TEST_P(CollectiveAlgorithms, LuEndToEndAgreesAcrossAllThreeLayers) {
+  const std::int64_t P = 23;
+  const std::int64_t t = 16;
+  comm::CollectiveConfig config;
+  config.algorithm = GetParam();
+  config.chain_chunks = 3;
+
+  const core::Pattern pattern = core::make_g2dbc(P);
+  const core::PatternDistribution dist(pattern, t, false, "G-2DBC");
+  const std::int64_t predicted = core::exact_lu_messages(dist, t, config);
+  ASSERT_GT(predicted, 0);
+
+  sim::MachineConfig machine;
+  machine.nodes = P;
+  machine.workers_per_node = 2;
+  machine.collective = config;
+  EXPECT_EQ(sim::simulate_lu(t, dist, machine).messages, predicted);
+
+  Rng rng(59);
+  const linalg::DenseMatrix a = linalg::diag_dominant_matrix(t * kNb, rng);
+  const linalg::TiledMatrix input = linalg::TiledMatrix::from_dense(a, kNb);
+  const dist::DistRunResult run = dist::distributed_lu(input, dist, config);
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(run.tile_messages, predicted);
+  EXPECT_LT(linalg::lu_residual(a, run.factored), 1e-12);
+
+  std::vector<double> b(static_cast<std::size_t>(t * kNb));
+  for (double& v : b) v = 2.0 * rng.uniform() - 1.0;
+  const dist::DistSolveResult solved =
+      dist::distributed_lu_solve(input, b, dist, config);
+  ASSERT_TRUE(solved.ok);
+  EXPECT_EQ(solved.factor_messages, predicted);
+  EXPECT_LT(linalg::solve_residual(a, solved.x, b), 1e-11);
+}
+
+TEST_P(CollectiveAlgorithms, CholeskyEndToEndAgreesAcrossAllThreeLayers) {
+  const std::int64_t P = 23;
+  const std::int64_t t = 14;
+  comm::CollectiveConfig config;
+  config.algorithm = GetParam();
+  config.chain_chunks = 3;
+
+  core::GcrmSearchOptions options;
+  options.seeds = 10;
+  const core::GcrmSearchResult search = core::gcrm_search(P, options);
+  ASSERT_TRUE(search.found);
+  const core::PatternDistribution dist(search.best, t, true, "GCR&M");
+  const std::int64_t predicted = core::exact_cholesky_messages(dist, t, config);
+  ASSERT_GT(predicted, 0);
+
+  sim::MachineConfig machine;
+  machine.nodes = P;
+  machine.workers_per_node = 2;
+  machine.collective = config;
+  EXPECT_EQ(sim::simulate_cholesky(t, dist, machine).messages, predicted);
+
+  Rng rng(61);
+  const linalg::DenseMatrix a = linalg::spd_matrix(t * kNb, rng);
+  const linalg::TiledMatrix input = linalg::TiledMatrix::from_dense(a, kNb);
+  const dist::DistRunResult run =
+      dist::distributed_cholesky(input, dist, config);
+  ASSERT_TRUE(run.ok);
+  EXPECT_EQ(run.tile_messages, predicted);
+  EXPECT_LT(linalg::cholesky_residual(a, run.factored), 1e-12);
+
+  std::vector<double> b(static_cast<std::size_t>(t * kNb));
+  for (double& v : b) v = 2.0 * rng.uniform() - 1.0;
+  const dist::DistSolveResult solved =
+      dist::distributed_cholesky_solve(input, b, dist, config);
+  ASSERT_TRUE(solved.ok);
+  EXPECT_EQ(solved.factor_messages, predicted);
+  EXPECT_LT(linalg::solve_residual(a, solved.x, b), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, CollectiveAlgorithms,
+                         ::testing::Values(comm::Algorithm::kEagerP2P,
+                                           comm::Algorithm::kBinomialTree,
+                                           comm::Algorithm::kPipelinedChain),
+                         [](const auto& info) {
+                           return comm::algorithm_name(info.param);
+                         });
 
 }  // namespace
 }  // namespace anyblock

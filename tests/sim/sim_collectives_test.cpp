@@ -1,0 +1,134 @@
+// Tests for the simulator's collective models (the counterparts of
+// comm::Multicast): per-algorithm message counts follow the closed forms
+// of core/cost, every workload completes under every algorithm, results
+// are deterministic, and the forwarding collectives are never slower than
+// serial point-to-point where one sender feeds many receivers.
+#include <gtest/gtest.h>
+
+#include "comm/config.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "sim/engine.hpp"
+
+namespace anyblock::sim {
+namespace {
+
+MachineConfig machine_for(std::int64_t nodes, comm::Algorithm algorithm,
+                          std::int64_t chunks = 4) {
+  MachineConfig machine;
+  machine.nodes = nodes;
+  machine.workers_per_node = 4;
+  machine.collective.algorithm = algorithm;
+  machine.collective.chain_chunks = chunks;
+  return machine;
+}
+
+TEST(SimCollectives, TreeSendsTheSameMessageCountAsP2p) {
+  // The tree changes *who* sends, not how many point-to-point transfers
+  // happen: still one per (tile, destination) pair.
+  const core::PatternDistribution dist(core::make_2dbc(2, 3), 18, false);
+  const SimReport p2p =
+      simulate_lu(18, dist, machine_for(6, comm::Algorithm::kEagerP2P));
+  const SimReport tree =
+      simulate_lu(18, dist, machine_for(6, comm::Algorithm::kBinomialTree));
+  EXPECT_EQ(p2p.messages, tree.messages);
+  EXPECT_EQ(p2p.tasks, tree.tasks);
+}
+
+TEST(SimCollectives, MessageCountsMatchTheClosedFormPerAlgorithm) {
+  const std::int64_t t = 18;
+  const core::PatternDistribution dist(core::make_g2dbc(7), t, false);
+  for (const comm::Algorithm algorithm :
+       {comm::Algorithm::kEagerP2P, comm::Algorithm::kBinomialTree,
+        comm::Algorithm::kPipelinedChain}) {
+    const MachineConfig machine = machine_for(7, algorithm, 3);
+    const SimReport report = simulate_lu(t, dist, machine);
+    EXPECT_EQ(report.messages,
+              core::exact_lu_messages(dist, t, machine.collective))
+        << comm::algorithm_name(algorithm);
+  }
+}
+
+TEST(SimCollectives, CompletesOnEveryWorkload) {
+  for (const comm::Algorithm algorithm :
+       {comm::Algorithm::kBinomialTree, comm::Algorithm::kPipelinedChain}) {
+    for (const auto& pattern : {core::make_2dbc(23, 1), core::make_g2dbc(23),
+                                core::make_2dbc(5, 4)}) {
+      const std::int64_t t = 23;
+      const core::PatternDistribution dist(pattern, t, false);
+      const SimReport report = simulate_lu(
+          t, dist, machine_for(pattern.num_nodes(), algorithm));
+      EXPECT_GT(report.makespan_seconds, 0.0);
+      EXPECT_GT(report.total_gflops(), 0.0);
+    }
+  }
+}
+
+TEST(SimCollectives, HelpsTheWideBroadcastPattern) {
+  // 23x1: each iteration one node broadcasts its row tiles to 22 others.
+  // Serializing 22 full-tile sends through one NIC is exactly what the
+  // forwarding collectives fix.
+  const std::int64_t t = 46;
+  const core::PatternDistribution dist(core::make_2dbc(23, 1), t, false);
+  const double p2p =
+      simulate_lu(t, dist, machine_for(23, comm::Algorithm::kEagerP2P))
+          .makespan_seconds;
+  const double tree =
+      simulate_lu(t, dist, machine_for(23, comm::Algorithm::kBinomialTree))
+          .makespan_seconds;
+  const double chain =
+      simulate_lu(t, dist, machine_for(23, comm::Algorithm::kPipelinedChain))
+          .makespan_seconds;
+  EXPECT_LT(tree, p2p);
+  EXPECT_LT(chain, p2p);
+}
+
+TEST(SimCollectives, DeterministicToo) {
+  const core::PatternDistribution dist(core::make_g2dbc(10), 20, false);
+  for (const comm::Algorithm algorithm :
+       {comm::Algorithm::kBinomialTree, comm::Algorithm::kPipelinedChain}) {
+    const SimReport a = simulate_lu(20, dist, machine_for(10, algorithm));
+    const SimReport b = simulate_lu(20, dist, machine_for(10, algorithm));
+    EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+  }
+}
+
+TEST(SimCollectives, CholeskyWorksToo) {
+  const std::int64_t t = 18;
+  const core::PatternDistribution dist(core::make_2dbc(3, 3), t, true);
+  const SimReport p2p =
+      simulate_cholesky(t, dist, machine_for(9, comm::Algorithm::kEagerP2P));
+  const SimReport tree = simulate_cholesky(
+      t, dist, machine_for(9, comm::Algorithm::kBinomialTree));
+  const MachineConfig chain_machine =
+      machine_for(9, comm::Algorithm::kPipelinedChain, 5);
+  const SimReport chain = simulate_cholesky(t, dist, chain_machine);
+  EXPECT_EQ(p2p.messages, tree.messages);
+  EXPECT_EQ(chain.messages, core::exact_cholesky_messages(
+                                dist, t, chain_machine.collective));
+  EXPECT_GT(tree.total_gflops(), 0.0);
+  EXPECT_GT(chain.total_gflops(), 0.0);
+}
+
+TEST(SimCollectives, ChainChunkCountScalesMessagesNotBytes) {
+  const std::int64_t t = 18;
+  const core::PatternDistribution dist(core::make_2dbc(2, 3), t, false);
+  const SimReport two =
+      simulate_lu(t, dist, machine_for(6, comm::Algorithm::kPipelinedChain, 2));
+  const SimReport five =
+      simulate_lu(t, dist, machine_for(6, comm::Algorithm::kPipelinedChain, 5));
+  const SimReport p2p =
+      simulate_lu(t, dist, machine_for(6, comm::Algorithm::kEagerP2P));
+  EXPECT_EQ(two.messages, p2p.messages * 2);
+  EXPECT_EQ(five.messages, p2p.messages * 5);
+  // Chunking splits tiles; the total bytes on the wire stay the volume.
+  double bytes_two = 0.0;
+  double bytes_p2p = 0.0;
+  for (const auto& node : two.per_node) bytes_two += node.bytes_sent;
+  for (const auto& node : p2p.per_node) bytes_p2p += node.bytes_sent;
+  EXPECT_NEAR(bytes_two, bytes_p2p, 1e-6 * bytes_p2p);
+}
+
+}  // namespace
+}  // namespace anyblock::sim

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 
+#include "comm/config.hpp"
 #include "core/block_cyclic.hpp"
 #include "core/bounds.hpp"
 #include "core/cost.hpp"
@@ -162,6 +163,8 @@ int cmd_simulate(int argc, char** argv) {
   parser.add("gflops", "55", "per-core GFlop/s");
   parser.add("bandwidth", "12.5", "NIC bandwidth GB/s");
   parser.add("seeds", "100", "GCR&M search restarts");
+  parser.add("collective", "p2p", "tile multicast: p2p | tree | chain");
+  parser.add("chunks", "4", "chunks per tile (chain collective only)");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t P = parser.get_int("nodes");
@@ -181,6 +184,8 @@ int cmd_simulate(int argc, char** argv) {
   machine.core_gflops = parser.get_double("gflops");
   machine.link_bandwidth_gbps = parser.get_double("bandwidth");
   machine.tile_size = parser.get_int("tile");
+  machine.collective.algorithm = comm::parse_algorithm(parser.get("collective"));
+  machine.collective.chain_chunks = parser.get_int("chunks");
   const bool symmetric = kernel != core::Kernel::kLu;
   const core::PatternDistribution dist(rec.pattern, t, symmetric, rec.scheme);
   const sim::SimReport report =
@@ -190,6 +195,8 @@ int cmd_simulate(int argc, char** argv) {
               parser.get("kernel").c_str(),
               static_cast<long long>(parser.get_int("size")),
               static_cast<long long>(P), rec.scheme.c_str(), rec.cost);
+  std::printf("  collective    %s\n",
+              comm::algorithm_name(machine.collective.algorithm).c_str());
   std::printf("  time          %.2f s\n", report.makespan_seconds);
   std::printf("  throughput    %.0f GFlop/s (%.0f per node)\n",
               report.total_gflops(), report.per_node_gflops());
