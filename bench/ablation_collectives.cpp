@@ -12,8 +12,10 @@
 //   measured_messages      — vmpi counters of a real distributed_lu run.
 // The last three agree exactly per algorithm; high-T patterns (many
 // receivers per tile) gain the most from the tree.
+#include <cctype>
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "comm/config.hpp"
 #include "common.hpp"
@@ -22,10 +24,29 @@
 #include "core/g2dbc.hpp"
 #include "dist/dist_factorization.hpp"
 #include "linalg/generators.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 
 using namespace anyblock;
+
+namespace {
+
+// "G-2DBC P=23" -> "g-2dbc-p23": safe inside a file name.
+std::string slug(const std::string& label) {
+  std::string out;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!out.empty() && out.back() != '-')
+      out += '-';
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ArgParser parser("ablation_collectives",
@@ -34,6 +55,9 @@ int main(int argc, char** argv) {
   parser.add("size", "100000", "matrix size N (simulated throughput)");
   parser.add("vt", "16", "tile grid side of the measured validation run");
   parser.add("chunks", "4", "chunks per tile for the pipelined chain");
+  parser.add("trace", "",
+             "prefix: write <prefix>-<distribution>-<collective>.json Chrome "
+             "traces of every measured validation run");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t n = parser.get_int("size");
@@ -82,7 +106,20 @@ int main(int argc, char** argv) {
       const std::int64_t sim_messages =
           sim::simulate_lu(vt, vdist, vmachine).messages;
       const std::int64_t predicted = core::exact_lu_messages(vdist, vt, config);
-      const dist::DistRunResult run = dist::distributed_lu(input, vdist, config);
+      const std::string trace_prefix = parser.get("trace");
+      obs::Recorder recorder;
+      const dist::DistRunResult run = dist::distributed_lu(
+          input, vdist, config,
+          trace_prefix.empty() ? nullptr : &recorder);
+      if (!trace_prefix.empty()) {
+        const std::string path = trace_prefix + "-" + slug(candidate.label) +
+                                 "-" +
+                                 comm::algorithm_name(algorithm) + ".json";
+        if (!obs::write_chrome_trace_file(path, recorder.take())) {
+          std::fprintf(stderr, "cannot write %s\n", path.c_str());
+          return 1;
+        }
+      }
 
       csv.row(candidate.label, P, comm::algorithm_name(algorithm), gflops,
               gflops / p2p_gflops, predicted, sim_messages,

@@ -10,11 +10,14 @@
 // paper's distributions plug into.
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "linalg/factorizations.hpp"
 #include "linalg/generators.hpp"
 #include "linalg/solve.hpp"
 #include "linalg/verify.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "runtime/stf_factorizations.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -29,6 +32,8 @@ int main(int argc, char** argv) {
   parser.add("tile", "64", "tile size in elements");
   parser.add("workers", "4", "worker threads for the traced run");
   parser.add("seed", "7", "matrix seed");
+  parser.add("trace", "",
+             "write the traced run's Chrome trace_event JSON here");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t t = parser.get_int("t");
@@ -52,10 +57,12 @@ int main(int argc, char** argv) {
               seq_watch.seconds(), linalg::lu_residual(original, reference));
 
   // Task-based runs at increasing worker counts.
+  const std::string trace_path = parser.get("trace");
+  obs::Recorder recorder;
   for (const int workers : {1, 2, static_cast<int>(parser.get_int("workers"))}) {
     linalg::TiledMatrix a = linalg::TiledMatrix::from_dense(original, nb);
     runtime::TaskEngine engine(workers);
-    if (workers == parser.get_int("workers")) engine.enable_tracing();
+    if (workers == parser.get_int("workers")) engine.set_recorder(&recorder);
     Stopwatch watch;
     if (!runtime::stf_lu_nopiv(engine, a)) {
       std::fprintf(stderr, "STF factorization failed\n");
@@ -78,18 +85,31 @@ int main(int argc, char** argv) {
         static_cast<long long>(stats.peak_concurrency),
         identical ? "yes" : "NO");
 
-    const auto trace = engine.take_trace();
-    if (!trace.empty()) {
-      std::map<std::string, std::pair<std::int64_t, double>> by_kernel;
-      for (const auto& event : trace) {
+    if (workers != parser.get_int("workers")) continue;
+    const obs::Trace trace = recorder.take();
+    std::size_t events = 0;
+    std::map<std::string, std::pair<std::int64_t, double>> by_kernel;
+    for (const auto& track : trace.tracks) {
+      for (const auto& event : track.events) {
         auto& [count, time] = by_kernel[event.name];
         ++count;
         time += event.end_seconds - event.start_seconds;
+        ++events;
       }
-      std::printf("trace (%zu events):\n", trace.size());
+    }
+    if (events > 0) {
+      std::printf("trace (%zu events over %zu worker tracks):\n", events,
+                  trace.tracks.size());
       for (const auto& [name, agg] : by_kernel)
         std::printf("  %-10s x%-6lld %.3fs total\n", name.c_str(),
                     static_cast<long long>(agg.first), agg.second);
+    }
+    if (!trace_path.empty()) {
+      if (!obs::write_chrome_trace_file(trace_path, trace)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("chrome trace -> %s\n", trace_path.c_str());
     }
   }
 

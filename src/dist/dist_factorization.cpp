@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/multicast.hpp"
+#include "obs/trace.hpp"
 #include "dist/rank_helpers.hpp"
 #include "linalg/kernels.hpp"
 
@@ -180,7 +181,8 @@ using vmpi::RankContext;
 
 DistRunResult distributed_lu(const TiledMatrix& input,
                              const core::Distribution& distribution,
-                             const comm::CollectiveConfig& config) {
+                             const comm::CollectiveConfig& config,
+                             obs::Recorder* recorder) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   const int ranks = static_cast<int>(distribution.num_nodes());
@@ -198,7 +200,7 @@ DistRunResult distributed_lu(const TiledMatrix& input,
         ctx.traffic().messages_sent;
     detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/false,
                            result.factored, out_mutex);
-  });
+  }, recorder);
 
   result.ok = ok.load();
   for (const auto count : factor_messages) result.tile_messages += count;
@@ -207,7 +209,8 @@ DistRunResult distributed_lu(const TiledMatrix& input,
 
 DistRunResult distributed_cholesky(const TiledMatrix& input,
                                    const core::Distribution& distribution,
-                                   const comm::CollectiveConfig& config) {
+                                   const comm::CollectiveConfig& config,
+                                   obs::Recorder* recorder) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   const int ranks = static_cast<int>(distribution.num_nodes());
@@ -226,7 +229,7 @@ DistRunResult distributed_cholesky(const TiledMatrix& input,
         ctx.traffic().messages_sent;
     detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/true,
                            result.factored, out_mutex);
-  });
+  }, recorder);
 
   result.ok = ok.load();
   for (const auto count : factor_messages) result.tile_messages += count;
@@ -237,7 +240,8 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const core::Distribution& dist_c,
                                const core::Distribution& dist_a,
-                               const comm::CollectiveConfig& config) {
+                               const comm::CollectiveConfig& config,
+                               obs::Recorder* recorder) {
   const std::int64_t t = c_input.tiles();
   const std::int64_t k = a_input.tile_cols();
   const std::int64_t nb = c_input.tile_size();
@@ -334,7 +338,7 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
         }
       }
     }
-  });
+  }, recorder);
 
   result.ok = ok.load();
   for (const auto count : update_messages) result.tile_messages += count;
@@ -345,7 +349,8 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const linalg::TiledPanel& b_input,
                                const core::Distribution& dist,
-                               const comm::CollectiveConfig& config) {
+                               const comm::CollectiveConfig& config,
+                               obs::Recorder* recorder) {
   const std::int64_t t = c_input.tiles();
   const std::int64_t k = a_input.tile_cols();
   const std::int64_t nb = c_input.tile_size();
@@ -456,7 +461,7 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
         }
       }
     }
-  });
+  }, recorder);
 
   result.ok = true;
   for (const auto count : update_messages) result.tile_messages += count;

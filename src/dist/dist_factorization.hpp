@@ -20,6 +20,10 @@
 #include "linalg/tiled_panel.hpp"
 #include "vmpi/vmpi.hpp"
 
+namespace anyblock::obs {
+class Recorder;
+}
+
 namespace anyblock::dist {
 
 struct DistRunResult {
@@ -37,15 +41,22 @@ struct DistRunResult {
 /// Distributed right-looking LU without pivoting.  `distribution` must map
 /// node ids in [0, P) and serve at least input.tiles() tiles.  `config`
 /// selects the tile-multicast collective (eager p2p by default).
+///
+/// With a non-null `recorder` every rank's sends and recvs are traced on
+/// per-rank tracks (see vmpi::run_ranks); factorization-proper messages
+/// carry tags < t*t, the final gather uses the band above, so trace
+/// consumers can separate the two.
 DistRunResult distributed_lu(const linalg::TiledMatrix& input,
                              const core::Distribution& distribution,
-                             const comm::CollectiveConfig& config = {});
+                             const comm::CollectiveConfig& config = {},
+                             obs::Recorder* recorder = nullptr);
 
 /// Distributed right-looking lower Cholesky (tiles strictly above the
 /// diagonal are neither referenced nor communicated).
 DistRunResult distributed_cholesky(const linalg::TiledMatrix& input,
                                    const core::Distribution& distribution,
-                                   const comm::CollectiveConfig& config = {});
+                                   const comm::CollectiveConfig& config = {},
+                                   obs::Recorder* recorder = nullptr);
 
 /// Distributed SYRK: C := C - A*A^T on the lower triangle of C.  C tiles
 /// follow `dist_c` (owner computes); A tiles follow `dist_a` with column l
@@ -56,7 +67,8 @@ DistRunResult distributed_syrk(const linalg::TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const core::Distribution& dist_c,
                                const core::Distribution& dist_a,
-                               const comm::CollectiveConfig& config = {});
+                               const comm::CollectiveConfig& config = {},
+                               obs::Recorder* recorder = nullptr);
 
 /// Distributed GEMM: C := C + A*B with A of t x k tiles and B of k x t.
 /// A(i, l) is broadcast along row i of C and B(l, j) down column j — the
@@ -67,6 +79,7 @@ DistRunResult distributed_gemm(const linalg::TiledMatrix& c_input,
                                const linalg::TiledPanel& a_input,
                                const linalg::TiledPanel& b_input,
                                const core::Distribution& dist,
-                               const comm::CollectiveConfig& config = {});
+                               const comm::CollectiveConfig& config = {},
+                               obs::Recorder* recorder = nullptr);
 
 }  // namespace anyblock::dist

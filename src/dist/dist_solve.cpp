@@ -229,7 +229,8 @@ class SubstitutionPass {
 DistSolveResult run_solve(const linalg::TiledMatrix& input,
                           const std::vector<double>& b,
                           const core::Distribution& distribution,
-                          bool cholesky, const comm::CollectiveConfig& config) {
+                          bool cholesky, const comm::CollectiveConfig& config,
+                          obs::Recorder* recorder) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   if (static_cast<std::int64_t>(b.size()) != input.dim())
@@ -296,7 +297,7 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
         ctx.send(0, tags.gather(i), bwd_segments.at(tags.bwd_segment(i)));
       }
     }
-  });
+  }, recorder);
 
   result.ok = ok.load();
   for (const auto c : factor_counts) result.factor_messages += c;
@@ -309,15 +310,18 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
 DistSolveResult distributed_lu_solve(const linalg::TiledMatrix& input,
                                      const std::vector<double>& b,
                                      const core::Distribution& distribution,
-                                     const comm::CollectiveConfig& config) {
-  return run_solve(input, b, distribution, /*cholesky=*/false, config);
+                                     const comm::CollectiveConfig& config,
+                                     obs::Recorder* recorder) {
+  return run_solve(input, b, distribution, /*cholesky=*/false, config,
+                   recorder);
 }
 
 DistSolveResult distributed_cholesky_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
     const core::Distribution& distribution,
-    const comm::CollectiveConfig& config) {
-  return run_solve(input, b, distribution, /*cholesky=*/true, config);
+    const comm::CollectiveConfig& config, obs::Recorder* recorder) {
+  return run_solve(input, b, distribution, /*cholesky=*/true, config,
+                   recorder);
 }
 
 }  // namespace anyblock::dist

@@ -18,6 +18,14 @@
 #include "linalg/tiled_matrix.hpp"
 #include "vmpi/vmpi.hpp"
 
+namespace anyblock::obs {
+class Recorder;
+}
+
+namespace anyblock::obs {
+class Recorder;
+}
+
 namespace anyblock::dist {
 
 struct DistSolveResult {
@@ -36,13 +44,15 @@ struct DistSolveResult {
 DistSolveResult distributed_lu_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
     const core::Distribution& distribution,
-    const comm::CollectiveConfig& config = {});
+    const comm::CollectiveConfig& config = {},
+    obs::Recorder* recorder = nullptr);
 
 /// Cholesky factorization + the two triangular solves; A symmetric positive
 /// definite, lower triangle used.
 DistSolveResult distributed_cholesky_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
     const core::Distribution& distribution,
-    const comm::CollectiveConfig& config = {});
+    const comm::CollectiveConfig& config = {},
+    obs::Recorder* recorder = nullptr);
 
 }  // namespace anyblock::dist

@@ -1,0 +1,157 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace anyblock::obs {
+namespace {
+
+/// JSON string escaping for the small set of characters task names can
+/// realistically contain (quotes, backslashes, control bytes).
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* category(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTask: return "task";
+    case EventKind::kSend: return "vmpi.send";
+    case EventKind::kRecv: return "vmpi.recv";
+    case EventKind::kSimTask: return "sim.task";
+    case EventKind::kSimTransfer: return "sim.transfer";
+  }
+  return "task";
+}
+
+/// Display name: the recorded name, or a synthesized one for comm events.
+std::string display_name(const Event& event) {
+  if (!event.name.empty()) return escape(event.name);
+  char buf[64];
+  const char* verb = "event";
+  switch (event.kind) {
+    case EventKind::kSend: verb = "send"; break;
+    case EventKind::kRecv: verb = "recv"; break;
+    case EventKind::kSimTransfer: verb = "xfer"; break;
+    default: break;
+  }
+  std::snprintf(buf, sizeof(buf), "%s %d->%d", verb, event.source, event.dest);
+  return buf;
+}
+
+double micros(double seconds) { return seconds * 1e6; }
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void object(const std::string& body) {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << "{" << body << "}";
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const Trace& trace) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  Writer writer(out);
+  char buf[256];
+
+  // One metadata event names each track; tid is the 1-based track index so
+  // Perfetto renders tracks in registration order.
+  for (std::size_t k = 0; k < trace.tracks.size(); ++k) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"M\",\"cat\":\"meta\",\"name\":\"thread_name\","
+                  "\"pid\":0,\"tid\":%zu,\"args\":{\"name\":\"%s\"}",
+                  k + 1, escape(trace.tracks[k].name).c_str());
+    writer.object(buf);
+  }
+
+  for (std::size_t k = 0; k < trace.tracks.size(); ++k) {
+    const std::size_t tid = k + 1;
+    for (const Event& event : trace.tracks[k].events) {
+      const double ts = micros(event.start_seconds);
+      const double dur = micros(event.end_seconds - event.start_seconds);
+      std::string args;
+      switch (event.kind) {
+        case EventKind::kTask:
+        case EventKind::kSimTask:
+          std::snprintf(buf, sizeof(buf), "\"priority\":%d%s", event.priority,
+                        event.failed ? ",\"failed\":true" : "");
+          args = buf;
+          break;
+        case EventKind::kSend:
+        case EventKind::kRecv:
+        case EventKind::kSimTransfer:
+          std::snprintf(buf, sizeof(buf),
+                        "\"source\":%d,\"dest\":%d,\"tag\":%lld,"
+                        "\"bytes\":%lld",
+                        event.source, event.dest,
+                        static_cast<long long>(event.tag),
+                        static_cast<long long>(event.bytes));
+          args = buf;
+          break;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"X\",\"cat\":\"%s\",\"name\":\"%s\",\"pid\":0,"
+                    "\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}",
+                    category(event.kind), display_name(event).c_str(), tid,
+                    ts, dur < 0.0 ? 0.0 : dur, args.c_str());
+      writer.object(buf);
+
+      // Flow arrows: the send starts the flow, every recv of the same flow
+      // id finishes (binds to) it — Perfetto draws the arrow between the
+      // enclosing slices, which is why the X events above come first.
+      if (event.flow != 0 && event.kind == EventKind::kSend) {
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"msg\","
+                      "\"id\":%llu,\"pid\":0,\"tid\":%zu,\"ts\":%.3f",
+                      static_cast<unsigned long long>(event.flow), tid, ts);
+        writer.object(buf);
+      } else if (event.flow != 0 && event.kind == EventKind::kRecv) {
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\","
+                      "\"name\":\"msg\",\"id\":%llu,\"pid\":0,\"tid\":%zu,"
+                      "\"ts\":%.3f",
+                      static_cast<unsigned long long>(event.flow), tid, ts);
+        writer.object(buf);
+      }
+    }
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, trace);
+  return static_cast<bool>(out);
+}
+
+}  // namespace anyblock::obs

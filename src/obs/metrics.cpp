@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace anyblock::obs {
+namespace {
+
+bool is_task(EventKind kind) {
+  return kind == EventKind::kTask || kind == EventKind::kSimTask;
+}
+
+/// Power-of-four byte buckets: "<256B", "<1KiB", "<4KiB", ...
+std::string bucket_label(std::int64_t bytes) {
+  std::int64_t bound = 256;
+  while (bound <= bytes && bound < (std::int64_t{1} << 62)) bound *= 4;
+  std::ostringstream label;
+  if (bound < 1024) {
+    label << "<" << bound << "B";
+  } else if (bound < 1024 * 1024) {
+    label << "<" << bound / 1024 << "KiB";
+  } else {
+    label << "<" << bound / (1024 * 1024) << "MiB";
+  }
+  return label.str();
+}
+
+void row(std::ostream& out, const char* section, const std::string& track,
+         const char* metric, double value) {
+  out << section << "," << track << "," << metric << "," << value << "\n";
+}
+
+void row(std::ostream& out, const char* section, const std::string& track,
+         const char* metric, std::int64_t value) {
+  out << section << "," << track << "," << metric << "," << value << "\n";
+}
+
+/// Total time covered by at least one interval.  Simulator tracks hold one
+/// track per *node* with many workers, so task intervals overlap; summing
+/// durations would report busy fractions above 1.
+double interval_union(std::vector<std::pair<double, double>> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  double covered = 0.0;
+  double open_begin = 0.0;
+  double open_end = -1.0;
+  for (const auto& [begin, end] : intervals) {
+    if (end <= open_end) continue;
+    if (begin > open_end) {
+      if (open_end > open_begin) covered += open_end - open_begin;
+      open_begin = begin;
+    }
+    open_end = end;
+  }
+  if (open_end > open_begin) covered += open_end - open_begin;
+  return covered;
+}
+
+}  // namespace
+
+void write_metrics_csv(std::ostream& out, const Trace& trace,
+                       const MetricsOptions& options) {
+  out << "section,track,metric,value\n";
+
+  // The run span: earliest start to latest end over every track, so busy
+  // fractions are comparable across tracks (idle time at the start or end
+  // of the run counts as idle — the exact effect the paper's trace
+  // inspection of Fig. 5/6 looks for).
+  double span_begin = 0.0;
+  double span_end = 0.0;
+  bool any = false;
+  for (const Track& track : trace.tracks) {
+    for (const Event& event : track.events) {
+      if (!any) {
+        span_begin = event.start_seconds;
+        span_end = event.end_seconds;
+        any = true;
+      } else {
+        span_begin = std::min(span_begin, event.start_seconds);
+        span_end = std::max(span_end, event.end_seconds);
+      }
+    }
+  }
+  const double span = any ? span_end - span_begin : 0.0;
+
+  std::map<std::string, std::int64_t> histogram;
+  std::int64_t total_sends = 0;
+  std::int64_t measured_messages = 0;
+
+  for (const Track& track : trace.tracks) {
+    std::vector<std::pair<double, double>> busy_intervals;
+    std::int64_t tasks = 0;
+    std::int64_t failed = 0;
+    std::int64_t sends = 0;
+    std::int64_t recvs = 0;
+    std::int64_t bytes_sent = 0;
+    std::int64_t bytes_received = 0;
+    for (const Event& event : track.events) {
+      if (is_task(event.kind)) {
+        busy_intervals.emplace_back(event.start_seconds, event.end_seconds);
+        ++tasks;
+        if (event.failed) ++failed;
+      } else if (event.kind == EventKind::kSend ||
+                 event.kind == EventKind::kSimTransfer) {
+        ++sends;
+        bytes_sent += event.bytes;
+        ++histogram[bucket_label(event.bytes)];
+        ++total_sends;
+        if (options.message_tag_bound < 0 ||
+            event.tag < options.message_tag_bound)
+          ++measured_messages;
+      } else if (event.kind == EventKind::kRecv) {
+        ++recvs;
+        bytes_received += event.bytes;
+      }
+    }
+    const double busy = interval_union(std::move(busy_intervals));
+    row(out, "track", track.name, "tasks", tasks);
+    if (failed > 0) row(out, "track", track.name, "tasks_failed", failed);
+    row(out, "track", track.name, "busy_seconds", busy);
+    row(out, "track", track.name, "span_seconds", span);
+    const double busy_fraction = span > 0.0 ? busy / span : 0.0;
+    row(out, "track", track.name, "busy_fraction", busy_fraction);
+    row(out, "track", track.name, "idle_fraction", 1.0 - busy_fraction);
+    row(out, "track", track.name, "messages_sent", sends);
+    row(out, "track", track.name, "messages_received", recvs);
+    row(out, "track", track.name, "bytes_sent", bytes_sent);
+    row(out, "track", track.name, "bytes_received", bytes_received);
+  }
+
+  for (const auto& [label, count] : histogram)
+    row(out, "histogram", label, "messages", count);
+
+  row(out, "summary", "total", "tracks",
+      static_cast<std::int64_t>(trace.tracks.size()));
+  row(out, "summary", "total", "messages_sent", total_sends);
+  if (options.predicted_messages >= 0) {
+    row(out, "summary", "total", "measured_messages", measured_messages);
+    row(out, "summary", "total", "predicted_messages",
+        options.predicted_messages);
+    const double ratio =
+        options.predicted_messages > 0
+            ? static_cast<double>(measured_messages) /
+                  static_cast<double>(options.predicted_messages)
+            : 0.0;
+    row(out, "summary", "total", "measured_over_predicted", ratio);
+  }
+}
+
+bool write_metrics_csv_file(const std::string& path, const Trace& trace,
+                            const MetricsOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_csv(out, trace, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace anyblock::obs

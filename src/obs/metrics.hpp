@@ -1,0 +1,37 @@
+// CSV metrics summary of a Trace — the measured side of the paper's
+// measured-vs-modeled comparison (Section VI).
+//
+// One long-format CSV (section,track,metric,value) holding:
+//   * per-track busy/span/idle fractions and task/message totals,
+//   * a histogram of message payload sizes (power-of-four byte buckets),
+//   * run totals, including measured vs predicted message counts when the
+//     caller supplies the core/cost closed-form prediction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace anyblock::obs {
+
+struct MetricsOptions {
+  /// Closed-form message-count prediction (core::exact_*_messages); -1
+  /// omits the measured-vs-predicted summary rows.
+  std::int64_t predicted_messages = -1;
+  /// Tag values below this bound count as factorization-proper messages in
+  /// the "measured_messages" total (the dist layer keeps gather traffic in
+  /// a higher tag band); < 0 counts every message.
+  std::int64_t message_tag_bound = -1;
+};
+
+/// Writes the long-format metrics CSV for the trace.
+void write_metrics_csv(std::ostream& out, const Trace& trace,
+                       const MetricsOptions& options = {});
+
+/// Convenience: writes to `path`; returns false on IO failure.
+bool write_metrics_csv_file(const std::string& path, const Trace& trace,
+                            const MetricsOptions& options = {});
+
+}  // namespace anyblock::obs

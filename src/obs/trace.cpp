@@ -1,0 +1,41 @@
+#include "obs/trace.hpp"
+
+namespace anyblock::obs {
+
+std::int64_t Trace::count(EventKind kind) const {
+  std::int64_t total = 0;
+  for (const Track& track : tracks) {
+    for (const Event& event : track.events) {
+      if (event.kind == kind) ++total;
+    }
+  }
+  return total;
+}
+
+bool Trace::empty() const {
+  for (const Track& track : tracks) {
+    if (!track.events.empty()) return false;
+  }
+  return true;
+}
+
+TrackSink* Recorder::track(std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tracks_.push_back(TrackSink(std::move(name)));
+  return &tracks_.back();
+}
+
+Trace Recorder::take() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Trace trace;
+  trace.tracks.reserve(tracks_.size());
+  for (TrackSink& sink : tracks_) {
+    Track track;
+    track.name = sink.name_;
+    track.events.swap(sink.events_);
+    trace.tracks.push_back(std::move(track));
+  }
+  return trace;
+}
+
+}  // namespace anyblock::obs

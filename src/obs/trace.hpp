@@ -1,0 +1,124 @@
+// Unified tracing across the three execution layers (runtime, vmpi, sim).
+//
+// The paper validates its distributions by comparing measured runs against
+// the Eq. 1 / Eq. 2 predictions and by inspecting StarPU execution traces
+// to explain idle time (Section VI).  This subsystem is our counterpart:
+// every layer can record events — task begin/end on a worker, tagged
+// send/recv on a rank, simulated task execution and link transfer on a
+// node — into one Recorder, and the exporters (chrome_trace.hpp,
+// metrics.hpp) turn the recording into a Perfetto-loadable timeline and a
+// CSV metrics summary.
+//
+// Concurrency model: recording must be lock-cheap because it sits on the
+// factorization hot path.  Each recording thread registers its own
+// TrackSink once (one brief Recorder lock) and then appends to a private
+// vector with no synchronization at all; the Recorder only touches the
+// sinks again in take(), which the caller must invoke after the recording
+// threads have quiesced (joined or passed a barrier).  Sinks stay valid
+// across take() calls, so a reused engine keeps its tracks.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace anyblock::obs {
+
+/// What one event describes.  Task kinds carry a [start, end] interval;
+/// comm kinds are instantaneous on their track but connected to the
+/// matching event on the peer track through `flow`.
+enum class EventKind : std::uint8_t {
+  kTask,         ///< runtime::TaskEngine task execution (wall time)
+  kSend,         ///< vmpi message leaving a rank
+  kRecv,         ///< vmpi message delivered to a rank
+  kSimTask,      ///< simulated kernel execution (virtual time)
+  kSimTransfer,  ///< simulated link occupancy of one message
+};
+
+struct Event {
+  EventKind kind = EventKind::kTask;
+  std::string name;            ///< task name; empty for comm events
+  double start_seconds = 0.0;  ///< relative to the Recorder epoch
+  double end_seconds = 0.0;    ///< == start for instantaneous events
+  int source = -1;             ///< sending rank/node (comm kinds)
+  int dest = -1;               ///< receiving rank/node (comm kinds)
+  std::int64_t tag = 0;        ///< vmpi tag / sim instance id
+  std::int64_t bytes = 0;      ///< payload size (comm kinds)
+  std::uint64_t flow = 0;      ///< nonzero: links a send to its recv(s)
+  int priority = 0;            ///< task priority (kTask)
+  bool failed = false;         ///< task body threw (kTask)
+};
+
+/// Append-only per-thread event buffer.  Only the owning thread may call
+/// record(); the Recorder harvests it in take().
+class TrackSink {
+ public:
+  void record(Event event) { events_.push_back(std::move(event)); }
+
+ private:
+  friend class Recorder;
+  explicit TrackSink(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::vector<Event> events_;
+};
+
+/// One named timeline (a worker, a rank, a node) with its events.
+struct Track {
+  std::string name;
+  std::vector<Event> events;
+};
+
+/// A harvested recording, ready for export.
+struct Trace {
+  std::vector<Track> tracks;
+
+  /// Total events of one kind across all tracks.
+  [[nodiscard]] std::int64_t count(EventKind kind) const;
+  /// True when no track holds any event.
+  [[nodiscard]] bool empty() const;
+};
+
+/// Owns the tracks and the epoch.  Thread-safe for track() and next_flow();
+/// take() requires the recording threads to have quiesced.
+class Recorder {
+ public:
+  Recorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Registers a new track and returns its sink, valid for the Recorder's
+  /// lifetime (take() empties it but never invalidates it).
+  TrackSink* track(std::string name);
+
+  /// Seconds elapsed since the Recorder was constructed.
+  [[nodiscard]] double now() const {
+    return seconds(std::chrono::steady_clock::now());
+  }
+  /// Converts an absolute steady_clock instant to epoch-relative seconds.
+  [[nodiscard]] double seconds(
+      std::chrono::steady_clock::time_point when) const {
+    return std::chrono::duration<double>(when - epoch_).count();
+  }
+
+  /// A fresh nonzero id tying a send event to its recv event(s).
+  std::uint64_t next_flow() {
+    return flow_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Moves every track's events out (tracks keep their registration so
+  /// sinks stay valid).  Call only when no thread is recording.
+  Trace take();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;
+  std::deque<TrackSink> tracks_;  // deque: sink pointers stay stable
+  std::atomic<std::uint64_t> flow_{0};
+};
+
+}  // namespace anyblock::obs

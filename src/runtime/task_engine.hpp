@@ -13,11 +13,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace anyblock::runtime {
 
@@ -32,17 +36,20 @@ struct Access {
 
 struct EngineStats {
   std::int64_t tasks_executed = 0;
+  /// Of those, tasks whose body threw (their successors still ran).
+  std::int64_t tasks_failed = 0;
   std::int64_t dependency_edges = 0;
   /// Largest number of tasks simultaneously running.
   std::int64_t peak_concurrency = 0;
 };
 
 /// One executed task, for offline schedule inspection (StarPU ships the
-/// same idea as FxT/Paje traces).
+/// same idea as FxT/Paje traces).  Derived from the obs recording — see
+/// enable_tracing() / take_trace().
 struct TraceEvent {
   std::string name;
   int worker = 0;
-  double start_seconds = 0.0;  ///< relative to engine construction
+  double start_seconds = 0.0;  ///< relative to tracing start
   double end_seconds = 0.0;
 };
 
@@ -51,10 +58,18 @@ struct TraceEvent {
 /// Thread-safety: submit() and wait_all() must be called from the single
 /// submitting thread (STF semantics); task bodies run on worker threads and
 /// must only touch the data they declared.
+///
+/// Failure semantics mirror vmpi::run_ranks: a task body that throws is
+/// marked failed, its successors still run (they must tolerate the
+/// predecessor's output being incomplete, as StarPU codelets must), and
+/// wait_all() rethrows the first stored exception once the DAG drained.
 class TaskEngine {
  public:
   /// Spawns `workers` threads (>= 1).
   explicit TaskEngine(int workers);
+
+  /// Terminates (loudly) when tasks are still pending — destroying a live
+  /// engine would silently drop submitted work; call wait_all() first.
   ~TaskEngine();
 
   TaskEngine(const TaskEngine&) = delete;
@@ -70,7 +85,9 @@ class TaskEngine {
   void submit(std::function<void()> body, std::vector<Access> accesses,
               int priority = 0, std::string name = {});
 
-  /// Blocks until every submitted task has executed.
+  /// Blocks until every submitted task has executed, then rethrows the
+  /// first exception any task body raised (clearing it, so the engine
+  /// stays usable afterwards).
   void wait_all();
 
   [[nodiscard]] EngineStats stats() const;
@@ -78,10 +95,17 @@ class TaskEngine {
     return static_cast<int>(threads_.size());
   }
 
-  /// Starts recording a TraceEvent per executed task (off by default; call
-  /// before submitting).  take_trace() returns and clears the recording.
+  /// Starts recording one obs event per executed task into an internal
+  /// recorder (off by default; call before submitting).  take_trace()
+  /// returns and clears the recording.
   void enable_tracing();
   [[nodiscard]] std::vector<TraceEvent> take_trace();
+
+  /// Routes task events into an external recorder instead (one "worker N"
+  /// track per worker) so engine activity lines up with vmpi/sim tracks in
+  /// the exported timeline.  Call before submitting; the recorder must
+  /// outlive the engine or a subsequent set_recorder(nullptr).
+  void set_recorder(obs::Recorder* recorder);
 
  private:
   struct Task {
@@ -118,10 +142,13 @@ class TaskEngine {
   std::int64_t running_ = 0;
   EngineStats stats_;
   bool shutdown_ = false;
+  /// First exception a task body threw; rethrown by wait_all().
+  std::exception_ptr first_error_;
 
-  bool tracing_ = false;
-  std::vector<TraceEvent> trace_;
-  std::chrono::steady_clock::time_point epoch_;
+  /// Tracing sinks, one per worker, lazily registered (guarded by mutex_).
+  obs::Recorder* recorder_ = nullptr;
+  std::unique_ptr<obs::Recorder> owned_recorder_;
+  std::vector<obs::TrackSink*> sinks_;
 
   std::vector<std::thread> threads_;
 };

@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace anyblock::sim {
 namespace {
+
+const char* task_type_name(TaskType type) {
+  switch (type) {
+    case TaskType::kGetrf: return "getrf";
+    case TaskType::kPotrf: return "potrf";
+    case TaskType::kTrsm: return "trsm";
+    case TaskType::kGemm: return "gemm";
+    case TaskType::kSyrk: return "syrk";
+    case TaskType::kLoad: return "load";
+  }
+  return "task";
+}
 
 /// Scheduling priority: smaller key runs first.  Earlier iterations beat
 /// later ones; within an iteration, factorizations beat solves beat updates
@@ -63,6 +78,12 @@ class Simulator {
         out_free_(static_cast<std::size_t>(machine.nodes), 0.0),
         in_free_(static_cast<std::size_t>(machine.nodes), 0.0) {
     report_.per_node.resize(static_cast<std::size_t>(machine.nodes));
+    if (machine_.recorder != nullptr) {
+      node_sinks_.reserve(static_cast<std::size_t>(machine.nodes));
+      for (std::int64_t node = 0; node < machine.nodes; ++node)
+        node_sinks_.push_back(
+            machine_.recorder->track("node " + std::to_string(node)));
+    }
     if (machine.workers_per_node < 1)
       throw std::invalid_argument("need at least one worker per node");
     if (machine.collective.algorithm == comm::Algorithm::kPipelinedChain &&
@@ -135,6 +156,20 @@ class Simulator {
     auto& node = report_.per_node[static_cast<std::size_t>(task.node)];
     node.busy_seconds += duration;
     ++node.tasks;
+    if (machine_.recorder != nullptr) {
+      // Virtual-time interval: start and finish are both known here, so
+      // the whole slice is recorded at schedule time.
+      obs::Event event;
+      event.kind = obs::EventKind::kSimTask;
+      event.name = std::string(task_type_name(task.type)) + "(" +
+                   std::to_string(task.i) + "," + std::to_string(task.j) +
+                   ")";
+      event.start_seconds = time;
+      event.end_seconds = time + duration;
+      event.priority = static_cast<int>(task.l);
+      node_sinks_[static_cast<std::size_t>(task.node)]->record(
+          std::move(event));
+    }
     push_event(time + duration, Event::Kind::kTaskFinish, task_id, 0);
   }
 
@@ -257,6 +292,20 @@ class Simulator {
     ++node.messages_sent;
     node.bytes_sent += bytes;
     ++report_.messages;
+    if (machine_.recorder != nullptr) {
+      // Link occupancy window on the sender's track: one event per
+      // simulated message, so kSimTransfer counts equal report_.messages.
+      obs::Event event;
+      event.kind = obs::EventKind::kSimTransfer;
+      event.start_seconds = start;
+      event.end_seconds = end;
+      event.source = src;
+      event.dest = dst;
+      event.tag = instance;
+      event.bytes = static_cast<std::int64_t>(bytes);
+      event.flow = machine_.recorder->next_flow();
+      node_sinks_[static_cast<std::size_t>(src)]->record(std::move(event));
+    }
   }
 
   /// Position of `group_index` in the remote order (1-based, producer = 0).
@@ -326,6 +375,8 @@ class Simulator {
   std::vector<double> in_free_;
   /// Chunks arrived so far per (instance << 32 | group), chain mode only.
   std::unordered_map<std::int64_t, std::int64_t> chain_arrived_;
+  /// Per-node trace tracks (empty when machine_.recorder is null).
+  std::vector<obs::TrackSink*> node_sinks_;
 };
 
 }  // namespace

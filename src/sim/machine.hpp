@@ -14,6 +14,10 @@
 
 #include "comm/config.hpp"
 
+namespace anyblock::obs {
+class Recorder;
+}
+
 namespace anyblock::sim {
 
 /// kLoad models an already-resident input tile (zero compute): its only
@@ -56,6 +60,13 @@ struct MachineConfig {
   /// same closed forms as core::exact_*_messages: d for p2p and tree,
   /// d * chain_chunks for the chain.
   comm::CollectiveConfig collective;
+
+  /// Optional trace recorder (not owned): when set, the simulator records
+  /// one obs::kSimTask event per executed kernel and one obs::kSimTransfer
+  /// event per link message, on per-node tracks, in *virtual* seconds —
+  /// the simulated counterpart of the StarPU traces the paper inspects to
+  /// explain idle time (Section VI).
+  obs::Recorder* recorder = nullptr;
 
   /// Relative speed of one node (1.0 when homogeneous).
   [[nodiscard]] double speed_of(std::int64_t node) const {

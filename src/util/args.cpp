@@ -1,10 +1,26 @@
 #include "util/args.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace anyblock {
+
+namespace {
+
+/// Reports a malformed option value and exits: callers are command-line
+/// front ends, and a silently-zero --t would poison a whole bench run.
+[[noreturn]] void fail_value(const std::string& program,
+                             std::string_view name, const std::string& value,
+                             const char* expected) {
+  std::fprintf(stderr, "%s: option --%.*s expects %s, got '%s'\n",
+               program.c_str(), static_cast<int>(name.size()), name.data(),
+               expected, value.c_str());
+  std::exit(1);
+}
+
+}  // namespace
 
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
@@ -14,7 +30,9 @@ void ArgParser::add(std::string_view name, std::string_view default_value,
   Option opt;
   opt.default_value = std::string(default_value);
   opt.help = std::string(help);
-  options_.emplace(std::string(name), std::move(opt));
+  if (!options_.emplace(std::string(name), std::move(opt)).second)
+    throw std::logic_error("ArgParser: option --" + std::string(name) +
+                           " registered twice");
   order_.emplace_back(name);
 }
 
@@ -22,7 +40,9 @@ void ArgParser::add_flag(std::string_view name, std::string_view help) {
   Option opt;
   opt.help = std::string(help);
   opt.is_flag = true;
-  options_.emplace(std::string(name), std::move(opt));
+  if (!options_.emplace(std::string(name), std::move(opt)).second)
+    throw std::logic_error("ArgParser: option --" + std::string(name) +
+                           " registered twice");
   order_.emplace_back(name);
 }
 
@@ -75,12 +95,33 @@ std::string ArgParser::get(std::string_view name) const {
   return it->second.value.value_or(it->second.default_value);
 }
 
+std::int64_t ArgParser::parse_int(std::string_view name,
+                                  const std::string& token) const {
+  // strtoll with a null endptr turns '--t banana' into a silent 0; insist
+  // on a non-empty token, full consumption, and no range overflow.
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size())
+    fail_value(program_, name, token, "an integer");
+  if (errno == ERANGE)
+    fail_value(program_, name, token, "an integer in range");
+  return static_cast<std::int64_t>(value);
+}
+
 std::int64_t ArgParser::get_int(std::string_view name) const {
-  return std::strtoll(get(name).c_str(), nullptr, 10);
+  return parse_int(name, get(name));
 }
 
 double ArgParser::get_double(std::string_view name) const {
-  return std::strtod(get(name).c_str(), nullptr);
+  const std::string token = get(name);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size())
+    fail_value(program_, name, token, "a number");
+  if (errno == ERANGE) fail_value(program_, name, token, "a number in range");
+  return value;
 }
 
 bool ArgParser::get_flag(std::string_view name) const {
@@ -98,8 +139,7 @@ std::vector<std::int64_t> ArgParser::get_int_list(std::string_view name) const {
     std::size_t next = raw.find(',', pos);
     if (next == std::string::npos) next = raw.size();
     if (next > pos)
-      values.push_back(std::strtoll(raw.substr(pos, next - pos).c_str(),
-                                    nullptr, 10));
+      values.push_back(parse_int(name, raw.substr(pos, next - pos)));
     pos = next + 1;
   }
   return values;

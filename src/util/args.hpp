@@ -19,10 +19,12 @@ class ArgParser {
   /// `description` is printed at the top of --help.
   ArgParser(std::string program, std::string description);
 
-  /// Declares an option with a default value (shown in --help).
+  /// Declares an option with a default value (shown in --help).  Declaring
+  /// the same name twice throws std::logic_error.
   void add(std::string_view name, std::string_view default_value,
            std::string_view help);
-  /// Declares a boolean flag (false unless present).
+  /// Declares a boolean flag (false unless present).  Declaring the same
+  /// name twice throws std::logic_error.
   void add_flag(std::string_view name, std::string_view help);
 
   /// Parses argv.  Returns false (after printing usage) on unknown options
@@ -30,6 +32,9 @@ class ArgParser {
   bool parse(int argc, char** argv);
 
   [[nodiscard]] std::string get(std::string_view name) const;
+  /// Typed getters validate the whole token (and its range) and exit(1)
+  /// with a message naming the option on malformed input — a mistyped
+  /// `--t banana` must not silently become 0.
   [[nodiscard]] std::int64_t get_int(std::string_view name) const;
   [[nodiscard]] double get_double(std::string_view name) const;
   [[nodiscard]] bool get_flag(std::string_view name) const;
@@ -46,6 +51,8 @@ class ArgParser {
   void print_help() const;
 
  private:
+  std::int64_t parse_int(std::string_view name, const std::string& token) const;
+
   struct Option {
     std::string default_value;
     std::string help;

@@ -3,7 +3,10 @@
 #include <exception>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "obs/trace.hpp"
 
 namespace anyblock::vmpi {
 
@@ -20,6 +23,9 @@ struct Message {
   std::int64_t tag;
   std::shared_ptr<Payload> data;
   bool exclusive;
+  /// Trace flow id tying this message's recv event to its send event
+  /// (0 when tracing is off).
+  std::uint64_t flow = 0;
 };
 
 /// One mailbox per destination rank.
@@ -40,19 +46,31 @@ Payload extract(Message&& message) {
 
 class World {
  public:
-  explicit World(int ranks)
+  explicit World(int ranks, obs::Recorder* recorder = nullptr)
       : size_(ranks),
         mailboxes_(static_cast<std::size_t>(ranks)),
         traffic_(static_cast<std::size_t>(ranks)),
-        traffic_mutexes_(static_cast<std::size_t>(ranks)) {}
+        traffic_mutexes_(static_cast<std::size_t>(ranks)),
+        recorder_(recorder) {
+    // Sinks are registered up front, before the rank threads start, so
+    // each thread only ever appends to its own pre-existing track.
+    if (recorder_ != nullptr) {
+      sinks_.reserve(static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r)
+        sinks_.push_back(recorder_->track("rank " + std::to_string(r)));
+    }
+  }
 
   [[nodiscard]] int size() const { return size_; }
 
   void send(int source, int dest, std::int64_t tag, Payload data) {
     check_dest(dest);
     count_sent(source, 1, static_cast<std::int64_t>(data.size()));
+    const std::uint64_t flow =
+        record_send(source, dest, tag, static_cast<std::int64_t>(data.size()),
+                    /*flow=*/0);
     deliver(dest, {source, tag, std::make_shared<Payload>(std::move(data)),
-                   /*exclusive=*/true});
+                   /*exclusive=*/true, flow});
   }
 
   void multisend(int source, const std::vector<int>& dests, std::int64_t tag,
@@ -61,9 +79,15 @@ class World {
     count_sent(source, static_cast<std::int64_t>(dests.size()),
                static_cast<std::int64_t>(dests.size()) *
                    static_cast<std::int64_t>(data.size()));
+    // One flow id for the whole fan-out: the exporter draws one arrow per
+    // destination from the shared send instant.
+    std::uint64_t flow = 0;
+    for (const int dest : dests)
+      flow = record_send(source, dest, tag,
+                         static_cast<std::int64_t>(data.size()), flow);
     const auto shared = std::make_shared<Payload>(data);
     for (const int dest : dests)
-      deliver(dest, {source, tag, shared, /*exclusive=*/false});
+      deliver(dest, {source, tag, shared, /*exclusive=*/false, flow});
   }
 
   Payload recv(int self, int source, std::int64_t tag) {
@@ -141,8 +165,39 @@ class World {
     t.doubles_sent += doubles;
   }
 
+  /// Records one send event on the source rank's track; returns the flow
+  /// id to stamp on the message (reuses `flow` when nonzero, for the
+  /// shared-flow multisend fan-out).
+  std::uint64_t record_send(int source, int dest, std::int64_t tag,
+                            std::int64_t doubles, std::uint64_t flow) {
+    if (recorder_ == nullptr) return 0;
+    if (flow == 0) flow = recorder_->next_flow();
+    obs::Event event;
+    event.kind = obs::EventKind::kSend;
+    event.start_seconds = event.end_seconds = recorder_->now();
+    event.source = source;
+    event.dest = dest;
+    event.tag = tag;
+    event.bytes = doubles * static_cast<std::int64_t>(sizeof(double));
+    event.flow = flow;
+    sinks_[static_cast<std::size_t>(source)]->record(std::move(event));
+    return flow;
+  }
+
   /// Books the receive-side counters and extracts the payload.
   Payload receive_payload(int self, Message&& message) {
+    if (recorder_ != nullptr) {
+      obs::Event event;
+      event.kind = obs::EventKind::kRecv;
+      event.start_seconds = event.end_seconds = recorder_->now();
+      event.source = message.source;
+      event.dest = self;
+      event.tag = message.tag;
+      event.bytes = static_cast<std::int64_t>(message.data->size()) *
+                    static_cast<std::int64_t>(sizeof(double));
+      event.flow = message.flow;
+      sinks_[static_cast<std::size_t>(self)]->record(std::move(event));
+    }
     Payload data = extract(std::move(message));
     const std::lock_guard<std::mutex> lock(
         traffic_mutexes_[static_cast<std::size_t>(self)]);
@@ -156,6 +211,8 @@ class World {
   std::vector<Mailbox> mailboxes_;
   std::vector<TrafficStats> traffic_;
   std::vector<std::mutex> traffic_mutexes_;
+  obs::Recorder* recorder_;
+  std::vector<obs::TrackSink*> sinks_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -249,9 +306,10 @@ std::int64_t RunReport::total_doubles_received() const {
   return total;
 }
 
-RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body) {
+RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
+                    obs::Recorder* recorder) {
   if (ranks < 1) throw std::invalid_argument("need at least one rank");
-  World world(ranks);
+  World world(ranks, recorder);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   threads.reserve(static_cast<std::size_t>(ranks));

@@ -27,6 +27,10 @@
 #include <utility>
 #include <vector>
 
+namespace anyblock::obs {
+class Recorder;
+}
+
 namespace anyblock::vmpi {
 
 using Payload = std::vector<double>;
@@ -107,6 +111,12 @@ struct RunReport {
 
 /// Spawns `ranks` threads running `body` and joins them.  Exceptions thrown
 /// by a rank body are rethrown (first one wins) after all threads joined.
-RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body);
+///
+/// With a non-null `recorder`, every send/multisend/recv is recorded as an
+/// obs event on a per-rank track ("rank N"), carrying source/dest/tag/byte
+/// metadata plus a flow id linking each send to its matching recv — the
+/// event counts equal the TrafficStats counters exactly.
+RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
+                    obs::Recorder* recorder = nullptr);
 
 }  // namespace anyblock::vmpi

@@ -1,0 +1,263 @@
+// The obs subsystem's contract: what the recorder captures is exactly what
+// the exporters write, and for a real distributed run the captured comm
+// events agree with the vmpi traffic counters AND the closed-form message
+// counts of core/cost — the same three-way agreement the integration tests
+// assert on raw counters, now validated through the trace path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/block_cyclic.hpp"
+#include "core/cost.hpp"
+#include "core/distribution.hpp"
+#include "core/g2dbc.hpp"
+#include "dist/dist_factorization.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/tiled_matrix.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::obs {
+namespace {
+
+std::int64_t count_substring(const std::string& haystack,
+                            const std::string& needle) {
+  std::int64_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(Recorder, TracksAreStableAndTakeDrainsEvents) {
+  Recorder recorder;
+  TrackSink* a = recorder.track("alpha");
+  TrackSink* b = recorder.track("beta");
+  Event event;
+  event.kind = EventKind::kTask;
+  event.name = "t0";
+  event.start_seconds = 1.0;
+  event.end_seconds = 2.0;
+  a->record(event);
+  event.name = "t1";
+  b->record(event);
+
+  Trace trace = recorder.take();
+  ASSERT_EQ(trace.tracks.size(), 2u);
+  EXPECT_EQ(trace.tracks[0].name, "alpha");
+  EXPECT_EQ(trace.tracks[1].name, "beta");
+  EXPECT_EQ(trace.count(EventKind::kTask), 2);
+
+  // Sinks survive take(): recording continues into a fresh trace.
+  event.name = "t2";
+  a->record(event);
+  Trace second = recorder.take();
+  EXPECT_EQ(second.count(EventKind::kTask), 1);
+  EXPECT_EQ(second.tracks[0].events[0].name, "t2");
+}
+
+TEST(Recorder, FlowIdsAreUnique) {
+  Recorder recorder;
+  const std::uint64_t first = recorder.next_flow();
+  const std::uint64_t second = recorder.next_flow();
+  EXPECT_NE(first, second);
+}
+
+TEST(ChromeTrace, EmitsMetadataCompleteAndFlowEvents) {
+  Recorder recorder;
+  TrackSink* sender = recorder.track("rank 0");
+  TrackSink* receiver = recorder.track("rank 1");
+  const std::uint64_t flow = recorder.next_flow();
+
+  Event send;
+  send.kind = EventKind::kSend;
+  send.source = 0;
+  send.dest = 1;
+  send.tag = 7;
+  send.bytes = 128;
+  send.flow = flow;
+  send.start_seconds = 0.5;
+  send.end_seconds = 0.5;
+  sender->record(send);
+
+  Event recv = send;
+  recv.kind = EventKind::kRecv;
+  recv.start_seconds = 1.5;
+  recv.end_seconds = 1.5;
+  receiver->record(recv);
+
+  std::ostringstream out;
+  write_chrome_trace(out, recorder.take());
+  const std::string json = out.str();
+
+  // One thread_name metadata record per track, matching tid assignment.
+  EXPECT_EQ(count_substring(json, "\"thread_name\""), 2);
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  // One X event per send/recv, one s/f flow pair binding them.
+  EXPECT_EQ(count_substring(json, "\"ph\":\"X\""), 2);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"s\""), 1);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"f\""), 1);
+  EXPECT_NE(json.find("\"cat\":\"vmpi.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"vmpi.recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":128"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesControlCharactersInNames) {
+  Recorder recorder;
+  TrackSink* sink = recorder.track("track \"q\"\n");
+  Event event;
+  event.kind = EventKind::kTask;
+  event.name = "bad\\name";
+  sink->record(event);
+  std::ostringstream out;
+  write_chrome_trace(out, recorder.take());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("track \\\"q\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("bad\\\\name"), std::string::npos);
+}
+
+TEST(Metrics, BusyFractionMergesOverlappingTasks) {
+  // Two fully-overlapping one-second tasks on one track must count as one
+  // second of busy time, not two (a sim node track runs many workers).
+  Recorder recorder;
+  TrackSink* sink = recorder.track("node 0");
+  Event event;
+  event.kind = EventKind::kSimTask;
+  event.start_seconds = 0.0;
+  event.end_seconds = 1.0;
+  sink->record(event);
+  sink->record(event);
+  // A later task extends the span to 2s; busy is 1.5s total.
+  event.start_seconds = 1.5;
+  event.end_seconds = 2.0;
+  sink->record(event);
+
+  std::ostringstream out;
+  write_metrics_csv(out, recorder.take(), {});
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("track,node 0,tasks,3"), std::string::npos);
+  EXPECT_NE(csv.find("track,node 0,busy_seconds,1.5"), std::string::npos);
+  EXPECT_NE(csv.find("track,node 0,busy_fraction,0.75"), std::string::npos);
+}
+
+TEST(Metrics, MeasuredVersusPredictedUsesTagBound) {
+  Recorder recorder;
+  TrackSink* sink = recorder.track("rank 0");
+  Event send;
+  send.kind = EventKind::kSend;
+  send.bytes = 8;
+  send.tag = 3;  // inside the factorization band
+  sink->record(send);
+  send.tag = 100;  // gather band: excluded from measured_messages
+  sink->record(send);
+
+  MetricsOptions options;
+  options.predicted_messages = 1;
+  options.message_tag_bound = 10;
+  std::ostringstream out;
+  write_metrics_csv(out, recorder.take(), options);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("summary,total,messages_sent,2"), std::string::npos);
+  EXPECT_NE(csv.find("summary,total,measured_messages,1"), std::string::npos);
+  EXPECT_NE(csv.find("summary,total,predicted_messages,1"),
+            std::string::npos);
+  EXPECT_NE(csv.find("summary,total,measured_over_predicted,1"),
+            std::string::npos);
+}
+
+/// One traced distributed LU; returns (trace, report, predicted) checks.
+void check_traced_lu(const core::Pattern& pattern, std::int64_t t) {
+  constexpr std::int64_t kNb = 4;
+  const core::PatternDistribution distribution(pattern, t,
+                                               /*symmetric=*/false);
+  Rng rng(11);
+  const linalg::TiledMatrix input = linalg::tiled_diag_dominant(t, kNb, rng);
+
+  Recorder recorder;
+  const dist::DistRunResult result =
+      dist::distributed_lu(input, distribution, {}, &recorder);
+  ASSERT_TRUE(result.ok);
+  const Trace trace = recorder.take();
+
+  // One track per rank, named by the vmpi layer.
+  ASSERT_EQ(trace.tracks.size(),
+            static_cast<std::size_t>(pattern.num_nodes()));
+  EXPECT_EQ(trace.tracks[0].name, "rank 0");
+
+  // Recorded sends/recvs equal the vmpi traffic counters, per rank and in
+  // total (gather included on both sides of the comparison).
+  std::int64_t sends = 0;
+  std::int64_t recvs = 0;
+  for (std::size_t r = 0; r < trace.tracks.size(); ++r) {
+    std::int64_t rank_sends = 0;
+    std::int64_t rank_recvs = 0;
+    for (const Event& event : trace.tracks[r].events) {
+      if (event.kind == EventKind::kSend) ++rank_sends;
+      if (event.kind == EventKind::kRecv) ++rank_recvs;
+    }
+    EXPECT_EQ(rank_sends, result.report.per_rank[r].messages_sent);
+    EXPECT_EQ(rank_recvs, result.report.per_rank[r].messages_received);
+    sends += rank_sends;
+    recvs += rank_recvs;
+  }
+  EXPECT_EQ(sends, result.report.total_messages());
+  EXPECT_EQ(recvs, result.report.total_messages_received());
+
+  // Factorization-proper sends (tags below t*t; the gather uses the band
+  // above) equal the closed-form count of core/cost.
+  std::int64_t factorization_sends = 0;
+  for (const Track& track : trace.tracks)
+    for (const Event& event : track.events)
+      if (event.kind == EventKind::kSend && event.tag < t * t)
+        ++factorization_sends;
+  EXPECT_EQ(factorization_sends, result.tile_messages);
+  EXPECT_EQ(factorization_sends,
+            core::exact_lu_messages(distribution, t, {}));
+
+  // The Chrome export carries every event: one X per send+recv, one s/f
+  // flow pair per message, one metadata record per rank.
+  std::ostringstream out;
+  write_chrome_trace(out, trace);
+  const std::string json = out.str();
+  EXPECT_EQ(count_substring(json, "\"cat\":\"vmpi.send\""), sends);
+  EXPECT_EQ(count_substring(json, "\"cat\":\"vmpi.recv\""), recvs);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"s\""), sends);
+  EXPECT_EQ(count_substring(json, "\"ph\":\"f\""), recvs);
+  EXPECT_EQ(count_substring(json, "\"thread_name\""),
+            static_cast<std::int64_t>(trace.tracks.size()));
+}
+
+TEST(TracedRun, LuEventCountsMatchTrafficAndPredictionP5) {
+  check_traced_lu(core::make_g2dbc(5), /*t=*/8);
+}
+
+// The acceptance case: P=23 G-2DBC, trace counts == TrafficStats ==
+// exact closed form.
+TEST(TracedRun, LuEventCountsMatchTrafficAndPredictionP23) {
+  check_traced_lu(core::make_g2dbc(23), /*t=*/23);
+}
+
+TEST(TracedRun, SimulatorTransfersEqualReportedMessages) {
+  const std::int64_t t = 12;
+  const core::Pattern pattern = core::make_g2dbc(7);
+  const core::PatternDistribution distribution(pattern, t,
+                                               /*symmetric=*/false);
+  Recorder recorder;
+  sim::MachineConfig machine;
+  machine.nodes = pattern.num_nodes();
+  machine.recorder = &recorder;
+  const sim::SimReport report = sim::simulate_lu(t, distribution, machine);
+  const Trace trace = recorder.take();
+  EXPECT_EQ(trace.count(EventKind::kSimTransfer), report.messages);
+  EXPECT_GT(trace.count(EventKind::kSimTask), 0);
+}
+
+}  // namespace
+}  // namespace anyblock::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 namespace anyblock::runtime {
@@ -144,6 +145,65 @@ TEST(TaskEngine, WaitAllIsReusable) {
   engine.submit([&] { ++counter; }, {});
   engine.wait_all();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(TaskEngine, ThrowingTaskRethrownFromWaitAll) {
+  TaskEngine engine(2);
+  engine.submit([] { throw std::runtime_error("kernel exploded"); }, {});
+  try {
+    engine.wait_all();
+    FAIL() << "wait_all() must rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "kernel exploded");
+  }
+  EXPECT_EQ(engine.stats().tasks_failed, 1);
+}
+
+TEST(TaskEngine, FailedTaskStillReleasesSuccessors) {
+  // Mirrors vmpi::run_ranks: a failure must not deadlock the graph — the
+  // dependent task still runs, and wait_all() reports the first error.
+  TaskEngine engine(2);
+  const HandleId h = engine.register_data();
+  std::atomic<bool> successor_ran{false};
+  engine.submit([] { throw std::runtime_error("writer failed"); },
+                {{h, AccessMode::kWrite}});
+  engine.submit([&] { successor_ran = true; }, {{h, AccessMode::kRead}});
+  EXPECT_THROW(engine.wait_all(), std::runtime_error);
+  EXPECT_TRUE(successor_ran.load());
+}
+
+TEST(TaskEngine, EngineReusableAfterFailure) {
+  // wait_all() clears the stored exception: the next batch starts clean.
+  TaskEngine engine(2);
+  engine.submit([] { throw std::runtime_error("first batch"); }, {});
+  EXPECT_THROW(engine.wait_all(), std::runtime_error);
+  std::atomic<int> counter{0};
+  engine.submit([&] { ++counter; }, {});
+  engine.wait_all();  // must not rethrow the already-reported error
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskEngine, FirstOfSeveralFailuresIsReported) {
+  TaskEngine engine(1);  // one worker: submission order is execution order
+  engine.submit([] { throw std::runtime_error("first"); }, {});
+  engine.submit([] { throw std::runtime_error("second"); }, {});
+  try {
+    engine.wait_all();
+    FAIL() << "wait_all() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(engine.stats().tasks_failed, 2);
+}
+
+TEST(TaskEngine, FailedTaskIsMarkedInTrace) {
+  TaskEngine engine(1);
+  engine.enable_tracing();
+  engine.submit([] { throw std::runtime_error("boom"); }, {}, 0, "bad_task");
+  EXPECT_THROW(engine.wait_all(), std::runtime_error);
+  const std::vector<TraceEvent> trace = engine.take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].name, "bad_task");
 }
 
 TEST(TaskEngine, DependencyEdgeCountIsAccurate) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace anyblock {
@@ -97,6 +98,68 @@ TEST(Args, HelpReturnsFalse) {
   ArgParser parser("prog", "test");
   Argv argv({"prog", "--help"});
   EXPECT_FALSE(parser.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Args, DuplicateRegistrationThrows) {
+  ArgParser parser("prog", "test");
+  parser.add("nodes", "23", "node count");
+  EXPECT_THROW(parser.add("nodes", "7", "again"), std::logic_error);
+  EXPECT_THROW(parser.add_flag("nodes", "as a flag"), std::logic_error);
+}
+
+using ArgsDeathTest = ::testing::Test;
+
+// A mistyped value must be a loud error naming the option, not a silent 0
+// (the strtoll-with-null-endptr bug this guards against).
+TEST(ArgsDeathTest, MalformedIntExitsWithError) {
+  ArgParser parser("prog", "test");
+  parser.add("t", "48", "tile grid side");
+  Argv argv({"prog", "--t", "banana"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EXIT(static_cast<void>(parser.get_int("t")), ::testing::ExitedWithCode(1), "--t");
+}
+
+TEST(ArgsDeathTest, TrailingGarbageIntExitsWithError) {
+  ArgParser parser("prog", "test");
+  parser.add("nodes", "23", "node count");
+  Argv argv({"prog", "--nodes", "23x"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EXIT(static_cast<void>(parser.get_int("nodes")), ::testing::ExitedWithCode(1),
+              "--nodes");
+}
+
+TEST(ArgsDeathTest, OverflowIntExitsWithError) {
+  ArgParser parser("prog", "test");
+  parser.add("nodes", "23", "node count");
+  Argv argv({"prog", "--nodes", "99999999999999999999999999"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EXIT(static_cast<void>(parser.get_int("nodes")), ::testing::ExitedWithCode(1),
+              "in range");
+}
+
+TEST(ArgsDeathTest, MalformedDoubleExitsWithError) {
+  ArgParser parser("prog", "test");
+  parser.add("bw", "12.5", "bandwidth GB/s");
+  Argv argv({"prog", "--bw", "fast"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EXIT(static_cast<void>(parser.get_double("bw")), ::testing::ExitedWithCode(1), "--bw");
+}
+
+TEST(ArgsDeathTest, MalformedIntListEntryExitsWithError) {
+  ArgParser parser("prog", "test");
+  parser.add("sizes", "1,2", "matrix sizes");
+  Argv argv({"prog", "--sizes", "100,oops,300"});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EXIT(static_cast<void>(parser.get_int_list("sizes")), ::testing::ExitedWithCode(1),
+              "--sizes");
+}
+
+TEST(ArgsDeathTest, EmptyValueExitsWithError) {
+  ArgParser parser("prog", "test");
+  parser.add("t", "48", "tile grid side");
+  Argv argv({"prog", "--t="});
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv()));
+  EXPECT_EXIT(static_cast<void>(parser.get_int("t")), ::testing::ExitedWithCode(1), "--t");
 }
 
 }  // namespace

@@ -20,6 +20,9 @@
 #include "core/pattern_search.hpp"
 #include "core/recommend.hpp"
 #include "core/sbc.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "util/args.hpp"
 
@@ -165,6 +168,8 @@ int cmd_simulate(int argc, char** argv) {
   parser.add("seeds", "100", "GCR&M search restarts");
   parser.add("collective", "p2p", "tile multicast: p2p | tree | chain");
   parser.add("chunks", "4", "chunks per tile (chain collective only)");
+  parser.add("trace", "", "write a Chrome trace_event JSON timeline here");
+  parser.add("metrics", "", "write a CSV metrics summary here");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t P = parser.get_int("nodes");
@@ -186,11 +191,34 @@ int cmd_simulate(int argc, char** argv) {
   machine.tile_size = parser.get_int("tile");
   machine.collective.algorithm = comm::parse_algorithm(parser.get("collective"));
   machine.collective.chain_chunks = parser.get_int("chunks");
+  const std::string trace_path = parser.get("trace");
+  const std::string metrics_path = parser.get("metrics");
+  obs::Recorder recorder;
+  if (!trace_path.empty() || !metrics_path.empty())
+    machine.recorder = &recorder;
   const bool symmetric = kernel != core::Kernel::kLu;
   const core::PatternDistribution dist(rec.pattern, t, symmetric, rec.scheme);
   const sim::SimReport report =
       symmetric ? sim::simulate_cholesky(t, dist, machine)
                 : sim::simulate_lu(t, dist, machine);
+  if (machine.recorder) {
+    const obs::Trace trace = recorder.take();
+    if (!trace_path.empty() && !obs::write_chrome_trace_file(trace_path, trace)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsOptions metrics;
+      metrics.predicted_messages =
+          symmetric
+              ? core::exact_cholesky_messages(dist, t, machine.collective)
+              : core::exact_lu_messages(dist, t, machine.collective);
+      if (!obs::write_metrics_csv_file(metrics_path, trace, metrics)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+    }
+  }
   std::printf("%s of N=%lld on %lld nodes with %s (T = %.3f):\n",
               parser.get("kernel").c_str(),
               static_cast<long long>(parser.get_int("size")),
