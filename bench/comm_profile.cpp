@@ -9,6 +9,9 @@
 // Sender totals and their imbalance go to stderr.
 #include <cstdio>
 #include <iostream>
+#include <optional>
+
+#include "fault/fault.hpp"
 
 #include "comm/config.hpp"
 #include "common.hpp"
@@ -37,18 +40,35 @@ namespace {
 // against the exact closed form of core/cost.
 int run_traced_lu(const std::string& trace_path,
                   const std::string& metrics_path, std::int64_t t,
-                  std::int64_t nb) {
+                  std::int64_t nb, const std::string& fault_spec) {
   const core::Pattern pattern = core::make_g2dbc(23);
   const core::PatternDistribution dist(pattern, t, /*symmetric=*/false,
                                        "G-2DBC P=23");
   Rng rng(7);
   const linalg::TiledMatrix input = linalg::tiled_diag_dominant(t, nb, rng);
   obs::Recorder recorder;
-  const dist::DistRunResult result =
-      dist::distributed_lu(input, dist, {}, &recorder);
+  // With --faults the real vmpi transport runs under the seeded fault plan:
+  // the factored bits and the measured app-level counts below must come out
+  // identical to the fault-free run, with the recovery visible as fault_*
+  // metrics rows.
+  std::optional<fault::FaultInjector> injector;
+  if (!fault_spec.empty()) injector.emplace(fault::parse_fault_spec(fault_spec));
+  const dist::DistRunResult result = dist::distributed_lu(
+      input, dist, {}, &recorder, injector ? &*injector : nullptr);
   if (!result.ok) {
     std::fprintf(stderr, "traced LU run failed to factorize\n");
     return 1;
+  }
+  if (injector) {
+    const fault::FaultStats stats = injector->stats();
+    std::fprintf(stderr,
+                 "faults: %lld drops, %lld dups, %lld delays -> %lld "
+                 "retries, %lld dedups\n",
+                 static_cast<long long>(stats.drops),
+                 static_cast<long long>(stats.duplicates),
+                 static_cast<long long>(stats.delays),
+                 static_cast<long long>(stats.retries),
+                 static_cast<long long>(stats.dedup_discards));
   }
   const obs::Trace trace = recorder.take();
   if (!trace_path.empty() &&
@@ -87,14 +107,16 @@ int main(int argc, char** argv) {
              "trace_event JSON timeline here");
   parser.add("metrics", "",
              "write the traced run's CSV metrics summary here");
+  parser.add("faults", "",
+             "perturb the traced run, e.g. drop=0.05,seed=42");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t t = parser.get_int("t");
   const std::string trace_path = parser.get("trace");
   const std::string metrics_path = parser.get("metrics");
   if (!trace_path.empty() || !metrics_path.empty()) {
-    const int status =
-        run_traced_lu(trace_path, metrics_path, t, parser.get_int("nb"));
+    const int status = run_traced_lu(trace_path, metrics_path, t,
+                                     parser.get_int("nb"), parser.get("faults"));
     if (status != 0) return status;
   }
   struct Row {

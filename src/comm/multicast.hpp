@@ -24,6 +24,15 @@
 // that belong to several groups must call multicast_recv in a globally
 // consistent order (the dist layer receives published tiles in publication
 // order per iteration, which satisfies this).
+//
+// Delivery guarantees: multicast rides on the vmpi transport, which under an
+// active fault::FaultInjector provides sequence-numbered at-least-once
+// delivery — dropped hops are retransmitted on receiver timeout with
+// exponential backoff, injected duplicates are discarded by sequence number,
+// and per-(source, tag) FIFO order is preserved.  Every algorithm above
+// therefore completes bit-identically to a fault-free run, and the
+// application-level message counts still match the closed forms in
+// core::exact_*_messages (retries live only in fault::FaultStats).
 #pragma once
 
 #include <cstdint>

@@ -182,7 +182,8 @@ using vmpi::RankContext;
 DistRunResult distributed_lu(const TiledMatrix& input,
                              const core::Distribution& distribution,
                              const comm::CollectiveConfig& config,
-                             obs::Recorder* recorder) {
+                             obs::Recorder* recorder,
+                             fault::FaultInjector* injector) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   const int ranks = static_cast<int>(distribution.num_nodes());
@@ -192,25 +193,32 @@ DistRunResult distributed_lu(const TiledMatrix& input,
   std::mutex out_mutex;
   std::atomic<bool> ok{true};
   std::vector<std::int64_t> factor_messages(static_cast<std::size_t>(ranks));
+  std::vector<std::int64_t> factor_received(static_cast<std::size_t>(ranks));
 
   result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
     TileStore store(input, distribution, ctx.rank(), /*lower_only=*/false);
     detail::lu_factorize_rank(ctx, store, distribution, t, nb, ok, config);
+    const auto traffic = ctx.traffic();
     factor_messages[static_cast<std::size_t>(ctx.rank())] =
-        ctx.traffic().messages_sent;
+        traffic.messages_sent;
+    factor_received[static_cast<std::size_t>(ctx.rank())] =
+        traffic.messages_received;
     detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/false,
                            result.factored, out_mutex);
-  }, recorder);
+  }, recorder, injector);
 
   result.ok = ok.load();
   for (const auto count : factor_messages) result.tile_messages += count;
+  for (const auto count : factor_received)
+    result.tile_messages_received += count;
   return result;
 }
 
 DistRunResult distributed_cholesky(const TiledMatrix& input,
                                    const core::Distribution& distribution,
                                    const comm::CollectiveConfig& config,
-                                   obs::Recorder* recorder) {
+                                   obs::Recorder* recorder,
+                                   fault::FaultInjector* injector) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   const int ranks = static_cast<int>(distribution.num_nodes());
@@ -220,19 +228,25 @@ DistRunResult distributed_cholesky(const TiledMatrix& input,
   std::mutex out_mutex;
   std::atomic<bool> ok{true};
   std::vector<std::int64_t> factor_messages(static_cast<std::size_t>(ranks));
+  std::vector<std::int64_t> factor_received(static_cast<std::size_t>(ranks));
 
   result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
     TileStore store(input, distribution, ctx.rank(), /*lower_only=*/true);
     detail::cholesky_factorize_rank(ctx, store, distribution, t, nb, ok,
                                     config);
+    const auto traffic = ctx.traffic();
     factor_messages[static_cast<std::size_t>(ctx.rank())] =
-        ctx.traffic().messages_sent;
+        traffic.messages_sent;
+    factor_received[static_cast<std::size_t>(ctx.rank())] =
+        traffic.messages_received;
     detail::gather_to_root(store, ctx, t, distribution, /*lower_only=*/true,
                            result.factored, out_mutex);
-  }, recorder);
+  }, recorder, injector);
 
   result.ok = ok.load();
   for (const auto count : factor_messages) result.tile_messages += count;
+  for (const auto count : factor_received)
+    result.tile_messages_received += count;
   return result;
 }
 
@@ -241,7 +255,8 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
                                const core::Distribution& dist_c,
                                const core::Distribution& dist_a,
                                const comm::CollectiveConfig& config,
-                               obs::Recorder* recorder) {
+                               obs::Recorder* recorder,
+                               fault::FaultInjector* injector) {
   const std::int64_t t = c_input.tiles();
   const std::int64_t k = a_input.tile_cols();
   const std::int64_t nb = c_input.tile_size();
@@ -254,6 +269,7 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
   std::mutex out_mutex;
   std::atomic<bool> ok{true};
   std::vector<std::int64_t> update_messages(static_cast<std::size_t>(ranks));
+  std::vector<std::int64_t> update_received(static_cast<std::size_t>(ranks));
 
   // A-tile tags occupy [0, t*k); the C gather sits above them.
   const auto a_tag = [k](std::int64_t i, std::int64_t l) { return i * k + l; };
@@ -314,8 +330,12 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
       }
     }
 
-    update_messages[static_cast<std::size_t>(self)] =
-        ctx.traffic().messages_sent;
+    {
+      const auto traffic = ctx.traffic();
+      update_messages[static_cast<std::size_t>(self)] = traffic.messages_sent;
+      update_received[static_cast<std::size_t>(self)] =
+          traffic.messages_received;
+    }
     // Gather tags sit above the A-tile band: t*k + tile id.
     const std::int64_t gather_base = t * k;
     if (ctx.rank() == 0) {
@@ -338,10 +358,12 @@ DistRunResult distributed_syrk(const TiledMatrix& c_input,
         }
       }
     }
-  }, recorder);
+  }, recorder, injector);
 
   result.ok = ok.load();
   for (const auto count : update_messages) result.tile_messages += count;
+  for (const auto count : update_received)
+    result.tile_messages_received += count;
   return result;
 }
 
@@ -350,7 +372,8 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
                                const linalg::TiledPanel& b_input,
                                const core::Distribution& dist,
                                const comm::CollectiveConfig& config,
-                               obs::Recorder* recorder) {
+                               obs::Recorder* recorder,
+                               fault::FaultInjector* injector) {
   const std::int64_t t = c_input.tiles();
   const std::int64_t k = a_input.tile_cols();
   const std::int64_t nb = c_input.tile_size();
@@ -364,6 +387,7 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
   result.factored = TiledMatrix(t, nb);
   std::mutex out_mutex;
   std::vector<std::int64_t> update_messages(static_cast<std::size_t>(ranks));
+  std::vector<std::int64_t> update_received(static_cast<std::size_t>(ranks));
 
   // Tag bands: A tiles in [0, t*k), B tiles in [t*k, 2*t*k), gather above.
   const auto a_tag = [k](std::int64_t i, std::int64_t l) { return i * k + l; };
@@ -437,8 +461,12 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
       }
     }
 
-    update_messages[static_cast<std::size_t>(self)] =
-        ctx.traffic().messages_sent;
+    {
+      const auto traffic = ctx.traffic();
+      update_messages[static_cast<std::size_t>(self)] = traffic.messages_sent;
+      update_received[static_cast<std::size_t>(self)] =
+          traffic.messages_received;
+    }
     // Gather above the input bands.
     const std::int64_t gather_base = 2 * t * k;
     if (ctx.rank() == 0) {
@@ -461,10 +489,12 @@ DistRunResult distributed_gemm(const TiledMatrix& c_input,
         }
       }
     }
-  }, recorder);
+  }, recorder, injector);
 
   result.ok = true;
   for (const auto count : update_messages) result.tile_messages += count;
+  for (const auto count : update_received)
+    result.tile_messages_received += count;
   return result;
 }
 

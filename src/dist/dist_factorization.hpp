@@ -16,6 +16,7 @@
 
 #include "comm/config.hpp"
 #include "core/distribution.hpp"
+#include "fault/fault.hpp"
 #include "linalg/tiled_matrix.hpp"
 #include "linalg/tiled_panel.hpp"
 #include "vmpi/vmpi.hpp"
@@ -34,6 +35,10 @@ struct DistRunResult {
   /// Tile messages exchanged during the factorization proper (the final
   /// gather to rank 0 is excluded).
   std::int64_t tile_messages = 0;
+  /// Tile messages *consumed* during the factorization proper — post-dedup
+  /// under fault injection, so this equals tile_messages (and the Eq. 1/2
+  /// closed forms) even when the wire carried drops and duplicates.
+  std::int64_t tile_messages_received = 0;
   /// Full per-rank traffic including the gather.
   vmpi::RunReport report;
 };
@@ -46,17 +51,23 @@ struct DistRunResult {
 /// per-rank tracks (see vmpi::run_ranks); factorization-proper messages
 /// carry tags < t*t, the final gather uses the band above, so trace
 /// consumers can separate the two.
+///
+/// With a non-null `injector` the transport perturbs deliveries per the
+/// seeded fault plan; the reliability protocol (see vmpi) guarantees the
+/// factored matrix is bit-identical to the fault-free run.
 DistRunResult distributed_lu(const linalg::TiledMatrix& input,
                              const core::Distribution& distribution,
                              const comm::CollectiveConfig& config = {},
-                             obs::Recorder* recorder = nullptr);
+                             obs::Recorder* recorder = nullptr,
+                             fault::FaultInjector* injector = nullptr);
 
 /// Distributed right-looking lower Cholesky (tiles strictly above the
 /// diagonal are neither referenced nor communicated).
 DistRunResult distributed_cholesky(const linalg::TiledMatrix& input,
                                    const core::Distribution& distribution,
                                    const comm::CollectiveConfig& config = {},
-                                   obs::Recorder* recorder = nullptr);
+                                   obs::Recorder* recorder = nullptr,
+                                   fault::FaultInjector* injector = nullptr);
 
 /// Distributed SYRK: C := C - A*A^T on the lower triangle of C.  C tiles
 /// follow `dist_c` (owner computes); A tiles follow `dist_a` with column l
@@ -68,7 +79,8 @@ DistRunResult distributed_syrk(const linalg::TiledMatrix& c_input,
                                const core::Distribution& dist_c,
                                const core::Distribution& dist_a,
                                const comm::CollectiveConfig& config = {},
-                               obs::Recorder* recorder = nullptr);
+                               obs::Recorder* recorder = nullptr,
+                               fault::FaultInjector* injector = nullptr);
 
 /// Distributed GEMM: C := C + A*B with A of t x k tiles and B of k x t.
 /// A(i, l) is broadcast along row i of C and B(l, j) down column j — the
@@ -80,6 +92,7 @@ DistRunResult distributed_gemm(const linalg::TiledMatrix& c_input,
                                const linalg::TiledPanel& b_input,
                                const core::Distribution& dist,
                                const comm::CollectiveConfig& config = {},
-                               obs::Recorder* recorder = nullptr);
+                               obs::Recorder* recorder = nullptr,
+                               fault::FaultInjector* injector = nullptr);
 
 }  // namespace anyblock::dist

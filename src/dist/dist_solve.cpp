@@ -230,7 +230,8 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
                           const std::vector<double>& b,
                           const core::Distribution& distribution,
                           bool cholesky, const comm::CollectiveConfig& config,
-                          obs::Recorder* recorder) {
+                          obs::Recorder* recorder,
+                          fault::FaultInjector* injector) {
   const std::int64_t t = input.tiles();
   const std::int64_t nb = input.tile_size();
   if (static_cast<std::int64_t>(b.size()) != input.dim())
@@ -297,7 +298,7 @@ DistSolveResult run_solve(const linalg::TiledMatrix& input,
         ctx.send(0, tags.gather(i), bwd_segments.at(tags.bwd_segment(i)));
       }
     }
-  }, recorder);
+  }, recorder, injector);
 
   result.ok = ok.load();
   for (const auto c : factor_counts) result.factor_messages += c;
@@ -311,17 +312,19 @@ DistSolveResult distributed_lu_solve(const linalg::TiledMatrix& input,
                                      const std::vector<double>& b,
                                      const core::Distribution& distribution,
                                      const comm::CollectiveConfig& config,
-                                     obs::Recorder* recorder) {
+                                     obs::Recorder* recorder,
+                                     fault::FaultInjector* injector) {
   return run_solve(input, b, distribution, /*cholesky=*/false, config,
-                   recorder);
+                   recorder, injector);
 }
 
 DistSolveResult distributed_cholesky_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
     const core::Distribution& distribution,
-    const comm::CollectiveConfig& config, obs::Recorder* recorder) {
+    const comm::CollectiveConfig& config, obs::Recorder* recorder,
+    fault::FaultInjector* injector) {
   return run_solve(input, b, distribution, /*cholesky=*/true, config,
-                   recorder);
+                   recorder, injector);
 }
 
 }  // namespace anyblock::dist

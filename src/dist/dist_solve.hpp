@@ -15,12 +15,9 @@
 
 #include "comm/config.hpp"
 #include "core/distribution.hpp"
+#include "fault/fault.hpp"
 #include "linalg/tiled_matrix.hpp"
 #include "vmpi/vmpi.hpp"
-
-namespace anyblock::obs {
-class Recorder;
-}
 
 namespace anyblock::obs {
 class Recorder;
@@ -40,12 +37,14 @@ struct DistSolveResult {
 };
 
 /// LU factorization + forward/backward substitution; A diagonally dominant
-/// (no pivoting).
+/// (no pivoting).  A non-null `injector` perturbs the transport per the
+/// seeded fault plan; the solution is bit-identical to the fault-free run.
 DistSolveResult distributed_lu_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
     const core::Distribution& distribution,
     const comm::CollectiveConfig& config = {},
-    obs::Recorder* recorder = nullptr);
+    obs::Recorder* recorder = nullptr,
+    fault::FaultInjector* injector = nullptr);
 
 /// Cholesky factorization + the two triangular solves; A symmetric positive
 /// definite, lower triangle used.
@@ -53,6 +52,7 @@ DistSolveResult distributed_cholesky_solve(
     const linalg::TiledMatrix& input, const std::vector<double>& b,
     const core::Distribution& distribution,
     const comm::CollectiveConfig& config = {},
-    obs::Recorder* recorder = nullptr);
+    obs::Recorder* recorder = nullptr,
+    fault::FaultInjector* injector = nullptr);
 
 }  // namespace anyblock::dist

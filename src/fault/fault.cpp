@@ -1,0 +1,227 @@
+#include "fault/fault.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace anyblock::fault {
+namespace {
+
+double to_unit(std::uint64_t bits) {
+  // Same 53-bit mapping as Rng::uniform, applied to a finalized hash.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t chain(std::uint64_t seed,
+                    std::initializer_list<std::uint64_t> words) {
+  std::uint64_t s = seed;
+  for (std::uint64_t word : words) s = split_seed(s, word);
+  return s;
+}
+
+void require_probability(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0))
+    throw std::invalid_argument(std::string("fault plan: ") + name +
+                                " must be in [0, 1]");
+}
+
+double parse_double(std::string_view text, std::string_view key) {
+  double value = 0.0;
+  const auto* end = text.data() + text.size();
+  const auto result = std::from_chars(text.data(), end, value);
+  if (result.ec != std::errc{} || result.ptr != end)
+    throw std::invalid_argument("fault spec: bad value '" + std::string(text) +
+                                "' for key '" + std::string(key) + "'");
+  return value;
+}
+
+std::int64_t parse_int(std::string_view text, std::string_view key) {
+  std::int64_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto result = std::from_chars(text.data(), end, value);
+  if (result.ec != std::errc{} || result.ptr != end)
+    throw std::invalid_argument("fault spec: bad value '" + std::string(text) +
+                                "' for key '" + std::string(key) + "'");
+  return value;
+}
+
+StallWindow parse_stall(std::string_view text) {
+  // rank:first:last:ms
+  StallWindow window;
+  std::size_t field = 0;
+  std::size_t begin = 0;
+  while (field < 4) {
+    const std::size_t colon = text.find(':', begin);
+    const bool last_field = field == 3;
+    if (last_field != (colon == std::string_view::npos))
+      throw std::invalid_argument(
+          "fault spec: stall wants rank:first:last:ms, got '" +
+          std::string(text) + "'");
+    const std::string_view part =
+        text.substr(begin, last_field ? std::string_view::npos : colon - begin);
+    switch (field) {
+      case 0: window.rank = static_cast<int>(parse_int(part, "stall")); break;
+      case 1:
+        window.first_seq = static_cast<std::uint64_t>(parse_int(part, "stall"));
+        break;
+      case 2:
+        window.last_seq = static_cast<std::uint64_t>(parse_int(part, "stall"));
+        break;
+      case 3: window.extra_delay_ms = parse_double(part, "stall"); break;
+    }
+    begin = colon + 1;
+    ++field;
+  }
+  return window;
+}
+
+}  // namespace
+
+bool FaultPlan::message_faults() const {
+  return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || !stalls.empty();
+}
+
+bool FaultPlan::enabled() const {
+  return message_faults() || link_jitter > 0.0 || slow_node_fraction > 0.0;
+}
+
+void FaultPlan::validate() const {
+  require_probability(drop, "drop");
+  require_probability(duplicate, "duplicate");
+  require_probability(delay, "delay");
+  if (drop + duplicate + delay > 1.0)
+    throw std::invalid_argument(
+        "fault plan: drop + duplicate + delay must not exceed 1");
+  if (delay_ms < 0.0)
+    throw std::invalid_argument("fault plan: delay_ms must be >= 0");
+  if (recv_timeout_ms <= 0.0)
+    throw std::invalid_argument("fault plan: recv_timeout_ms must be > 0");
+  if (max_retries < 0)
+    throw std::invalid_argument("fault plan: max_retries must be >= 0");
+  if (!(link_jitter >= 0.0 && link_jitter < 1.0))
+    throw std::invalid_argument("fault plan: link_jitter must be in [0, 1)");
+  require_probability(slow_node_fraction, "slow_node_fraction");
+  if (slow_node_speed <= 0.0)
+    throw std::invalid_argument("fault plan: slow_node_speed must be > 0");
+  for (const StallWindow& window : stalls) {
+    if (window.rank < 0 || window.extra_delay_ms < 0.0 ||
+        window.last_seq < window.first_seq)
+      throw std::invalid_argument("fault plan: malformed stall window");
+  }
+}
+
+double unit_draw(std::uint64_t seed,
+                 std::initializer_list<std::uint64_t> words) {
+  return to_unit(chain(seed, words));
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+  message_faults_ = plan_.message_faults();
+}
+
+Fate FaultInjector::fate_of(int source, int dest, std::int64_t tag,
+                            std::uint64_t seq, int attempt) const {
+  Fate fate;
+  const std::uint64_t words[] = {
+      kStreamFate,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(source)),
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(dest)),
+      static_cast<std::uint64_t>(tag),
+      seq,
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(attempt)),
+  };
+  const double u = unit_draw(
+      plan_.seed, {words[0], words[1], words[2], words[3], words[4], words[5]});
+  if (u < plan_.drop) {
+    const bool capped = plan_.max_drops_per_message >= 0 &&
+                        attempt >= plan_.max_drops_per_message;
+    if (!capped) {
+      fate.dropped = true;
+      return fate;  // A dropped transmission has no other fate.
+    }
+  } else if (u < plan_.drop + plan_.duplicate) {
+    fate.duplicated = true;
+  } else if (u < plan_.drop + plan_.duplicate + plan_.delay) {
+    const double jitter =
+        unit_draw(plan_.seed, {kStreamDelayJitter, words[1], words[2], words[3],
+                               words[4], words[5]});
+    fate.delay_seconds = plan_.delay_ms * 1e-3 * (0.5 + jitter);
+  }
+  for (const StallWindow& window : plan_.stalls) {
+    if (window.rank == source && seq >= window.first_seq &&
+        seq <= window.last_seq)
+      fate.delay_seconds += window.extra_delay_ms * 1e-3;
+  }
+  return fate;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats stats;
+  stats.drops = drops_.load(std::memory_order_relaxed);
+  stats.duplicates = duplicates_.load(std::memory_order_relaxed);
+  stats.delays = delays_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.timeout_waits = timeout_waits_.load(std::memory_order_relaxed);
+  stats.dedup_discards = dedup_discards_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+FaultPlan parse_fault_spec(std::string_view spec) {
+  FaultPlan plan;
+  bool saw_delay_probability = false;
+  bool saw_delay_ms = false;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string_view item =
+        spec.substr(begin, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - begin);
+    begin = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t equals = item.find('=');
+    if (equals == std::string_view::npos)
+      throw std::invalid_argument("fault spec: expected key=value, got '" +
+                                  std::string(item) + "'");
+    const std::string_view key = item.substr(0, equals);
+    const std::string_view value = item.substr(equals + 1);
+    if (key == "drop") {
+      plan.drop = parse_double(value, key);
+    } else if (key == "dup") {
+      plan.duplicate = parse_double(value, key);
+    } else if (key == "delay") {
+      plan.delay = parse_double(value, key);
+      saw_delay_probability = true;
+    } else if (key == "delay-ms") {
+      plan.delay_ms = parse_double(value, key);
+      saw_delay_ms = true;
+    } else if (key == "timeout-ms") {
+      plan.recv_timeout_ms = parse_double(value, key);
+    } else if (key == "retries") {
+      plan.max_retries = static_cast<int>(parse_int(value, key));
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_int(value, key));
+    } else if (key == "jitter") {
+      plan.link_jitter = parse_double(value, key);
+    } else if (key == "slow-frac") {
+      plan.slow_node_fraction = parse_double(value, key);
+    } else if (key == "slow-speed") {
+      plan.slow_node_speed = parse_double(value, key);
+    } else if (key == "stall") {
+      plan.stalls.push_back(parse_stall(value));
+    } else {
+      throw std::invalid_argument("fault spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  // "delay-ms=5" without an explicit "delay=" probability means: delay every
+  // message not already claimed by the drop/duplicate bands.
+  if (saw_delay_ms && !saw_delay_probability)
+    plan.delay = 1.0 - plan.drop - plan.duplicate;
+  plan.validate();
+  return plan;
+}
+
+}  // namespace anyblock::fault

@@ -1,0 +1,166 @@
+// Deterministic fault injection for the message layer and the simulator.
+//
+// The paper's cost model (Eq. 1/2) and the PlaFRIM experiments assume a
+// perfectly reliable network.  A production deployment does not get one, so
+// this module defines a *seeded, fully deterministic* perturbation model:
+// every per-message fate (drop / duplicate / delay) is a pure function of
+// (seed, source, dest, tag, stream sequence number, attempt).  Two runs with
+// the same seed therefore inject exactly the same faults regardless of
+// thread interleaving — the determinism contract that makes chaos tests
+// reproducible and lets the discrete-event simulator replay the identical
+// schedule in virtual time.
+//
+// The injector only *decides* fates and counts outcomes; the transports
+// (vmpi::World for real thread-ranks, sim::Simulator for virtual time) apply
+// them and implement recovery: sequence-numbered at-least-once delivery with
+// receiver-side dedup and receiver-driven retransmission under bounded
+// exponential backoff.  See DESIGN.md, "Fault model".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anyblock::fault {
+
+/// Extra delay applied to messages a given rank sends while its per-stream
+/// sequence number lies in [first_seq, last_seq] — models a node that goes
+/// unresponsive for a window of its communication schedule.
+struct StallWindow {
+  int rank = -1;
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  double extra_delay_ms = 0.0;
+};
+
+/// Declarative description of what to inject.  Default-constructed plans are
+/// fully disabled; transports take a fast path that never touches the
+/// injector when `message_faults()` is false.
+struct FaultPlan {
+  std::uint64_t seed = 42;
+
+  // Per-message fault probabilities (mutually exclusive bands, evaluated in
+  // this order from a single uniform draw).
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+
+  /// Mean extra latency of a delayed message; actual delays jitter
+  /// deterministically in [0.5, 1.5] times this value.
+  double delay_ms = 5.0;
+
+  /// When >= 0, transmissions with attempt >= this bound are never dropped,
+  /// so a retry is guaranteed to eventually succeed — used by tests that
+  /// need an exact drop/retry count.  -1 leaves dropping unbounded.
+  std::int64_t max_drops_per_message = -1;
+
+  // Recovery parameters used by fault-aware receives: the first timeout
+  // fires after recv_timeout_ms, each retry doubles the wait, and after
+  // max_retries retransmissions a typed RecvTimeoutError escapes.
+  double recv_timeout_ms = 200.0;
+  int max_retries = 12;
+
+  std::vector<StallWindow> stalls;
+
+  // Simulator-only perturbations (ignored by the vmpi transport).
+  /// Fractional link-bandwidth jitter: each transfer's wire time is scaled
+  /// by a deterministic factor in [1 - link_jitter, 1 + link_jitter].
+  double link_jitter = 0.0;
+  /// Fraction of nodes (chosen by seeded draw) running at slow_node_speed
+  /// times their configured speed — heterogeneous-platform ablations.
+  double slow_node_fraction = 0.0;
+  double slow_node_speed = 1.0;
+
+  /// True when any message-level fault or recovery deviation is configured.
+  [[nodiscard]] bool message_faults() const;
+  /// True when the plan perturbs anything at all (messages, links or nodes).
+  [[nodiscard]] bool enabled() const;
+  /// Throws std::invalid_argument on out-of-range probabilities or rates.
+  void validate() const;
+};
+
+/// Outcome decided for one transmission attempt of one message.
+struct Fate {
+  bool dropped = false;
+  bool duplicated = false;
+  double delay_seconds = 0.0;
+};
+
+/// Counters reported by transports after a perturbed run.  Retransmissions
+/// and duplicates never touch the regular traffic counters — those keep
+/// counting application-level messages so Eq. 1/2 cross-checks still hold —
+/// everything fault-related lands here instead.
+struct FaultStats {
+  std::int64_t drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t delays = 0;
+  std::int64_t retries = 0;
+  std::int64_t timeout_waits = 0;
+  std::int64_t dedup_discards = 0;
+};
+
+/// Deterministic uniform draw in [0, 1) from a chain of split_seed words —
+/// a pure function of its arguments.  Exposed so the simulator can derive
+/// link jitter and slow-node assignments from the same seed space.
+[[nodiscard]] double unit_draw(std::uint64_t seed,
+                               std::initializer_list<std::uint64_t> words);
+
+// Top-level stream labels keeping independent uses of one seed decorrelated.
+inline constexpr std::uint64_t kStreamFate = 0xfa7e;
+inline constexpr std::uint64_t kStreamDelayJitter = 0xde1a;
+inline constexpr std::uint64_t kStreamLinkJitter = 0x117e;
+inline constexpr std::uint64_t kStreamSlowNode = 0x510e;
+
+/// Decides fates and accumulates outcome counters.  fate_of() is const and
+/// pure; the note_*() counters are atomic so any transport thread may report
+/// outcomes concurrently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] bool message_faults() const { return message_faults_; }
+
+  /// Fate of transmission `attempt` (0 = original send) of the message with
+  /// per-(source, dest, tag) stream sequence number `seq`.
+  [[nodiscard]] Fate fate_of(int source, int dest, std::int64_t tag,
+                             std::uint64_t seq, int attempt) const;
+
+  void note_drop() { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void note_duplicate() { duplicates_.fetch_add(1, std::memory_order_relaxed); }
+  void note_delay() { delays_.fetch_add(1, std::memory_order_relaxed); }
+  void note_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void note_timeout_wait() {
+    timeout_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_dedup_discard() {
+    dedup_discards_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  FaultPlan plan_;
+  bool message_faults_ = false;
+  std::atomic<std::int64_t> drops_{0};
+  std::atomic<std::int64_t> duplicates_{0};
+  std::atomic<std::int64_t> delays_{0};
+  std::atomic<std::int64_t> retries_{0};
+  std::atomic<std::int64_t> timeout_waits_{0};
+  std::atomic<std::int64_t> dedup_discards_{0};
+};
+
+/// Parses the CLI fault spec: comma-separated key=value pairs.
+///
+///   drop=0.01,delay-ms=5,dup=0.001,seed=42
+///
+/// Keys: drop, dup, delay, delay-ms, timeout-ms, retries, seed, jitter,
+/// slow-frac, slow-speed, stall=rank:first:last:ms (repeatable).  Throws
+/// std::invalid_argument on unknown keys or malformed values; the returned
+/// plan is validate()d.
+[[nodiscard]] FaultPlan parse_fault_spec(std::string_view spec);
+
+}  // namespace anyblock::fault

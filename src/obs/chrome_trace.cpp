@@ -40,6 +40,7 @@ const char* category(EventKind kind) {
     case EventKind::kRecv: return "vmpi.recv";
     case EventKind::kSimTask: return "sim.task";
     case EventKind::kSimTransfer: return "sim.transfer";
+    case EventKind::kFault: return "fault";
   }
   return "task";
 }
@@ -109,6 +110,7 @@ void write_chrome_trace(std::ostream& out, const Trace& trace) {
         case EventKind::kSend:
         case EventKind::kRecv:
         case EventKind::kSimTransfer:
+        case EventKind::kFault:
           std::snprintf(buf, sizeof(buf),
                         "\"source\":%d,\"dest\":%d,\"tag\":%lld,"
                         "\"bytes\":%lld",

@@ -89,6 +89,10 @@ void write_metrics_csv(std::ostream& out, const Trace& trace,
   std::map<std::string, std::int64_t> histogram;
   std::int64_t total_sends = 0;
   std::int64_t measured_messages = 0;
+  // Fault/recovery totals keyed by the kFault event name; the per-metric
+  // rows only appear when any fault event was recorded, so fault-free runs
+  // keep their exact CSV schema.
+  std::map<std::string, std::int64_t> fault_totals;
 
   for (const Track& track : trace.tracks) {
     std::vector<std::pair<double, double>> busy_intervals;
@@ -98,6 +102,7 @@ void write_metrics_csv(std::ostream& out, const Trace& trace,
     std::int64_t recvs = 0;
     std::int64_t bytes_sent = 0;
     std::int64_t bytes_received = 0;
+    std::map<std::string, std::int64_t> track_faults;
     for (const Event& event : track.events) {
       if (is_task(event.kind)) {
         busy_intervals.emplace_back(event.start_seconds, event.end_seconds);
@@ -115,6 +120,9 @@ void write_metrics_csv(std::ostream& out, const Trace& trace,
       } else if (event.kind == EventKind::kRecv) {
         ++recvs;
         bytes_received += event.bytes;
+      } else if (event.kind == EventKind::kFault) {
+        ++track_faults[event.name];
+        ++fault_totals[event.name];
       }
     }
     const double busy = interval_union(std::move(busy_intervals));
@@ -129,6 +137,8 @@ void write_metrics_csv(std::ostream& out, const Trace& trace,
     row(out, "track", track.name, "messages_received", recvs);
     row(out, "track", track.name, "bytes_sent", bytes_sent);
     row(out, "track", track.name, "bytes_received", bytes_received);
+    for (const auto& [name, count] : track_faults)
+      row(out, "track", track.name, ("fault_" + name).c_str(), count);
   }
 
   for (const auto& [label, count] : histogram)
@@ -137,6 +147,8 @@ void write_metrics_csv(std::ostream& out, const Trace& trace,
   row(out, "summary", "total", "tracks",
       static_cast<std::int64_t>(trace.tracks.size()));
   row(out, "summary", "total", "messages_sent", total_sends);
+  for (const auto& [name, count] : fault_totals)
+    row(out, "summary", "total", ("fault_" + name).c_str(), count);
   if (options.predicted_messages >= 0) {
     row(out, "summary", "total", "measured_messages", measured_messages);
     row(out, "summary", "total", "predicted_messages",

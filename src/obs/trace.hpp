@@ -37,6 +37,7 @@ enum class EventKind : std::uint8_t {
   kRecv,         ///< vmpi message delivered to a rank
   kSimTask,      ///< simulated kernel execution (virtual time)
   kSimTransfer,  ///< simulated link occupancy of one message
+  kFault,        ///< injected fault or recovery action (name says which)
 };
 
 struct Event {

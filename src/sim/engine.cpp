@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <stdexcept>
 #include <string>
@@ -41,11 +42,14 @@ std::int64_t priority_key(const SimTask& task) {
 
 struct Event {
   double time;
-  enum class Kind : std::uint8_t { kTaskFinish, kArrival } kind;
-  std::int32_t a;  ///< task id (finish) or instance id (arrival)
+  enum class Kind : std::uint8_t { kTaskFinish, kArrival, kRetransmit } kind;
+  std::int32_t a;  ///< task id (finish) or instance id (arrival/retransmit)
   std::int32_t b;  ///< destination node (arrival); group index
   std::int32_t c;  ///< chunk index (pipelined-chain arrivals; 0 otherwise)
-  std::uint64_t sequence;  ///< deterministic FIFO tie-break
+  std::int32_t src = -1;      ///< sending node (arrival/retransmit)
+  std::int32_t attempt = 0;   ///< transmission attempt (retransmit)
+  bool duplicate = false;     ///< injected duplicate copy (arrival)
+  std::uint64_t sequence;     ///< deterministic FIFO tie-break
 };
 
 struct EventLater {
@@ -72,6 +76,7 @@ class Simulator {
   Simulator(Workload workload, const MachineConfig& machine)
       : work_(std::move(workload)),
         machine_(machine),
+        injector_(machine.faults),  // validates the plan
         free_workers_(static_cast<std::size_t>(machine.nodes),
                       machine.workers_per_node),
         ready_(static_cast<std::size_t>(machine.nodes)),
@@ -115,21 +120,25 @@ class Simulator {
       now_ = event.time;
       if (event.kind == Event::Kind::kTaskFinish) {
         on_task_finish(event.a);
+      } else if (event.kind == Event::Kind::kRetransmit) {
+        on_retransmit(event);
       } else {
-        on_arrival(event.a, event.b, event.c);
+        on_arrival(event);
       }
     }
 
     report_.makespan_seconds = now_;
     report_.total_flops = work_.total_flops;
     report_.tasks = work_.task_count();
+    report_.faults = injector_.stats();
     return std::move(report_);
   }
 
  private:
   void push_event(double time, Event::Kind kind, std::int32_t a,
-                  std::int32_t b, std::int32_t c = 0) {
-    events_.push({time, kind, a, b, c, sequence_++});
+                  std::int32_t b, std::int32_t c = 0, std::int32_t src = -1,
+                  std::int32_t attempt = 0, bool duplicate = false) {
+    events_.push({time, kind, a, b, c, src, attempt, duplicate, sequence_++});
   }
 
   /// A task became runnable at `time`: start it if a worker is free on its
@@ -152,7 +161,7 @@ class Simulator {
   void start_task(std::int32_t task_id, double time) {
     const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
     const double duration =
-        machine_.task_seconds(task.type) / machine_.speed_of(task.node);
+        machine_.task_seconds(task.type) / machine_.perturbed_speed(task.node);
     auto& node = report_.per_node[static_cast<std::size_t>(task.node)];
     node.busy_seconds += duration;
     ++node.tasks;
@@ -278,34 +287,126 @@ class Simulator {
   /// Schedules one transfer of `bytes` src -> dst; links serialize
   /// transfers in the order they are requested (full duplex: the out-link
   /// of the sender and the in-link of the receiver are distinct resources).
+  ///
+  /// `attempt` 0 is the application-level send; only it books the message
+  /// counters and the kSimTransfer event, so report_.messages keeps
+  /// matching the closed forms under faults.  Retransmissions (attempt > 0)
+  /// occupy the wire all the same but count only in the fault stats.
   void send_tile(std::int32_t src, std::int32_t dst, std::int32_t instance,
-                 std::int32_t group, std::int32_t chunk, double bytes) {
+                 std::int32_t group, std::int32_t chunk, double bytes,
+                 std::int32_t attempt = 0) {
+    fault::Fate fate;
+    if (injector_.message_faults())
+      fate = injector_.fate_of(src, dst, instance,
+                               static_cast<std::uint64_t>(chunk), attempt);
     auto& out = out_free_[static_cast<std::size_t>(src)];
     auto& in = in_free_[static_cast<std::size_t>(dst)];
     const double start = std::max({now_, out, in});
-    const double end = start + bytes / (machine_.link_bandwidth_gbps * 1e9);
+    double wire_seconds = bytes / (machine_.link_bandwidth_gbps * 1e9);
+    if (machine_.faults.link_jitter > 0.0) {
+      // Deterministic per-transfer bandwidth factor in [1 - j, 1 + j].
+      const double u = fault::unit_draw(
+          machine_.faults.seed,
+          {fault::kStreamLinkJitter, static_cast<std::uint64_t>(src),
+           static_cast<std::uint64_t>(dst), static_cast<std::uint64_t>(instance),
+           static_cast<std::uint64_t>(chunk),
+           static_cast<std::uint64_t>(attempt)});
+      wire_seconds /= 1.0 - machine_.faults.link_jitter +
+                      2.0 * machine_.faults.link_jitter * u;
+    }
+    const double end = start + wire_seconds;
     out = end;
     in = end;
-    push_event(end + machine_.latency_seconds(), Event::Kind::kArrival,
-               instance, group, chunk);
-    auto& node = report_.per_node[static_cast<std::size_t>(src)];
-    ++node.messages_sent;
-    node.bytes_sent += bytes;
-    ++report_.messages;
-    if (machine_.recorder != nullptr) {
-      // Link occupancy window on the sender's track: one event per
-      // simulated message, so kSimTransfer counts equal report_.messages.
-      obs::Event event;
-      event.kind = obs::EventKind::kSimTransfer;
-      event.start_seconds = start;
-      event.end_seconds = end;
-      event.source = src;
-      event.dest = dst;
-      event.tag = instance;
-      event.bytes = static_cast<std::int64_t>(bytes);
-      event.flow = machine_.recorder->next_flow();
-      node_sinks_[static_cast<std::size_t>(src)]->record(std::move(event));
+    if (attempt == 0) {
+      auto& node = report_.per_node[static_cast<std::size_t>(src)];
+      ++node.messages_sent;
+      node.bytes_sent += bytes;
+      ++report_.messages;
+      if (machine_.recorder != nullptr) {
+        // Link occupancy window on the sender's track: one event per
+        // simulated message, so kSimTransfer counts equal report_.messages.
+        obs::Event event;
+        event.kind = obs::EventKind::kSimTransfer;
+        event.start_seconds = start;
+        event.end_seconds = end;
+        event.source = src;
+        event.dest = dst;
+        event.tag = instance;
+        event.bytes = static_cast<std::int64_t>(bytes);
+        event.flow = machine_.recorder->next_flow();
+        node_sinks_[static_cast<std::size_t>(src)]->record(std::move(event));
+      }
     }
+    if (fate.dropped) {
+      injector_.note_drop();
+      record_fault(src, "drop", src, dst, instance);
+      if (attempt >= machine_.faults.max_retries)
+        throw std::runtime_error(
+            "sim: message permanently lost after " +
+            std::to_string(attempt + 1) + " attempts (instance " +
+            std::to_string(instance) + ", node " + std::to_string(src) +
+            " -> " + std::to_string(dst) + ")");
+      // Receiver-driven recovery in virtual time: the receiver notices the
+      // missing message one (backed-off) timeout after it should have
+      // arrived and requests a retransmission.
+      injector_.note_timeout_wait();
+      const double timeout = machine_.faults.recv_timeout_ms * 1e-3 *
+                             std::pow(2.0, static_cast<double>(attempt));
+      push_event(end + machine_.latency_seconds() + timeout,
+                 Event::Kind::kRetransmit, instance, group, chunk, src,
+                 attempt + 1);
+      return;
+    }
+    double extra = 0.0;
+    if (fate.delay_seconds > 0.0) {
+      injector_.note_delay();
+      record_fault(src, "delay", src, dst, instance);
+      extra = fate.delay_seconds;
+    }
+    push_event(end + machine_.latency_seconds() + extra, Event::Kind::kArrival,
+               instance, group, chunk, src);
+    if (fate.duplicated) {
+      injector_.note_duplicate();
+      record_fault(src, "duplicate", src, dst, instance);
+      push_event(end + machine_.latency_seconds() + extra,
+                 Event::Kind::kArrival, instance, group, chunk, src, attempt,
+                 /*duplicate=*/true);
+    }
+  }
+
+  /// The virtual receiver timed out on a dropped transmission: push the
+  /// retained copy again with the bumped attempt number (it can be dropped
+  /// again — the backoff above keeps doubling).
+  void on_retransmit(const Event& event) {
+    injector_.note_retry();
+    const Instance& instance =
+        work_.instances[static_cast<std::size_t>(event.a)];
+    const std::int32_t dst =
+        instance.groups[static_cast<std::size_t>(event.b)].node;
+    record_fault(dst, "retry", event.src, dst, event.a);
+    const double bytes =
+        machine_.collective.algorithm == comm::Algorithm::kPipelinedChain
+            ? chunk_bytes()
+            : machine_.tile_bytes();
+    send_tile(event.src, dst, event.a, event.b, event.c, bytes,
+              event.attempt);
+  }
+
+  /// Records a fault/recovery event on a node track (virtual time; the
+  /// simulator is single-threaded so any track is safe to append to).
+  void record_fault(std::int32_t track_node, const char* what,
+                    std::int32_t src, std::int32_t dst,
+                    std::int32_t instance) {
+    if (machine_.recorder == nullptr) return;
+    obs::Event event;
+    event.kind = obs::EventKind::kFault;
+    event.name = what;
+    event.start_seconds = event.end_seconds = now_;
+    event.source = src;
+    event.dest = dst;
+    event.tag = instance;
+    node_sinks_[static_cast<std::size_t>(track_node)]->record(
+        std::move(event));
   }
 
   /// Position of `group_index` in the remote order (1-based, producer = 0).
@@ -317,12 +418,22 @@ class Simulator {
     throw std::logic_error("arrival at a node outside the multicast group");
   }
 
-  void on_arrival(std::int32_t instance_id, std::int32_t group_index,
-                  std::int32_t chunk) {
+  void on_arrival(const Event& event) {
+    const std::int32_t instance_id = event.a;
+    const std::int32_t group_index = event.b;
+    const std::int32_t chunk = event.c;
     const Instance& instance =
         work_.instances[static_cast<std::size_t>(instance_id)];
     const InstanceGroup& group =
         instance.groups[static_cast<std::size_t>(group_index)];
+    if (event.duplicate) {
+      // At-least-once delivery: the injected extra copy is detected by its
+      // repeated sequence number and discarded before it can satisfy
+      // waiters, relay chain chunks, or bump the chunk counter.
+      injector_.note_dedup_discard();
+      record_fault(group.node, "dedup", event.src, group.node, instance_id);
+      return;
+    }
     switch (machine_.collective.algorithm) {
       case comm::Algorithm::kEagerP2P: {
         for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
@@ -360,6 +471,9 @@ class Simulator {
 
   Workload work_;
   const MachineConfig& machine_;
+  /// Deterministic message-fault schedule shared with vmpi (counters only
+  /// when the plan is disabled — every fate_of call is skipped then).
+  fault::FaultInjector injector_;
   SimReport report_;
 
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;

@@ -30,8 +30,12 @@ struct SimReport {
   double makespan_seconds = 0.0;
   double total_flops = 0.0;
   std::int64_t tasks = 0;
+  /// Application-level messages (one per logical transfer, matching the
+  /// closed forms); retransmissions and duplicates count in `faults` only.
   std::int64_t messages = 0;
   std::vector<NodeReport> per_node;
+  /// Injected-fault and recovery counters (all zero with a disabled plan).
+  fault::FaultStats faults;
 
   [[nodiscard]] double total_gflops() const {
     return makespan_seconds > 0 ? total_flops / makespan_seconds / 1e9 : 0.0;

@@ -20,4 +20,15 @@ double MachineConfig::task_seconds(TaskType type) const {
   return task_flops(type) / (core_gflops * 1e9);
 }
 
+double MachineConfig::perturbed_speed(std::int64_t node) const {
+  double speed = speed_of(node);
+  if (faults.slow_node_fraction > 0.0 &&
+      fault::unit_draw(faults.seed,
+                       {fault::kStreamSlowNode,
+                        static_cast<std::uint64_t>(node)}) <
+          faults.slow_node_fraction)
+    speed *= faults.slow_node_speed;
+  return speed;
+}
+
 }  // namespace anyblock::sim

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "comm/config.hpp"
+#include "fault/fault.hpp"
 
 namespace anyblock::obs {
 class Recorder;
@@ -61,6 +62,13 @@ struct MachineConfig {
   /// d * chain_chunks for the chain.
   comm::CollectiveConfig collective;
 
+  /// Deterministic platform perturbation, sharing the vmpi fault model:
+  /// per-message drop/duplicate/delay fates (recovered by receiver-timeout
+  /// retransmission in virtual time), link-bandwidth jitter, and seeded
+  /// node slowdowns.  Zero effect when the plan is disabled, so robustness
+  /// ablations toggle one field.
+  fault::FaultPlan faults;
+
   /// Optional trace recorder (not owned): when set, the simulator records
   /// one obs::kSimTask event per executed kernel and one obs::kSimTransfer
   /// event per link message, on per-node tracks, in *virtual* seconds —
@@ -73,6 +81,11 @@ struct MachineConfig {
     return node_speed.empty() ? 1.0
                               : node_speed[static_cast<std::size_t>(node)];
   }
+
+  /// speed_of() combined with the fault plan's seeded slow-node draw: a
+  /// node selected by the slow_node_fraction lottery runs at
+  /// slow_node_speed times its configured speed.
+  [[nodiscard]] double perturbed_speed(std::int64_t node) const;
 
   [[nodiscard]] double tile_bytes() const {
     return 8.0 * static_cast<double>(tile_size) *

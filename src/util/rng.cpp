@@ -17,6 +17,14 @@ std::uint64_t splitmix64(std::uint64_t& x) noexcept {
 
 }  // namespace
 
+std::uint64_t split_seed(std::uint64_t root, std::uint64_t stream) noexcept {
+  // Decorrelate the stream index with the golden-ratio constant before
+  // folding it into the root, then finalize; plain root ^ stream would make
+  // nearby (root, stream) pairs collide trivially.
+  std::uint64_t x = root ^ (stream * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

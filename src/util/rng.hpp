@@ -13,6 +13,17 @@
 
 namespace anyblock {
 
+/// Derives an independent sub-stream seed from a root seed.
+///
+/// The pair (root, stream) is folded through the splitmix64 finalizer, so
+/// distinct stream indices yield statistically independent generators.  This
+/// is how per-rank RNGs (and the fault injector's per-message fate draws)
+/// are forked from a single experiment seed without sharing any state: the
+/// result depends only on the two arguments, never on call order or thread
+/// interleaving.
+[[nodiscard]] std::uint64_t split_seed(std::uint64_t root,
+                                       std::uint64_t stream) noexcept;
+
 /// xoshiro256** pseudo-random generator.
 ///
 /// Satisfies std::uniform_random_bit_generator, so it can be used with the
@@ -25,6 +36,14 @@ class Rng {
 
   /// Seeds the four 64-bit words of state from a single seed via splitmix64.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Generator for sub-stream `stream` of the root seed: shorthand for
+  /// `Rng(split_seed(root, stream))`.  Use one stream per rank/thread so
+  /// every rank owns an independent deterministic sequence.
+  [[nodiscard]] static Rng for_stream(std::uint64_t root,
+                                      std::uint64_t stream) noexcept {
+    return Rng(split_seed(root, stream));
+  }
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {

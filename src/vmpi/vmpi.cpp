@@ -1,10 +1,13 @@
 #include "vmpi/vmpi.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/trace.hpp"
 
@@ -12,12 +15,20 @@ namespace anyblock::vmpi {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+Clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
 /// Messages reference their payload through a shared pointer so a
 /// multisend can fan one buffer out to many mailboxes without copying.
 /// `exclusive` records at delivery time whether this mailbox owns the
 /// buffer alone (plain send) or shares it with other receivers
 /// (multisend); a use_count() check at extraction would race with the
-/// other receivers' reference drops.
+/// other receivers' reference drops.  Fault runs always share: the
+/// sender-side retention buffer keeps a reference for retransmission.
 struct Message {
   int source;
   std::int64_t tag;
@@ -26,32 +37,83 @@ struct Message {
   /// Trace flow id tying this message's recv event to its send event
   /// (0 when tracing is off).
   std::uint64_t flow = 0;
+  /// Per-(source, dest, tag) stream sequence number (fault runs only).
+  std::uint64_t seq = 0;
 };
 
-/// One mailbox per destination rank.
+/// Identifies one ordered message stream into a mailbox.  The destination
+/// is implicit (the mailbox), so (source, tag) is the key.
+struct StreamKey {
+  int source;
+  std::int64_t tag;
+  bool operator==(const StreamKey&) const = default;
+};
+
+struct StreamKeyHash {
+  std::size_t operator()(const StreamKey& key) const noexcept {
+    const auto source = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(static_cast<unsigned>(key.source)));
+    const auto tag = static_cast<std::uint64_t>(key.tag);
+    return static_cast<std::size_t>(
+        (source << 32 | (source >> 32)) ^ tag * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+template <typename Value>
+using StreamMap = std::unordered_map<StreamKey, Value, StreamKeyHash>;
+
+/// One mailbox per destination rank.  The stream maps below are only
+/// touched while a fault injector is active; fault-free runs never allocate
+/// them.
 struct Mailbox {
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<Message> messages;
+  /// Next sequence number to stamp on a send of each stream.
+  StreamMap<std::uint64_t> next_send_seq;
+  /// Sequence number the receiver consumes next per stream; anything below
+  /// is a duplicate, anything above waits for the gap to fill.
+  StreamMap<std::uint64_t> next_recv_seq;
+  /// Sent-but-not-yet-consumed messages per stream, for receiver-driven
+  /// retransmission.  Pruned as soon as a message is consumed, so the
+  /// buffer never outgrows the in-flight window.
+  StreamMap<std::deque<Message>> retention;
 };
 
 /// Extracts the payload from a delivered message: moves when this mailbox
-/// owned the buffer exclusively, copies when it came from a multisend.
+/// owned the buffer exclusively, copies when it came from a multisend or a
+/// fault-mode send (the retention buffer may still reference it).
 Payload extract(Message&& message) {
   if (message.exclusive) return std::move(*message.data);
   return *message.data;
+}
+
+/// A message parked by the delay thread until its due time.
+struct DelayedMessage {
+  Clock::time_point due;
+  std::uint64_t order;  ///< FIFO tie-break for equal due times
+  int dest;
+  Message message;
+};
+
+bool delayed_after(const DelayedMessage& a, const DelayedMessage& b) {
+  if (a.due != b.due) return a.due > b.due;
+  return a.order > b.order;
 }
 
 }  // namespace
 
 class World {
  public:
-  explicit World(int ranks, obs::Recorder* recorder = nullptr)
+  explicit World(int ranks, obs::Recorder* recorder = nullptr,
+                 fault::FaultInjector* injector = nullptr)
       : size_(ranks),
         mailboxes_(static_cast<std::size_t>(ranks)),
         traffic_(static_cast<std::size_t>(ranks)),
         traffic_mutexes_(static_cast<std::size_t>(ranks)),
-        recorder_(recorder) {
+        recorder_(recorder),
+        faults_(injector != nullptr && injector->message_faults() ? injector
+                                                                  : nullptr) {
     // Sinks are registered up front, before the rank threads start, so
     // each thread only ever appends to its own pre-existing track.
     if (recorder_ != nullptr) {
@@ -59,6 +121,20 @@ class World {
       for (int r = 0; r < ranks; ++r)
         sinks_.push_back(recorder_->track("rank " + std::to_string(r)));
     }
+    if (faults_ != nullptr) {
+      default_recv_options_.timeout_seconds =
+          faults_->plan().recv_timeout_ms * 1e-3;
+      default_recv_options_.max_retries = faults_->plan().max_retries;
+    }
+  }
+
+  ~World() {
+    {
+      const std::lock_guard<std::mutex> lock(delay_mutex_);
+      delay_shutdown_ = true;
+    }
+    delay_cv_.notify_all();
+    if (delay_thread_.joinable()) delay_thread_.join();
   }
 
   [[nodiscard]] int size() const { return size_; }
@@ -69,8 +145,13 @@ class World {
     const std::uint64_t flow =
         record_send(source, dest, tag, static_cast<std::int64_t>(data.size()),
                     /*flow=*/0);
-    deliver(dest, {source, tag, std::make_shared<Payload>(std::move(data)),
-                   /*exclusive=*/true, flow});
+    Message message{source, tag, std::make_shared<Payload>(std::move(data)),
+                    /*exclusive=*/faults_ == nullptr, flow};
+    if (faults_ == nullptr) {
+      deliver(dest, std::move(message));
+      return;
+    }
+    inject(dest, std::move(message));
   }
 
   void multisend(int source, const std::vector<int>& dests, std::int64_t tag,
@@ -86,34 +167,87 @@ class World {
       flow = record_send(source, dest, tag,
                          static_cast<std::int64_t>(data.size()), flow);
     const auto shared = std::make_shared<Payload>(data);
-    for (const int dest : dests)
-      deliver(dest, {source, tag, shared, /*exclusive=*/false, flow});
+    for (const int dest : dests) {
+      Message message{source, tag, shared, /*exclusive=*/false, flow};
+      if (faults_ == nullptr)
+        deliver(dest, std::move(message));
+      else
+        inject(dest, std::move(message));
+    }
   }
 
   Payload recv(int self, int source, std::int64_t tag) {
+    // Under a fault injector every receive is transparently timeout-aware,
+    // otherwise the original block-forever fast path runs.
+    if (faults_ != nullptr)
+      return recv(self, source, tag, default_recv_options_);
     Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
     std::unique_lock<std::mutex> lock(box.mutex);
     while (true) {
-      for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-        if (it->tag != tag) continue;
-        if (source != kAnySource && it->source != source) continue;
-        Message message = std::move(*it);
-        box.messages.erase(it);
+      if (std::optional<Message> message = match(box, self, source, tag)) {
         lock.unlock();
-        return receive_payload(self, std::move(message));
+        return receive_payload(self, std::move(*message));
       }
       box.cv.wait(lock);
+    }
+  }
+
+  Payload recv(int self, int source, std::int64_t tag,
+               const RecvOptions& options) {
+    check_options(options);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    int attempt = 0;
+    double wait_seconds = options.timeout_seconds;
+    Clock::time_point deadline = Clock::now() + to_duration(wait_seconds);
+    while (true) {
+      if (std::optional<Message> message = match(box, self, source, tag)) {
+        lock.unlock();
+        return receive_payload(self, std::move(*message));
+      }
+      if (box.cv.wait_until(lock, deadline) != std::cv_status::timeout)
+        continue;
+      if (std::optional<Message> message = match(box, self, source, tag)) {
+        // The message raced the timeout; take it.
+        lock.unlock();
+        return receive_payload(self, std::move(*message));
+      }
+      if (faults_ != nullptr) faults_->note_timeout_wait();
+      record_fault(self, "timeout", source, self, tag);
+      if (attempt >= options.max_retries)
+        throw RecvTimeoutError(source, tag, attempt + 1);
+      ++attempt;
+      retransmit(box, lock, self, source, tag, /*any_tag=*/false, attempt);
+      wait_seconds *= 2.0;
+      deadline = Clock::now() + to_duration(wait_seconds);
     }
   }
 
   std::optional<Envelope> probe(int self) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
     const std::lock_guard<std::mutex> lock(box.mutex);
-    if (box.messages.empty()) return std::nullopt;
-    return Envelope{box.messages.front().source, box.messages.front().tag};
+    if (faults_ == nullptr) {
+      if (box.messages.empty()) return std::nullopt;
+      return Envelope{box.messages.front().source, box.messages.front().tag};
+    }
+    for (auto it = box.messages.begin(); it != box.messages.end();) {
+      const StreamKey key{it->source, it->tag};
+      const std::uint64_t expected = box.next_recv_seq[key];
+      if (it->seq < expected) {
+        discard_duplicate(box, it, self);
+        continue;
+      }
+      if (it->seq != expected) {
+        ++it;  // out of order: not consumable yet
+        continue;
+      }
+      return Envelope{it->source, it->tag};
+    }
+    return std::nullopt;
   }
 
   std::pair<Envelope, Payload> recv_any(int self) {
+    if (faults_ != nullptr) return recv_any(self, default_recv_options_);
     Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
     std::unique_lock<std::mutex> lock(box.mutex);
     box.cv.wait(lock, [&] { return !box.messages.empty(); });
@@ -122,6 +256,38 @@ class World {
     lock.unlock();
     const Envelope envelope{message.source, message.tag};
     return {envelope, receive_payload(self, std::move(message))};
+  }
+
+  std::pair<Envelope, Payload> recv_any(int self, const RecvOptions& options) {
+    check_options(options);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    int attempt = 0;
+    double wait_seconds = options.timeout_seconds;
+    Clock::time_point deadline = Clock::now() + to_duration(wait_seconds);
+    while (true) {
+      if (std::optional<Message> message = match_any(box, self)) {
+        lock.unlock();
+        const Envelope envelope{message->source, message->tag};
+        return {envelope, receive_payload(self, std::move(*message))};
+      }
+      if (box.cv.wait_until(lock, deadline) != std::cv_status::timeout)
+        continue;
+      if (std::optional<Message> message = match_any(box, self)) {
+        lock.unlock();
+        const Envelope envelope{message->source, message->tag};
+        return {envelope, receive_payload(self, std::move(*message))};
+      }
+      if (faults_ != nullptr) faults_->note_timeout_wait();
+      record_fault(self, "timeout", kAnySource, self, /*tag=*/0);
+      if (attempt >= options.max_retries)
+        throw RecvTimeoutError(kAnySource, /*tag=*/0, attempt + 1);
+      ++attempt;
+      retransmit(box, lock, self, kAnySource, /*tag=*/0, /*any_tag=*/true,
+                 attempt);
+      wait_seconds *= 2.0;
+      deadline = Clock::now() + to_duration(wait_seconds);
+    }
   }
 
   void barrier() {
@@ -148,6 +314,13 @@ class World {
       throw std::out_of_range("vmpi send: bad destination rank");
   }
 
+  static void check_options(const RecvOptions& options) {
+    if (options.timeout_seconds <= 0.0)
+      throw std::invalid_argument("vmpi recv: timeout must be > 0");
+    if (options.max_retries < 0)
+      throw std::invalid_argument("vmpi recv: max_retries must be >= 0");
+  }
+
   void deliver(int dest, Message message) {
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     {
@@ -155,6 +328,213 @@ class World {
       box.messages.push_back(std::move(message));
     }
     box.cv.notify_all();
+  }
+
+  /// Fault-mode send path: stamps the stream sequence number, retains the
+  /// message for possible retransmission, then applies the injector's fate
+  /// for the original transmission (attempt 0).
+  void inject(int dest, Message message) {
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      const std::lock_guard<std::mutex> lock(box.mutex);
+      const StreamKey key{message.source, message.tag};
+      message.seq = box.next_send_seq[key]++;
+      box.retention[key].push_back(message);
+    }
+    const fault::Fate fate = faults_->fate_of(message.source, dest, message.tag,
+                                              message.seq, /*attempt=*/0);
+    apply_fate(dest, std::move(message), fate, /*record=*/true);
+  }
+
+  /// Applies one transmission fate: swallow, duplicate, park at the delay
+  /// thread, or deliver.  `record` is true only on the original send path,
+  /// where the calling thread owns the source rank's trace track; the
+  /// retransmit and delay paths pass false (counters still tick).
+  void apply_fate(int dest, Message message, const fault::Fate& fate,
+                  bool record) {
+    if (fate.dropped) {
+      faults_->note_drop();
+      if (record)
+        record_fault(message.source, "drop", message.source, dest,
+                     message.tag);
+      return;
+    }
+    if (fate.duplicated) {
+      faults_->note_duplicate();
+      if (record)
+        record_fault(message.source, "duplicate", message.source, dest,
+                     message.tag);
+    }
+    if (fate.delay_seconds > 0.0) {
+      faults_->note_delay();
+      if (record)
+        record_fault(message.source, "delay", message.source, dest,
+                     message.tag);
+    }
+    const int copies = fate.duplicated ? 2 : 1;
+    for (int copy = 0; copy < copies; ++copy) {
+      Message instance = copy + 1 < copies ? message : std::move(message);
+      if (fate.delay_seconds > 0.0)
+        schedule_delayed(dest, std::move(instance), fate.delay_seconds);
+      else
+        deliver(dest, std::move(instance));
+    }
+  }
+
+  /// Removes a stale (already-consumed seq) message from the queue,
+  /// counting and tracing the dedup.  Must run on rank `self`'s thread with
+  /// the mailbox lock held; advances the iterator past the erased element.
+  void discard_duplicate(Mailbox& box, std::deque<Message>::iterator& it,
+                         int self) {
+    faults_->note_dedup_discard();
+    record_fault(self, "dedup", it->source, self, it->tag);
+    it = box.messages.erase(it);
+  }
+
+  /// Finds the next consumable message matching (source, tag).  In fault
+  /// mode a message is consumable only when its sequence number is exactly
+  /// the next expected one for its stream — earlier numbers are duplicates
+  /// (discarded here), later ones wait for the gap to be retransmitted.
+  /// Caller holds the mailbox lock and runs on rank `self`'s thread.
+  std::optional<Message> match(Mailbox& box, int self, int source,
+                               std::int64_t tag) {
+    if (faults_ == nullptr) {
+      for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+        if (it->tag != tag) continue;
+        if (source != kAnySource && it->source != source) continue;
+        Message message = std::move(*it);
+        box.messages.erase(it);
+        return message;
+      }
+      return std::nullopt;
+    }
+    for (auto it = box.messages.begin(); it != box.messages.end();) {
+      if (it->tag != tag || (source != kAnySource && it->source != source)) {
+        ++it;
+        continue;
+      }
+      const StreamKey key{it->source, it->tag};
+      const std::uint64_t expected = box.next_recv_seq[key];
+      if (it->seq < expected) {
+        discard_duplicate(box, it, self);
+        continue;
+      }
+      if (it->seq != expected) {
+        ++it;
+        continue;
+      }
+      Message message = std::move(*it);
+      box.messages.erase(it);
+      consume(box, key, expected);
+      return message;
+    }
+    return std::nullopt;
+  }
+
+  /// match() without a (source, tag) filter: the oldest consumable message
+  /// of any stream.
+  std::optional<Message> match_any(Mailbox& box, int self) {
+    if (faults_ == nullptr) {
+      if (box.messages.empty()) return std::nullopt;
+      Message message = std::move(box.messages.front());
+      box.messages.pop_front();
+      return message;
+    }
+    for (auto it = box.messages.begin(); it != box.messages.end();) {
+      const StreamKey key{it->source, it->tag};
+      const std::uint64_t expected = box.next_recv_seq[key];
+      if (it->seq < expected) {
+        discard_duplicate(box, it, self);
+        continue;
+      }
+      if (it->seq != expected) {
+        ++it;
+        continue;
+      }
+      Message message = std::move(*it);
+      box.messages.erase(it);
+      consume(box, key, expected);
+      return message;
+    }
+    return std::nullopt;
+  }
+
+  /// Advances the stream past `seq` and prunes its retention entries —
+  /// exactly-once consumption is sealed here, under the mailbox lock.
+  static void consume(Mailbox& box, const StreamKey& key, std::uint64_t seq) {
+    box.next_recv_seq[key] = seq + 1;
+    const auto it = box.retention.find(key);
+    if (it == box.retention.end()) return;
+    auto& retained = it->second;
+    while (!retained.empty() && retained.front().seq <= seq)
+      retained.pop_front();
+    if (retained.empty()) box.retention.erase(it);
+  }
+
+  /// Receiver-driven recovery: redelivers the earliest unconsumed retained
+  /// message of every stream the waiting receive could match.  Each
+  /// retransmission passes through the injector again with the bumped
+  /// attempt number, so it can itself be dropped or delayed — which is what
+  /// the caller's exponential backoff is for.  Temporarily releases the
+  /// mailbox lock (delivery re-acquires it).
+  void retransmit(Mailbox& box, std::unique_lock<std::mutex>& lock, int self,
+                  int source, std::int64_t tag, bool any_tag, int attempt) {
+    if (faults_ == nullptr) return;
+    std::vector<Message> pending;
+    for (auto& [key, retained] : box.retention) {
+      if (!any_tag && key.tag != tag) continue;
+      if (source != kAnySource && key.source != source) continue;
+      if (retained.empty()) continue;
+      if (retained.front().seq == box.next_recv_seq[key])
+        pending.push_back(retained.front());
+    }
+    if (pending.empty()) return;  // nothing sent yet, or already in flight
+    lock.unlock();
+    for (Message& message : pending) {
+      faults_->note_retry();
+      record_fault(self, "retry", message.source, self, message.tag);
+      const fault::Fate fate = faults_->fate_of(
+          message.source, self, message.tag, message.seq, attempt);
+      apply_fate(self, std::move(message), fate, /*record=*/false);
+    }
+    lock.lock();
+  }
+
+  /// Parks a message at the delay thread until `seconds` from now.  The
+  /// thread is created lazily on the first delayed message and joined in
+  /// the destructor (after the rank threads, so nothing races it).
+  void schedule_delayed(int dest, Message message, double seconds) {
+    {
+      const std::lock_guard<std::mutex> lock(delay_mutex_);
+      if (!delay_thread_.joinable())
+        delay_thread_ = std::thread([this] { delay_loop(); });
+      delayed_.push_back({Clock::now() + to_duration(seconds), delay_order_++,
+                          dest, std::move(message)});
+      std::push_heap(delayed_.begin(), delayed_.end(), delayed_after);
+    }
+    delay_cv_.notify_one();
+  }
+
+  void delay_loop() {
+    std::unique_lock<std::mutex> lock(delay_mutex_);
+    while (true) {
+      if (delay_shutdown_) return;  // undelivered stragglers die with us
+      if (delayed_.empty()) {
+        delay_cv_.wait(lock);
+        continue;
+      }
+      const Clock::time_point due = delayed_.front().due;
+      if (Clock::now() < due) {
+        delay_cv_.wait_until(lock, due);
+        continue;  // re-check: an earlier message or shutdown may have won
+      }
+      std::pop_heap(delayed_.begin(), delayed_.end(), delayed_after);
+      DelayedMessage item = std::move(delayed_.back());
+      delayed_.pop_back();
+      lock.unlock();
+      deliver(item.dest, std::move(item.message));
+      lock.lock();
+    }
   }
 
   void count_sent(int source, std::int64_t messages, std::int64_t doubles) {
@@ -182,6 +562,22 @@ class World {
     event.flow = flow;
     sinks_[static_cast<std::size_t>(source)]->record(std::move(event));
     return flow;
+  }
+
+  /// Records a fault/recovery event on `track`'s trace track.  The caller
+  /// must be the thread owning that track (rank `track`'s body thread) —
+  /// the retransmit and delay paths therefore never record.
+  void record_fault(int track, const char* what, int source, int dest,
+                    std::int64_t tag) {
+    if (recorder_ == nullptr) return;
+    obs::Event event;
+    event.kind = obs::EventKind::kFault;
+    event.name = what;
+    event.start_seconds = event.end_seconds = recorder_->now();
+    event.source = source;
+    event.dest = dest;
+    event.tag = tag;
+    sinks_[static_cast<std::size_t>(track)]->record(std::move(event));
   }
 
   /// Books the receive-side counters and extracts the payload.
@@ -213,11 +609,20 @@ class World {
   std::vector<std::mutex> traffic_mutexes_;
   obs::Recorder* recorder_;
   std::vector<obs::TrackSink*> sinks_;
+  fault::FaultInjector* faults_;
+  RecvOptions default_recv_options_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::int64_t barrier_generation_ = 0;
+
+  std::mutex delay_mutex_;
+  std::condition_variable delay_cv_;
+  std::vector<DelayedMessage> delayed_;  // min-heap by (due, order)
+  std::uint64_t delay_order_ = 0;
+  bool delay_shutdown_ = false;
+  std::thread delay_thread_;
 };
 
 int RankContext::size() const { return world_.size(); }
@@ -239,10 +644,19 @@ Payload RankContext::recv(int source, std::int64_t tag) {
   return world_.recv(rank_, source, tag);
 }
 
+Payload RankContext::recv(int source, std::int64_t tag,
+                          const RecvOptions& options) {
+  return world_.recv(rank_, source, tag, options);
+}
+
 std::optional<Envelope> RankContext::probe() { return world_.probe(rank_); }
 
 std::pair<Envelope, Payload> RankContext::recv_any() {
   return world_.recv_any(rank_);
+}
+
+std::pair<Envelope, Payload> RankContext::recv_any(const RecvOptions& options) {
+  return world_.recv_any(rank_, options);
 }
 
 void RankContext::barrier() { world_.barrier(); }
@@ -307,9 +721,9 @@ std::int64_t RunReport::total_doubles_received() const {
 }
 
 RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
-                    obs::Recorder* recorder) {
+                    obs::Recorder* recorder, fault::FaultInjector* injector) {
   if (ranks < 1) throw std::invalid_argument("need at least one rank");
-  World world(ranks, recorder);
+  World world(ranks, recorder, injector);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   threads.reserve(static_cast<std::size_t>(ranks));
@@ -330,6 +744,7 @@ RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
   RunReport report;
   report.per_rank.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) report.per_rank.push_back(world.traffic(r));
+  if (injector != nullptr) report.faults = injector->stats();
   return report;
 }
 

@@ -16,6 +16,18 @@
 // message counts of a factorization run are compared against the paper's
 // Eq. 1 / Eq. 2 predictions, and the numerical result against a sequential
 // reference.
+// Fault tolerance: run_ranks() optionally takes a fault::FaultInjector that
+// perturbs every delivery (drop / duplicate / delay, per the seeded plan).
+// Under an injector the transport switches to sequence-numbered at-least-once
+// delivery: every (source, dest, tag) stream is numbered, receivers consume
+// strictly in order (duplicates are discarded, reordered messages wait for
+// the gap), and a receive that times out retransmits the missing message
+// from the sender-side retention buffer under bounded exponential backoff.
+// Application code is unchanged — plain recv() transparently becomes
+// fault-aware — and traffic counters keep counting application-level
+// messages only, so the Eq. 1/2 cross-checks hold verbatim under faults.
+// Without an injector the original zero-overhead blocking paths run (one
+// null-pointer check per operation).
 #pragma once
 
 #include <condition_variable>
@@ -24,8 +36,12 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "fault/fault.hpp"
 
 namespace anyblock::obs {
 class Recorder;
@@ -52,6 +68,38 @@ struct Envelope {
   std::int64_t tag;
 };
 
+/// Controls the timeout-aware receive variants.  The first wait lasts
+/// `timeout_seconds`; every retry doubles it (bounded exponential backoff)
+/// until `max_retries` retransmissions have been spent, after which
+/// RecvTimeoutError escapes.
+struct RecvOptions {
+  double timeout_seconds = 0.2;
+  int max_retries = 12;
+};
+
+/// A timeout-aware receive exhausted its retries: names the (source, tag)
+/// it was waiting for and how many transmissions were attempted.
+class RecvTimeoutError : public std::runtime_error {
+ public:
+  RecvTimeoutError(int source, std::int64_t tag, int attempts)
+      : std::runtime_error("vmpi recv timed out waiting for source " +
+                           std::to_string(source) + " tag " +
+                           std::to_string(tag) + " after " +
+                           std::to_string(attempts) + " attempt(s)"),
+        source_(source),
+        tag_(tag),
+        attempts_(attempts) {}
+
+  [[nodiscard]] int source() const { return source_; }
+  [[nodiscard]] std::int64_t tag() const { return tag_; }
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  int source_;
+  std::int64_t tag_;
+  int attempts_;
+};
+
 class World;
 
 /// Handed to each rank's body; valid only during run_ranks().
@@ -73,8 +121,16 @@ class RankContext {
                  const Payload& data);
 
   /// Blocks until a message with this (source, tag) arrives.  Messages from
-  /// one source with equal tags are delivered in send order.
+  /// one source with equal tags are delivered in send order.  Under a fault
+  /// injector this transparently becomes the timeout-aware variant with the
+  /// plan's recovery parameters.
   Payload recv(int source, std::int64_t tag);
+
+  /// Timeout-aware receive: waits up to options.timeout_seconds, then
+  /// retransmits the missing message (fault runs) and doubles the wait;
+  /// throws RecvTimeoutError naming (source, tag) once options.max_retries
+  /// retransmissions are exhausted.
+  Payload recv(int source, std::int64_t tag, const RecvOptions& options);
 
   /// Non-blocking: the envelope of the oldest queued message, if any.
   [[nodiscard]] std::optional<Envelope> probe();
@@ -82,6 +138,10 @@ class RankContext {
   /// Blocks until any message arrives and delivers the oldest queued one,
   /// returning its (source, tag) alongside the payload.
   std::pair<Envelope, Payload> recv_any();
+
+  /// Timeout-aware recv_any(); same recovery semantics as timed recv(),
+  /// retransmitting across every pending stream on timeout.
+  std::pair<Envelope, Payload> recv_any(const RecvOptions& options);
 
   /// Blocks until all ranks reach the barrier.
   void barrier();
@@ -103,6 +163,8 @@ class RankContext {
 /// Per-rank aggregate traffic after a run.
 struct RunReport {
   std::vector<TrafficStats> per_rank;
+  /// Injected-fault and recovery counters (all zero without an injector).
+  fault::FaultStats faults;
   [[nodiscard]] std::int64_t total_messages() const;
   [[nodiscard]] std::int64_t total_doubles() const;
   [[nodiscard]] std::int64_t total_messages_received() const;
@@ -115,8 +177,15 @@ struct RunReport {
 /// With a non-null `recorder`, every send/multisend/recv is recorded as an
 /// obs event on a per-rank track ("rank N"), carrying source/dest/tag/byte
 /// metadata plus a flow id linking each send to its matching recv — the
-/// event counts equal the TrafficStats counters exactly.
+/// event counts equal the TrafficStats counters exactly.  Injected faults
+/// and recovery actions appear as separate kFault events and never add
+/// kSend/kRecv events or flows.
+///
+/// With a non-null `injector`, deliveries run through the seeded fault plan
+/// and the reliability protocol described above; the report's `faults`
+/// field carries the injector's counters after the run.
 RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
-                    obs::Recorder* recorder = nullptr);
+                    obs::Recorder* recorder = nullptr,
+                    fault::FaultInjector* injector = nullptr);
 
 }  // namespace anyblock::vmpi

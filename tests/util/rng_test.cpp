@@ -95,6 +95,36 @@ TEST(Rng, ShuffleIsAPermutation) {
   EXPECT_EQ(shuffled, v);
 }
 
+TEST(SplitSeed, DeterministicAndStreamSensitive) {
+  EXPECT_EQ(split_seed(42, 0), split_seed(42, 0));
+  EXPECT_NE(split_seed(42, 0), split_seed(42, 1));
+  EXPECT_NE(split_seed(42, 0), split_seed(43, 0));
+  // Neighbouring streams of one root must not collide even when the root
+  // is degenerate.
+  EXPECT_NE(split_seed(0, 0), split_seed(0, 1));
+}
+
+TEST(SplitSeed, StreamsAreIndependent) {
+  // Per-rank streams split from one root must not be shifted copies of
+  // each other (the failure mode of seeding with root + rank).
+  Rng a = Rng::for_stream(99, 0);
+  Rng b = Rng::for_stream(99, 1);
+  int equal = 0;
+  std::vector<std::uint64_t> from_a(64);
+  for (auto& v : from_a) v = a();
+  std::uint64_t first_b = b();
+  for (int lag = 0; lag < 63; ++lag) {
+    if (from_a[static_cast<std::size_t>(lag)] == first_b) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitSeed, ForStreamMatchesManualConstruction) {
+  Rng direct(split_seed(7, 3));
+  Rng streamed = Rng::for_stream(7, 3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(direct(), streamed());
+}
+
 TEST(Rng, ShuffleOfEmptyAndSingleton) {
   Rng rng(23);
   std::vector<int> empty;

@@ -28,7 +28,9 @@ TEST(VmpiStress, AllToAllWithPerPairChecksums) {
       }
     }
     // Receive in a scrambled order: sequences descending, sources rotated.
-    Rng rng(static_cast<std::uint64_t>(self) + 99);
+    // Each rank draws from its own split stream — additive seeds would give
+    // the ranks correlated (shifted) schedules.
+    Rng rng = Rng::for_stream(99, static_cast<std::uint64_t>(self));
     for (int seq = kMessagesPerPair - 1; seq >= 0; --seq) {
       for (int offset = 1; offset < kRanks; ++offset) {
         const int source = (self + offset) % kRanks;
@@ -110,7 +112,7 @@ TEST(VmpiStress, AnySourceHammeringKeepsPerPairFifoAndLosesNothing) {
       }
     }
 
-    Rng rng(static_cast<std::uint64_t>(self) * 7919 + 13);
+    Rng rng = Rng::for_stream(13, static_cast<std::uint64_t>(self));
     std::vector<int> remaining(kTags, (kRanks - 1) * kPerTag);
     // next expected sequence per (source, tag)
     std::vector<std::vector<int>> next(

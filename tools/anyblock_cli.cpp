@@ -20,6 +20,7 @@
 #include "core/pattern_search.hpp"
 #include "core/recommend.hpp"
 #include "core/sbc.hpp"
+#include "fault/fault.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -170,6 +171,8 @@ int cmd_simulate(int argc, char** argv) {
   parser.add("chunks", "4", "chunks per tile (chain collective only)");
   parser.add("trace", "", "write a Chrome trace_event JSON timeline here");
   parser.add("metrics", "", "write a CSV metrics summary here");
+  parser.add("faults", "",
+             "fault spec, e.g. drop=0.01,delay-ms=5,dup=0.001,seed=42");
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t P = parser.get_int("nodes");
@@ -191,6 +194,8 @@ int cmd_simulate(int argc, char** argv) {
   machine.tile_size = parser.get_int("tile");
   machine.collective.algorithm = comm::parse_algorithm(parser.get("collective"));
   machine.collective.chain_chunks = parser.get_int("chunks");
+  if (!parser.get("faults").empty())
+    machine.faults = fault::parse_fault_spec(parser.get("faults"));
   const std::string trace_path = parser.get("trace");
   const std::string metrics_path = parser.get("metrics");
   obs::Recorder recorder;
@@ -232,6 +237,17 @@ int cmd_simulate(int argc, char** argv) {
               static_cast<long long>(report.messages));
   std::printf("  efficiency    %.1f%% of machine peak\n",
               100.0 * report.total_gflops() / machine.peak_gflops());
+  if (machine.faults.enabled()) {
+    const fault::FaultStats& f = report.faults;
+    std::printf("  faults        %lld drops, %lld dups, %lld delays -> "
+                "%lld retries, %lld dedups (seed %llu)\n",
+                static_cast<long long>(f.drops),
+                static_cast<long long>(f.duplicates),
+                static_cast<long long>(f.delays),
+                static_cast<long long>(f.retries),
+                static_cast<long long>(f.dedup_discards),
+                static_cast<unsigned long long>(machine.faults.seed));
+  }
   return 0;
 }
 
