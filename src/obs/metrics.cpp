@@ -160,6 +160,8 @@ void write_metrics_csv(std::ostream& out, const Trace& trace,
             : 0.0;
     row(out, "summary", "total", "measured_over_predicted", ratio);
   }
+  for (const auto& [name, value] : options.extra)
+    row(out, "summary", "run", name.c_str(), value);
 }
 
 bool write_metrics_csv_file(const std::string& path, const Trace& trace,

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
 
@@ -24,6 +26,11 @@ struct MetricsOptions {
   /// the "measured_messages" total (the dist layer keeps gather traffic in
   /// a higher tag band); < 0 counts every message.
   std::int64_t message_tag_bound = -1;
+  /// Caller-supplied scalar rows, emitted last as "summary,run,<name>,<v>"
+  /// — how the simulator's engine metrics (events processed, build/run
+  /// wall seconds, frontier peak) reach the same CSV as the trace-derived
+  /// rows.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Writes the long-format metrics CSV for the trace.

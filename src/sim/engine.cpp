@@ -5,9 +5,14 @@
 #include <queue>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/implicit_workload.hpp"
+#include "sim/pool.hpp"
+#include "util/stopwatch.hpp"
 
 namespace anyblock::sim {
 namespace {
@@ -27,7 +32,7 @@ const char* task_type_name(TaskType type) {
 /// Scheduling priority: smaller key runs first.  Earlier iterations beat
 /// later ones; within an iteration, factorizations beat solves beat updates
 /// — keeping the critical path (the panel chain) moving.
-std::int64_t priority_key(const SimTask& task) {
+std::int64_t priority_key(const TaskView& task) {
   int rank = 3;
   switch (task.type) {
     case TaskType::kLoad:
@@ -40,41 +45,102 @@ std::int64_t priority_key(const SimTask& task) {
   return static_cast<std::int64_t>(task.l) * 4 + rank;
 }
 
-struct Event {
-  double time;
-  enum class Kind : std::uint8_t { kTaskFinish, kArrival, kRetransmit } kind;
-  std::int32_t a;  ///< task id (finish) or instance id (arrival/retransmit)
-  std::int32_t b;  ///< destination node (arrival); group index
-  std::int32_t c;  ///< chunk index (pipelined-chain arrivals; 0 otherwise)
-  std::int32_t src = -1;      ///< sending node (arrival/retransmit)
-  std::int32_t attempt = 0;   ///< transmission attempt (retransmit)
-  bool duplicate = false;     ///< injected duplicate copy (arrival)
-  std::uint64_t sequence;     ///< deterministic FIFO tie-break
-};
-
-struct EventLater {
-  bool operator()(const Event& x, const Event& y) const {
-    if (x.time != y.time) return x.time > y.time;
-    return x.sequence > y.sequence;
-  }
-};
-
 struct ReadyEntry {
   std::int64_t key;
-  std::int32_t task;
+  std::int64_t task;
 };
 
 struct ReadyLater {
   bool operator()(const ReadyEntry& x, const ReadyEntry& y) const {
     if (x.key != y.key) return x.key > y.key;
+    // Construction-order ordinal: ties resolve the same way in both
+    // workload modes because implicit ordinals equal materialized ids.
     return x.task > y.task;
   }
 };
 
-class Simulator {
+/// Model adapter over a fully materialized Workload: the seed
+/// representation, still the default and the equivalence oracle.
+class MaterializedModel {
  public:
-  Simulator(Workload workload, const MachineConfig& machine)
-      : work_(std::move(workload)),
+  MaterializedModel(Workload work, std::int64_t nodes)
+      : work_(std::move(work)), nodes_(nodes) {}
+
+  [[nodiscard]] std::int64_t task_count() const { return work_.task_count(); }
+  [[nodiscard]] double total_flops() const { return work_.total_flops; }
+  /// Everything stays resident, so the "frontier" is the whole DAG.
+  [[nodiscard]] std::int64_t frontier_peak() const {
+    return work_.task_count();
+  }
+
+  template <class F>
+  void for_each_initially_ready(F&& f) const {
+    // Same pass as the seed engine: validate every task's node, seed the
+    // dependency-free ones in id order.
+    for (std::size_t id = 0; id < work_.tasks.size(); ++id) {
+      const SimTask& task = work_.tasks[id];
+      if (task.node < 0 || task.node >= nodes_)
+        throw std::invalid_argument("task node outside the machine");
+      if (task.deps == 0) f(static_cast<std::int64_t>(id));
+    }
+  }
+
+  [[nodiscard]] TaskView task(std::int64_t id) const {
+    const SimTask& task = work_.tasks[static_cast<std::size_t>(id)];
+    TaskView view;
+    view.type = task.type;
+    view.l = task.l;
+    view.i = task.i;
+    view.j = task.j;
+    view.node = task.node;
+    view.successor = task.successor;
+    view.publishes = task.publishes;
+    return view;
+  }
+
+  bool satisfy(std::int64_t id) {
+    return --work_.tasks[static_cast<std::size_t>(id)].deps == 0;
+  }
+
+  using InstanceHandle = const Instance*;
+  InstanceHandle publish(std::int64_t instance_id, const TaskView&) {
+    return instance(instance_id);
+  }
+  [[nodiscard]] InstanceHandle instance(std::int64_t instance_id) const {
+    return &work_.instances[static_cast<std::size_t>(instance_id)];
+  }
+  void release(std::int64_t) {}
+
+  static std::int32_t producer_node(InstanceHandle handle) {
+    return handle->producer_node;
+  }
+  static std::int64_t group_count(InstanceHandle handle) {
+    return static_cast<std::int64_t>(handle->groups.size());
+  }
+  static std::int32_t group_node(InstanceHandle handle, std::int64_t g) {
+    return handle->groups[static_cast<std::size_t>(g)].node;
+  }
+  template <class F>
+  static void for_each_waiter(InstanceHandle handle, std::int64_t g, F&& f) {
+    for (const std::int64_t waiter :
+         handle->groups[static_cast<std::size_t>(g)].waiters)
+      f(waiter);
+  }
+
+ private:
+  Workload work_;
+  std::int64_t nodes_;
+};
+
+/// The event loop, templated over the DAG representation (Model) and the
+/// pending-event structure (Queue).  All four combinations simulate the
+/// exact same trajectory; the template exists so the hot path pays for
+/// neither virtual dispatch nor the representation it does not use.
+template <class Model, class Queue>
+class SimulatorCore {
+ public:
+  SimulatorCore(Model& model, const MachineConfig& machine)
+      : model_(model),
         machine_(machine),
         injector_(machine.faults),  // validates the plan
         free_workers_(static_cast<std::size_t>(machine.nodes),
@@ -106,18 +172,14 @@ class Simulator {
   }
 
   SimReport run() {
-    // Seed: every task with no dependencies is ready at time zero.
-    for (std::size_t id = 0; id < work_.tasks.size(); ++id) {
-      const SimTask& task = work_.tasks[id];
-      if (task.node < 0 || task.node >= machine_.nodes)
-        throw std::invalid_argument("task node outside the machine");
-      if (task.deps == 0) enqueue_ready(static_cast<std::int32_t>(id), 0.0);
-    }
+    const Stopwatch watch;
+    model_.for_each_initially_ready(
+        [&](std::int64_t id) { enqueue_ready(id, 0.0); });
 
     while (!events_.empty()) {
-      const Event event = events_.top();
-      events_.pop();
+      const Event event = events_.pop();
       now_ = event.time;
+      ++report_.events;
       if (event.kind == Event::Kind::kTaskFinish) {
         on_task_finish(event.a);
       } else if (event.kind == Event::Kind::kRetransmit) {
@@ -128,27 +190,41 @@ class Simulator {
     }
 
     report_.makespan_seconds = now_;
-    report_.total_flops = work_.total_flops;
-    report_.tasks = work_.task_count();
+    report_.total_flops = model_.total_flops();
+    report_.tasks = model_.task_count();
     report_.faults = injector_.stats();
+    report_.frontier_peak = model_.frontier_peak();
+    report_.run_seconds = watch.seconds();
     return std::move(report_);
   }
 
  private:
-  void push_event(double time, Event::Kind kind, std::int32_t a,
+  using InstanceHandle = typename Model::InstanceHandle;
+
+  void push_event(double time, Event::Kind kind, std::int64_t a,
                   std::int32_t b, std::int32_t c = 0, std::int32_t src = -1,
                   std::int32_t attempt = 0, bool duplicate = false) {
-    events_.push({time, kind, a, b, c, src, attempt, duplicate, sequence_++});
+    Event event;
+    event.time = time;
+    event.kind = kind;
+    event.a = a;
+    event.b = b;
+    event.c = c;
+    event.src = src;
+    event.attempt = attempt;
+    event.duplicate = duplicate;
+    event.sequence = sequence_++;
+    events_.push(event);
   }
 
   /// A task became runnable at `time`: start it if a worker is free on its
   /// node, otherwise park it in the node's priority queue.
-  void enqueue_ready(std::int32_t task_id, double time) {
-    const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+  void enqueue_ready(std::int64_t task_id, double time) {
+    const TaskView task = model_.task(task_id);
     auto& free = free_workers_[static_cast<std::size_t>(task.node)];
     if (free > 0) {
       --free;
-      start_task(task_id, time);
+      start_task(task_id, task, time);
     } else {
       // FIFO ablation: readiness order replaces the critical-path key.
       const std::int64_t key = machine_.priority_scheduling
@@ -158,8 +234,7 @@ class Simulator {
     }
   }
 
-  void start_task(std::int32_t task_id, double time) {
-    const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+  void start_task(std::int64_t task_id, const TaskView& task, double time) {
     const double duration =
         machine_.task_seconds(task.type) / machine_.perturbed_speed(task.node);
     auto& node = report_.per_node[static_cast<std::size_t>(task.node)];
@@ -182,20 +257,19 @@ class Simulator {
     push_event(time + duration, Event::Kind::kTaskFinish, task_id, 0);
   }
 
-  void satisfy(std::int32_t task_id, double time) {
-    SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
-    if (--task.deps == 0) enqueue_ready(task_id, time);
+  void satisfy(std::int64_t task_id, double time) {
+    if (model_.satisfy(task_id)) enqueue_ready(task_id, time);
   }
 
-  void on_task_finish(std::int32_t task_id) {
-    const SimTask& task = work_.tasks[static_cast<std::size_t>(task_id)];
+  void on_task_finish(std::int64_t task_id) {
+    const TaskView task = model_.task(task_id);
 
     // Free the worker; pull the best parked task on this node.
     auto& queue = ready_[static_cast<std::size_t>(task.node)];
     if (!queue.empty()) {
-      const std::int32_t next = queue.top().task;
+      const std::int64_t next = queue.top().task;
       queue.pop();
-      start_task(next, now_);
+      start_task(next, model_.task(next), now_);
     } else {
       ++free_workers_[static_cast<std::size_t>(task.node)];
     }
@@ -208,39 +282,46 @@ class Simulator {
     // comm::multicast_send, so simulated message counts match the measured
     // vmpi counters per algorithm.
     if (task.publishes >= 0) {
-      const Instance& instance =
-          work_.instances[static_cast<std::size_t>(task.publishes)];
-      for (const InstanceGroup& group : instance.groups) {
-        if (group.node == task.node)
-          for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+      const InstanceHandle handle = model_.publish(task.publishes, task);
+      const std::int64_t groups = Model::group_count(handle);
+      for (std::int64_t g = 0; g < groups; ++g) {
+        if (Model::group_node(handle, g) == task.node)
+          Model::for_each_waiter(
+              handle, g, [&](std::int64_t waiter) { satisfy(waiter, now_); });
       }
       switch (machine_.collective.algorithm) {
         case comm::Algorithm::kEagerP2P: {
-          for (std::size_t g = 0; g < instance.groups.size(); ++g) {
-            if (instance.groups[g].node == task.node) continue;
-            send_tile(task.node, instance.groups[g].node, task.publishes,
+          for (std::int64_t g = 0; g < groups; ++g) {
+            const std::int32_t dst = Model::group_node(handle, g);
+            if (dst == task.node) continue;
+            send_tile(task.node, dst, task.publishes,
                       static_cast<std::int32_t>(g), 0, machine_.tile_bytes());
           }
           break;
         }
         case comm::Algorithm::kBinomialTree: {
-          forward_tree(task.publishes, /*position=*/0, task.node);
+          remote_groups(handle);
+          forward_tree(handle, task.publishes, /*position=*/0, task.node);
           break;
         }
         case comm::Algorithm::kPipelinedChain: {
           // The producer pushes every chunk to the head of the chain; each
           // receiver relays chunks onward as they arrive (on_arrival).
-          const auto remotes = remote_groups(task.publishes);
-          if (remotes.empty()) break;
+          remote_groups(handle);
+          if (remotes_.empty()) break;
           const std::int32_t head =
-              instance.groups[static_cast<std::size_t>(remotes[0])].node;
+              Model::group_node(handle, remotes_[0]);
           for (std::int64_t chunk = 0; chunk < chain_chunks(); ++chunk) {
-            send_tile(task.node, head, task.publishes, remotes[0],
+            send_tile(task.node, head, task.publishes, remotes_[0],
                       static_cast<std::int32_t>(chunk), chunk_bytes());
           }
           break;
         }
       }
+      // No pending transfer references the instance (e.g. every consumer
+      // was local): the model can reclaim it right away.
+      if (inflight_.find(task.publishes) == nullptr)
+        model_.release(task.publishes);
     }
   }
 
@@ -251,36 +332,50 @@ class Simulator {
     return machine_.tile_bytes() / static_cast<double>(chain_chunks());
   }
 
-  /// Remote group indices of an instance, in group order; position p in the
-  /// broadcast tree maps to remotes[p-1] (the producer is position 0).
-  std::vector<std::int32_t> remote_groups(std::int32_t instance_id) const {
-    const Instance& instance =
-        work_.instances[static_cast<std::size_t>(instance_id)];
-    std::vector<std::int32_t> remotes;
-    for (std::size_t g = 0; g < instance.groups.size(); ++g) {
-      if (instance.groups[g].node != instance.producer_node)
-        remotes.push_back(static_cast<std::int32_t>(g));
+  /// Fills remotes_ with the remote group indices of `handle`, in group
+  /// order; position p in the broadcast tree maps to remotes_[p-1] (the
+  /// producer is position 0).  One scratch vector: no per-event allocation.
+  void remote_groups(InstanceHandle handle) {
+    remotes_.clear();
+    const std::int64_t groups = Model::group_count(handle);
+    const std::int32_t producer = Model::producer_node(handle);
+    for (std::int64_t g = 0; g < groups; ++g) {
+      if (Model::group_node(handle, g) != producer)
+        remotes_.push_back(static_cast<std::int32_t>(g));
     }
-    return remotes;
   }
 
   /// Binomial broadcast step: the holder at `position` sends the tile to
   /// positions position + 2^k for every 2^k > position still in range.
-  void forward_tree(std::int32_t instance_id, std::int64_t position,
-                    std::int32_t from_node) {
-    const auto remotes = remote_groups(instance_id);
-    const auto m = static_cast<std::int64_t>(remotes.size()) + 1;
+  /// Uses remotes_ as filled by the caller.
+  void forward_tree(InstanceHandle handle, std::int64_t instance_id,
+                    std::int64_t position, std::int32_t from_node) {
+    const auto m = static_cast<std::int64_t>(remotes_.size()) + 1;
     for (std::int64_t step = 1; step < m; step *= 2) {
       if (step <= position) continue;
       const std::int64_t child = position + step;
       if (child >= m) break;
       const std::int32_t group_index =
-          remotes[static_cast<std::size_t>(child - 1)];
-      const Instance& instance =
-          work_.instances[static_cast<std::size_t>(instance_id)];
-      send_tile(from_node,
-                instance.groups[static_cast<std::size_t>(group_index)].node,
+          remotes_[static_cast<std::size_t>(child - 1)];
+      send_tile(from_node, Model::group_node(handle, group_index),
                 instance_id, group_index, 0, machine_.tile_bytes());
+    }
+  }
+
+  /// Counts one more pending transfer event (arrival or retransmit)
+  /// referencing `instance`.
+  void ref_instance(std::int64_t instance) {
+    ++inflight_.at_or_insert(instance, 0);
+  }
+
+  /// A pending transfer event referencing `instance` was consumed; when the
+  /// last one goes, the model reclaims the instance (implicit mode recycles
+  /// its group state — the mechanism that keeps memory at the frontier).
+  void unref_instance(std::int64_t instance) {
+    std::int64_t* refs = inflight_.find(instance);
+    if (--*refs == 0) {
+      inflight_.erase(instance);
+      model_.release(instance);
     }
   }
 
@@ -292,7 +387,7 @@ class Simulator {
   /// counters and the kSimTransfer event, so report_.messages keeps
   /// matching the closed forms under faults.  Retransmissions (attempt > 0)
   /// occupy the wire all the same but count only in the fault stats.
-  void send_tile(std::int32_t src, std::int32_t dst, std::int32_t instance,
+  void send_tile(std::int32_t src, std::int32_t dst, std::int64_t instance,
                  std::int32_t group, std::int32_t chunk, double bytes,
                  std::int32_t attempt = 0) {
     fault::Fate fate;
@@ -352,6 +447,7 @@ class Simulator {
       injector_.note_timeout_wait();
       const double timeout = machine_.faults.recv_timeout_ms * 1e-3 *
                              std::pow(2.0, static_cast<double>(attempt));
+      ref_instance(instance);
       push_event(end + machine_.latency_seconds() + timeout,
                  Event::Kind::kRetransmit, instance, group, chunk, src,
                  attempt + 1);
@@ -363,11 +459,13 @@ class Simulator {
       record_fault(src, "delay", src, dst, instance);
       extra = fate.delay_seconds;
     }
+    ref_instance(instance);
     push_event(end + machine_.latency_seconds() + extra, Event::Kind::kArrival,
                instance, group, chunk, src);
     if (fate.duplicated) {
       injector_.note_duplicate();
       record_fault(src, "duplicate", src, dst, instance);
+      ref_instance(instance);
       push_event(end + machine_.latency_seconds() + extra,
                  Event::Kind::kArrival, instance, group, chunk, src, attempt,
                  /*duplicate=*/true);
@@ -379,10 +477,8 @@ class Simulator {
   /// again — the backoff above keeps doubling).
   void on_retransmit(const Event& event) {
     injector_.note_retry();
-    const Instance& instance =
-        work_.instances[static_cast<std::size_t>(event.a)];
-    const std::int32_t dst =
-        instance.groups[static_cast<std::size_t>(event.b)].node;
+    const InstanceHandle handle = model_.instance(event.a);
+    const std::int32_t dst = Model::group_node(handle, event.b);
     record_fault(dst, "retry", event.src, dst, event.a);
     const double bytes =
         machine_.collective.algorithm == comm::Algorithm::kPipelinedChain
@@ -390,13 +486,14 @@ class Simulator {
             : machine_.tile_bytes();
     send_tile(event.src, dst, event.a, event.b, event.c, bytes,
               event.attempt);
+    unref_instance(event.a);
   }
 
   /// Records a fault/recovery event on a node track (virtual time; the
   /// simulator is single-threaded so any track is safe to append to).
   void record_fault(std::int32_t track_node, const char* what,
                     std::int32_t src, std::int32_t dst,
-                    std::int32_t instance) {
+                    std::int64_t instance) {
     if (machine_.recorder == nullptr) return;
     obs::Event event;
     event.kind = obs::EventKind::kFault;
@@ -410,73 +507,80 @@ class Simulator {
   }
 
   /// Position of `group_index` in the remote order (1-based, producer = 0).
-  [[nodiscard]] static std::int64_t position_of(
-      const std::vector<std::int32_t>& remotes, std::int32_t group_index) {
-    for (std::size_t p = 0; p < remotes.size(); ++p) {
-      if (remotes[p] == group_index) return static_cast<std::int64_t>(p) + 1;
+  [[nodiscard]] std::int64_t position_of(std::int32_t group_index) const {
+    for (std::size_t p = 0; p < remotes_.size(); ++p) {
+      if (remotes_[p] == group_index) return static_cast<std::int64_t>(p) + 1;
     }
     throw std::logic_error("arrival at a node outside the multicast group");
   }
 
   void on_arrival(const Event& event) {
-    const std::int32_t instance_id = event.a;
+    const std::int64_t instance_id = event.a;
     const std::int32_t group_index = event.b;
     const std::int32_t chunk = event.c;
-    const Instance& instance =
-        work_.instances[static_cast<std::size_t>(instance_id)];
-    const InstanceGroup& group =
-        instance.groups[static_cast<std::size_t>(group_index)];
+    const InstanceHandle handle = model_.instance(instance_id);
+    const std::int32_t group_node = Model::group_node(handle, group_index);
     if (event.duplicate) {
       // At-least-once delivery: the injected extra copy is detected by its
       // repeated sequence number and discarded before it can satisfy
       // waiters, relay chain chunks, or bump the chunk counter.
       injector_.note_dedup_discard();
-      record_fault(group.node, "dedup", event.src, group.node, instance_id);
+      record_fault(group_node, "dedup", event.src, group_node, instance_id);
+      unref_instance(instance_id);
       return;
     }
     switch (machine_.collective.algorithm) {
       case comm::Algorithm::kEagerP2P: {
-        for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        Model::for_each_waiter(
+            handle, group_index,
+            [&](std::int64_t waiter) { satisfy(waiter, now_); });
         break;
       }
       case comm::Algorithm::kBinomialTree: {
-        for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        Model::for_each_waiter(
+            handle, group_index,
+            [&](std::int64_t waiter) { satisfy(waiter, now_); });
         // This receiver becomes a forwarder at its tree position.
-        const auto remotes = remote_groups(instance_id);
-        forward_tree(instance_id, position_of(remotes, group_index),
-                     group.node);
+        remote_groups(handle);
+        forward_tree(handle, instance_id, position_of(group_index),
+                     group_node);
         break;
       }
       case comm::Algorithm::kPipelinedChain: {
         // Relay the chunk down the chain, then count it; waiters run only
         // once the whole tile (every chunk) has arrived.
-        const auto remotes = remote_groups(instance_id);
-        const std::int64_t position = position_of(remotes, group_index);
-        if (position < static_cast<std::int64_t>(remotes.size())) {
-          const std::int32_t next = remotes[static_cast<std::size_t>(position)];
-          send_tile(group.node,
-                    instance.groups[static_cast<std::size_t>(next)].node,
-                    instance_id, next, chunk, chunk_bytes());
+        remote_groups(handle);
+        const std::int64_t position = position_of(group_index);
+        if (position < static_cast<std::int64_t>(remotes_.size())) {
+          const std::int32_t next =
+              remotes_[static_cast<std::size_t>(position)];
+          send_tile(group_node, Model::group_node(handle, next), instance_id,
+                    next, chunk, chunk_bytes());
         }
-        const std::int64_t key =
-            (static_cast<std::int64_t>(instance_id) << 32) |
-            static_cast<std::uint32_t>(group_index);
-        if (++chain_arrived_[key] == chain_chunks()) {
-          for (const std::int32_t waiter : group.waiters) satisfy(waiter, now_);
+        // Chunk counters key by (instance, group); entries are erased once
+        // the tile completes, so the map tracks in-flight tiles only.
+        const std::int64_t key = instance_id * machine_.nodes + group_index;
+        std::int64_t& arrived = chain_arrived_.at_or_insert(key, 0);
+        if (++arrived == chain_chunks()) {
+          chain_arrived_.erase(key);
+          Model::for_each_waiter(
+              handle, group_index,
+              [&](std::int64_t waiter) { satisfy(waiter, now_); });
         }
         break;
       }
     }
+    unref_instance(instance_id);
   }
 
-  Workload work_;
+  Model& model_;
   const MachineConfig& machine_;
   /// Deterministic message-fault schedule shared with vmpi (counters only
   /// when the plan is disabled — every fate_of call is skipped then).
   fault::FaultInjector injector_;
   SimReport report_;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  Queue events_;
   std::uint64_t sequence_ = 0;
   std::uint64_t ready_seq_ = 0;
   double now_ = 0.0;
@@ -487,11 +591,42 @@ class Simulator {
       ready_;
   std::vector<double> out_free_;
   std::vector<double> in_free_;
-  /// Chunks arrived so far per (instance << 32 | group), chain mode only.
-  std::unordered_map<std::int64_t, std::int64_t> chain_arrived_;
+  /// Chunks arrived so far per (instance, group), chain mode only.
+  FlatMap64 chain_arrived_;
+  /// Pending transfer events per instance; zero => the model may reclaim.
+  FlatMap64 inflight_;
+  /// Scratch for remote_groups() (cleared per use, allocated once).
+  std::vector<std::int32_t> remotes_;
   /// Per-node trace tracks (empty when machine_.recorder is null).
   std::vector<obs::TrackSink*> node_sinks_;
 };
+
+template <class Model>
+SimReport run_model(Model& model, const MachineConfig& machine) {
+  if (machine.event_queue == EventQueueMode::kBinaryHeap)
+    return SimulatorCore<Model, BinaryHeapEventQueue>(model, machine).run();
+  return SimulatorCore<Model, CalendarQueue>(model, machine).run();
+}
+
+/// Shared build-then-run scaffolding of the three kernel entry points.
+template <class MakeImplicit, class MakeWorkload>
+SimReport simulate_kernel(const MachineConfig& machine,
+                          MakeImplicit&& make_implicit,
+                          MakeWorkload&& make_workload) {
+  const Stopwatch watch;
+  if (machine.workload_mode == WorkloadMode::kImplicit) {
+    ImplicitWorkload model = make_implicit();
+    const double build = watch.seconds();
+    SimReport report = run_model(model, machine);
+    report.build_seconds = build;
+    return report;
+  }
+  MaterializedModel model(make_workload(), machine.nodes);
+  const double build = watch.seconds();
+  SimReport report = run_model(model, machine);
+  report.build_seconds = build;
+  return report;
+}
 
 }  // namespace
 
@@ -505,26 +640,42 @@ double SimReport::efficiency(const MachineConfig& machine) const {
 }
 
 SimReport simulate(Workload workload, const MachineConfig& machine) {
-  return Simulator(std::move(workload), machine).run();
+  const Stopwatch watch;
+  MaterializedModel model(std::move(workload), machine.nodes);
+  const double build = watch.seconds();
+  SimReport report = run_model(model, machine);
+  report.build_seconds = build;
+  return report;
 }
 
 SimReport simulate_lu(std::int64_t t, const core::Distribution& distribution,
                       const MachineConfig& machine) {
-  return simulate(build_lu_workload(t, distribution, machine), machine);
+  return simulate_kernel(
+      machine,
+      [&] { return ImplicitWorkload(SimKernel::kLu, t, distribution, machine); },
+      [&] { return build_lu_workload(t, distribution, machine); });
 }
 
 SimReport simulate_cholesky(std::int64_t t,
                             const core::Distribution& distribution,
                             const MachineConfig& machine) {
-  return simulate(build_cholesky_workload(t, distribution, machine), machine);
+  return simulate_kernel(
+      machine,
+      [&] {
+        return ImplicitWorkload(SimKernel::kCholesky, t, distribution,
+                                machine);
+      },
+      [&] { return build_cholesky_workload(t, distribution, machine); });
 }
 
 SimReport simulate_syrk(std::int64_t t, std::int64_t k,
                         const core::Distribution& dist_c,
                         const core::Distribution& dist_a,
                         const MachineConfig& machine) {
-  return simulate(build_syrk_workload(t, k, dist_c, dist_a, machine),
-                  machine);
+  return simulate_kernel(
+      machine,
+      [&] { return ImplicitWorkload(t, k, dist_c, dist_a, machine); },
+      [&] { return build_syrk_workload(t, k, dist_c, dist_a, machine); });
 }
 
 }  // namespace anyblock::sim

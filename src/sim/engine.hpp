@@ -36,6 +36,16 @@ struct SimReport {
   std::vector<NodeReport> per_node;
   /// Injected-fault and recovery counters (all zero with a disabled plan).
   fault::FaultStats faults;
+  /// Simulator events processed (task finishes + arrivals + retransmits).
+  std::int64_t events = 0;
+  /// Wall-clock seconds spent building the DAG representation and running
+  /// the event loop (the BENCH_sim.json axes).
+  double build_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Peak resident DAG state: implicit mode reports its frontier (lazy dep
+  /// counters + in-flight instances); materialized mode reports the full
+  /// task count, since everything stays resident.
+  std::int64_t frontier_peak = 0;
 
   [[nodiscard]] double total_gflops() const {
     return makespan_seconds > 0 ? total_flops / makespan_seconds / 1e9 : 0.0;

@@ -1,0 +1,125 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace anyblock::sim {
+namespace {
+
+constexpr std::size_t kMinBuckets = 16;
+/// Below this width the virtual-bucket division risks overflowing and the
+/// buckets stop discriminating anyway (ties are handled in-bucket).
+constexpr double kMinWidth = 1e-15;
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets), mask_(kMinBuckets - 1) {}
+
+std::uint64_t CalendarQueue::virtual_bucket(double time) const {
+  if (time <= 0.0) return 0;
+  const double index = time / width_;
+  // Far-future events (retransmission backoff can push times many years
+  // of bucket-widths out) saturate instead of overflowing; they are found
+  // by the direct scan once the sweep exhausts nearer days.
+  constexpr double kMaxIndex = 9.0e18;  // < 2^63, exactly representable
+  if (index >= kMaxIndex) return static_cast<std::uint64_t>(kMaxIndex);
+  return static_cast<std::uint64_t>(index);
+}
+
+void CalendarQueue::insert_sorted(std::vector<Event>& bucket,
+                                  const Event& event) {
+  // Buckets stay sorted "descending" under EventLater, i.e. back() is the
+  // earliest (time, sequence).  Typical DES inserts land at the front or
+  // back of a short bucket, so the binary search + memmove is cheap.
+  const auto position =
+      std::upper_bound(bucket.begin(), bucket.end(), event, EventLater{});
+  bucket.insert(position, event);
+}
+
+void CalendarQueue::push(const Event& event) {
+  const std::uint64_t vb = virtual_bucket(event.time);
+  if (size_ == 0 || vb < cursor_) cursor_ = vb;
+  insert_sorted(buckets_[vb & mask_], event);
+  ++size_;
+  if (size_ > 2 * buckets_.size()) rebuild(buckets_.size() * 2);
+}
+
+Event CalendarQueue::pop() {
+  // Sweep at most one full year of buckets starting at the cursor.  An
+  // event qualifies when it belongs to the virtual bucket the cursor is
+  // standing on; later-year events sharing the physical bucket stay put.
+  for (std::size_t step = 0; step <= mask_; ++step) {
+    std::vector<Event>& bucket = buckets_[cursor_ & mask_];
+    if (!bucket.empty() &&
+        virtual_bucket(bucket.back().time) == cursor_) {
+      Event event = bucket.back();
+      bucket.pop_back();
+      --size_;
+      if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4)
+        rebuild(buckets_.size() / 2);
+      return event;
+    }
+    ++cursor_;
+  }
+  return pop_direct();
+}
+
+Event CalendarQueue::pop_direct() {
+  // The current year is empty: find the globally earliest event with one
+  // scan over the bucket minima and jump the cursor to its day.
+  std::size_t best = buckets_.size();
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b].empty()) continue;
+    if (best == buckets_.size() ||
+        EventLater{}(buckets_[best].back(), buckets_[b].back()))
+      best = b;
+  }
+  // size_ > 0 guarantees a nonempty bucket.
+  auto& bucket = buckets_[best];
+  Event event = bucket.back();
+  bucket.pop_back();
+  --size_;
+  cursor_ = virtual_bucket(event.time);
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4)
+    rebuild(buckets_.size() / 2);
+  return event;
+}
+
+void CalendarQueue::rebuild(std::size_t buckets) {
+  ++resizes_;
+  spill_.clear();
+  spill_.reserve(size_);
+  for (auto& bucket : buckets_)
+    spill_.insert(spill_.end(), bucket.begin(), bucket.end());
+
+  // Width estimate (Brown's heuristic, simplified): average gap between the
+  // earliest events, doubled so a bucket holds a couple of events.  The
+  // estimate only tunes performance — order never depends on it.
+  if (spill_.size() >= 2) {
+    const std::size_t sample =
+        std::min<std::size_t>(spill_.size(), 64);
+    std::partial_sort(spill_.begin(),
+                      spill_.begin() + static_cast<std::ptrdiff_t>(sample),
+                      spill_.end(), [](const Event& x, const Event& y) {
+                        return EventLater{}(y, x);  // earliest first
+                      });
+    const double spread = spill_[sample - 1].time - spill_[0].time;
+    const double gap = spread / static_cast<double>(sample - 1);
+    if (std::isfinite(gap) && gap > kMinWidth) width_ = 2.0 * gap;
+  }
+
+  const std::size_t count = std::max(buckets, kMinBuckets);
+  buckets_.assign(count, {});
+  mask_ = count - 1;
+  size_ = 0;
+  cursor_ = 0;
+  for (const Event& event : spill_) {
+    const std::uint64_t vb = virtual_bucket(event.time);
+    if (size_ == 0 || vb < cursor_) cursor_ = vb;
+    insert_sorted(buckets_[vb & mask_], event);
+    ++size_;
+  }
+}
+
+}  // namespace anyblock::sim

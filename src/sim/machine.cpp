@@ -1,8 +1,37 @@
 #include "sim/machine.hpp"
 
+#include <limits>
+#include <stdexcept>
+
 #include "linalg/kernels.hpp"
 
 namespace anyblock::sim {
+
+std::int64_t estimated_task_count(bool symmetric, std::int64_t tiles) {
+  if (tiles >= 2'000'000)  // t^3 would overflow; the answer is "huge" anyway
+    return std::numeric_limits<std::int64_t>::max();
+  const std::int64_t cubic =
+      symmetric ? tiles * tiles * tiles / 6 : tiles * tiles * tiles / 3;
+  return cubic + tiles * tiles + tiles;
+}
+
+WorkloadMode choose_workload_mode(const std::string& name,
+                                  std::int64_t estimated_tasks) {
+  if (name == "materialized") return WorkloadMode::kMaterialized;
+  if (name == "implicit") return WorkloadMode::kImplicit;
+  if (name == "auto")
+    return estimated_tasks > kMaterializeTaskLimit ? WorkloadMode::kImplicit
+                                                   : WorkloadMode::kMaterialized;
+  throw std::invalid_argument("unknown workload mode: " + name +
+                              " (expected auto|materialized|implicit)");
+}
+
+EventQueueMode parse_event_queue_mode(const std::string& name) {
+  if (name == "calendar") return EventQueueMode::kCalendar;
+  if (name == "heap") return EventQueueMode::kBinaryHeap;
+  throw std::invalid_argument("unknown event queue: " + name +
+                              " (expected calendar|heap)");
+}
 
 double MachineConfig::task_flops(TaskType type) const {
   switch (type) {

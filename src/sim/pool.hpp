@@ -1,0 +1,164 @@
+// Allocation helpers for the 100x-scale simulator hot path.
+//
+//   * RecyclingPool<T>: slot pool with a free list.  Released objects keep
+//     their heap allocations (a recycled InstanceState reuses its group and
+//     waiter vectors' capacity), so steady-state publish/release cycles of
+//     the implicit workload allocate nothing.
+//   * FlatMap64: open-addressing hash map from int64 keys to int64 values
+//     with linear probing and backward-shift deletion.  This is the
+//     implicit DAG's frontier (task ordinal -> unmet dependencies): it sees
+//     roughly three operations per task — billions per run — where the
+//     node-based std::unordered_map's allocation-per-insert and pointer
+//     chasing would dominate the whole simulation.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace anyblock::sim {
+
+/// Pool of reusable T slots addressed by a dense index.  acquire() prefers
+/// recycled slots; release() never destroys the object, so T's internal
+/// buffers survive for the next acquire (callers re-initialize logically).
+template <class T>
+class RecyclingPool {
+ public:
+  std::int64_t acquire() {
+    if (!free_.empty()) {
+      const std::int64_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::int64_t>(slots_.size()) - 1;
+  }
+
+  void release(std::int64_t slot) { free_.push_back(slot); }
+
+  T& operator[](std::int64_t slot) {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+  const T& operator[](std::int64_t slot) const {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] std::int64_t live() const {
+    return static_cast<std::int64_t>(slots_.size() - free_.size());
+  }
+
+ private:
+  std::deque<T> slots_;  // deque: references stay valid across acquire()
+  std::vector<std::int64_t> free_;
+};
+
+/// Open-addressing int64 -> int64 map.  Keys must be non-negative (the
+/// empty slot marker is -1); the table grows at 70% load and never shrinks
+/// within a run — peak size is the DAG frontier, O(t^2), not O(t^3).
+class FlatMap64 {
+ public:
+  FlatMap64() { reset(kMinSlots); }
+
+  /// Returns a reference to the value for `key`, inserting `missing` first
+  /// when absent.
+  std::int64_t& at_or_insert(std::int64_t key, std::int64_t missing) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    std::size_t slot = probe_start(key);
+    while (true) {
+      Slot& entry = slots_[slot];
+      if (entry.key == key) return entry.value;
+      if (entry.key == kEmpty) {
+        entry.key = key;
+        entry.value = missing;
+        ++size_;
+        if (size_ > peak_) peak_ = size_;
+        return entry.value;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  std::int64_t* find(std::int64_t key) {
+    std::size_t slot = probe_start(key);
+    while (true) {
+      Slot& entry = slots_[slot];
+      if (entry.key == key) return &entry.value;
+      if (entry.key == kEmpty) return nullptr;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Removes `key` (which must be present), backward-shifting the probe
+  /// chain so lookups never need tombstones.
+  void erase(std::int64_t key) {
+    std::size_t slot = probe_start(key);
+    while (slots_[slot].key != key) slot = (slot + 1) & mask_;
+    std::size_t hole = slot;
+    std::size_t next = hole;
+    while (true) {
+      next = (next + 1) & mask_;
+      const Slot& candidate = slots_[next];
+      if (candidate.key == kEmpty) break;
+      const std::size_t ideal = probe_start(candidate.key);
+      // Move the candidate back iff its ideal slot lies outside the cyclic
+      // interval (hole, next] — i.e. the hole sits on its probe path.
+      const bool on_path = next >= hole ? (ideal <= hole || ideal > next)
+                                        : (ideal <= hole && ideal > next);
+      if (on_path) {
+        slots_[hole] = candidate;
+        hole = next;
+      }
+    }
+    slots_[hole].key = kEmpty;
+    --size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t peak_size() const { return peak_; }
+
+ private:
+  static constexpr std::int64_t kEmpty = -1;
+  static constexpr std::size_t kMinSlots = 64;
+
+  struct Slot {
+    std::int64_t key = kEmpty;
+    std::int64_t value = 0;
+  };
+
+  [[nodiscard]] std::size_t probe_start(std::int64_t key) const {
+    // splitmix64 finalizer: full avalanche so sequential ordinals spread.
+    auto x = static_cast<std::uint64_t>(key);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  void reset(std::size_t slots) {
+    slots_.assign(slots, Slot{});
+    mask_ = slots - 1;
+    size_ = 0;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    reset(old.size() * 2);
+    for (const Slot& entry : old) {
+      if (entry.key == kEmpty) continue;
+      std::size_t slot = probe_start(entry.key);
+      while (slots_[slot].key != kEmpty) slot = (slot + 1) & mask_;
+      slots_[slot] = entry;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace anyblock::sim

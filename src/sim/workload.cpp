@@ -23,9 +23,9 @@ class WorkloadBuilder {
 
   /// Creates a task writing tile (i, j); chains it after the previous
   /// writer of that tile (same node, no communication).
-  std::int32_t add_task(TaskType type, std::int64_t l, std::int64_t i,
+  std::int64_t add_task(TaskType type, std::int64_t l, std::int64_t i,
                         std::int64_t j) {
-    const auto id = static_cast<std::int32_t>(work_.tasks.size());
+    const auto id = static_cast<std::int64_t>(work_.tasks.size());
     SimTask task;
     task.type = type;
     task.l = static_cast<std::int32_t>(l);
@@ -46,8 +46,8 @@ class WorkloadBuilder {
 
   /// Creates a zero-cost task on `node` standing for an input tile that is
   /// already resident there (SYRK's A panel).
-  std::int32_t add_load_task(std::int32_t node) {
-    const auto id = static_cast<std::int32_t>(work_.tasks.size());
+  std::int64_t add_load_task(std::int32_t node) {
+    const auto id = static_cast<std::int64_t>(work_.tasks.size());
     SimTask task;
     task.type = TaskType::kLoad;
     task.l = task.i = task.j = -1;
@@ -58,8 +58,8 @@ class WorkloadBuilder {
   }
 
   /// Marks `task` as publishing an instance; returns its handle.
-  std::int32_t publish_instance(std::int32_t task) {
-    const auto inst = static_cast<std::int32_t>(work_.instances.size());
+  std::int64_t publish_instance(std::int64_t task) {
+    const auto inst = static_cast<std::int64_t>(work_.instances.size());
     work_.instances.push_back(
         {work_.tasks[static_cast<std::size_t>(task)].node, {}});
     work_.tasks[static_cast<std::size_t>(task)].publishes = inst;
@@ -67,14 +67,14 @@ class WorkloadBuilder {
   }
 
   /// Marks `task` as publishing tile (i, j) for later consumption.
-  void publish(std::int32_t task, std::int64_t i, std::int64_t j) {
+  void publish(std::int64_t task, std::int64_t i, std::int64_t j) {
     instance_of_tile_[static_cast<std::size_t>(i * t_ + j)] =
         publish_instance(task);
   }
 
   /// Registers `task` as consuming instance `inst`: one more dependency,
   /// satisfied locally on the producer's node or by a message.
-  void consume_instance(std::int32_t task, std::int32_t inst) {
+  void consume_instance(std::int64_t task, std::int64_t inst) {
     Instance& instance = work_.instances[static_cast<std::size_t>(inst)];
     SimTask& consumer = work_.tasks[static_cast<std::size_t>(task)];
     ++consumer.deps;
@@ -88,8 +88,8 @@ class WorkloadBuilder {
   }
 
   /// Tile-keyed consume for the factorization builders.
-  void consume(std::int32_t task, std::int64_t i, std::int64_t j) {
-    const std::int32_t inst =
+  void consume(std::int64_t task, std::int64_t i, std::int64_t j) {
+    const std::int64_t inst =
         instance_of_tile_[static_cast<std::size_t>(i * t_ + j)];
     if (inst < 0) throw std::logic_error("consuming an unpublished tile");
     consume_instance(task, inst);
@@ -102,8 +102,8 @@ class WorkloadBuilder {
   const core::Distribution& dist_;
   const MachineConfig& machine_;
   Workload work_;
-  std::vector<std::int32_t> last_writer_;
-  std::vector<std::int32_t> instance_of_tile_;
+  std::vector<std::int64_t> last_writer_;
+  std::vector<std::int64_t> instance_of_tile_;
 };
 
 }  // namespace
@@ -124,21 +124,21 @@ Workload build_lu_workload(std::int64_t t,
   if (t <= 0) throw std::invalid_argument("tile grid must be positive");
   WorkloadBuilder builder(t, distribution, machine);
   for (std::int64_t l = 0; l < t; ++l) {
-    const std::int32_t getrf = builder.add_task(TaskType::kGetrf, l, l, l);
+    const std::int64_t getrf = builder.add_task(TaskType::kGetrf, l, l, l);
     builder.publish(getrf, l, l);
     for (std::int64_t i = l + 1; i < t; ++i) {
-      const std::int32_t trsm = builder.add_task(TaskType::kTrsm, l, i, l);
+      const std::int64_t trsm = builder.add_task(TaskType::kTrsm, l, i, l);
       builder.consume(trsm, l, l);
       builder.publish(trsm, i, l);
     }
     for (std::int64_t j = l + 1; j < t; ++j) {
-      const std::int32_t trsm = builder.add_task(TaskType::kTrsm, l, l, j);
+      const std::int64_t trsm = builder.add_task(TaskType::kTrsm, l, l, j);
       builder.consume(trsm, l, l);
       builder.publish(trsm, l, j);
     }
     for (std::int64_t i = l + 1; i < t; ++i) {
       for (std::int64_t j = l + 1; j < t; ++j) {
-        const std::int32_t gemm = builder.add_task(TaskType::kGemm, l, i, j);
+        const std::int64_t gemm = builder.add_task(TaskType::kGemm, l, i, j);
         builder.consume(gemm, i, l);
         builder.consume(gemm, l, j);
       }
@@ -156,10 +156,10 @@ Workload build_syrk_workload(std::int64_t t, std::int64_t k,
   WorkloadBuilder builder(t, dist_c, machine);
 
   // A tiles: resident inputs, one published instance each.
-  std::vector<std::int32_t> a_instance(static_cast<std::size_t>(t * k));
+  std::vector<std::int64_t> a_instance(static_cast<std::size_t>(t * k));
   for (std::int64_t i = 0; i < t; ++i) {
     for (std::int64_t l = 0; l < k; ++l) {
-      const std::int32_t load = builder.add_load_task(
+      const std::int64_t load = builder.add_load_task(
           static_cast<std::int32_t>(dist_a.owner(i, l % t)));
       a_instance[static_cast<std::size_t>(i * k + l)] =
           builder.publish_instance(load);
@@ -171,10 +171,10 @@ Workload build_syrk_workload(std::int64_t t, std::int64_t k,
 
   for (std::int64_t l = 0; l < k; ++l) {
     for (std::int64_t i = 0; i < t; ++i) {
-      const std::int32_t syrk = builder.add_task(TaskType::kSyrk, l, i, i);
+      const std::int64_t syrk = builder.add_task(TaskType::kSyrk, l, i, i);
       builder.consume_instance(syrk, a_inst(i, l));
       for (std::int64_t j = 0; j < i; ++j) {
-        const std::int32_t gemm = builder.add_task(TaskType::kGemm, l, i, j);
+        const std::int64_t gemm = builder.add_task(TaskType::kGemm, l, i, j);
         builder.consume_instance(gemm, a_inst(i, l));
         builder.consume_instance(gemm, a_inst(j, l));
       }
@@ -189,18 +189,18 @@ Workload build_cholesky_workload(std::int64_t t,
   if (t <= 0) throw std::invalid_argument("tile grid must be positive");
   WorkloadBuilder builder(t, distribution, machine);
   for (std::int64_t l = 0; l < t; ++l) {
-    const std::int32_t potrf = builder.add_task(TaskType::kPotrf, l, l, l);
+    const std::int64_t potrf = builder.add_task(TaskType::kPotrf, l, l, l);
     builder.publish(potrf, l, l);
     for (std::int64_t i = l + 1; i < t; ++i) {
-      const std::int32_t trsm = builder.add_task(TaskType::kTrsm, l, i, l);
+      const std::int64_t trsm = builder.add_task(TaskType::kTrsm, l, i, l);
       builder.consume(trsm, l, l);
       builder.publish(trsm, i, l);
     }
     for (std::int64_t i = l + 1; i < t; ++i) {
-      const std::int32_t syrk = builder.add_task(TaskType::kSyrk, l, i, i);
+      const std::int64_t syrk = builder.add_task(TaskType::kSyrk, l, i, i);
       builder.consume(syrk, i, l);
       for (std::int64_t j = l + 1; j < i; ++j) {
-        const std::int32_t gemm = builder.add_task(TaskType::kGemm, l, i, j);
+        const std::int64_t gemm = builder.add_task(TaskType::kGemm, l, i, j);
         builder.consume(gemm, i, l);
         builder.consume(gemm, j, l);
       }

@@ -20,6 +20,9 @@
 
 namespace anyblock::sim {
 
+/// Task and instance ids are 64-bit throughout: LU at t >= ~1700 already
+/// has more than INT32_MAX tasks, and the implicit generator hands out the
+/// same ordinals for grids far past that (see implicit_workload.hpp).
 struct SimTask {
   TaskType type;
   std::int32_t l;  ///< iteration
@@ -27,14 +30,14 @@ struct SimTask {
   std::int32_t j;  ///< tile column
   std::int32_t node;
   std::int32_t deps;            ///< unmet dependencies at start
-  std::int32_t successor = -1;  ///< next task writing the same tile
-  std::int32_t publishes = -1;  ///< instance produced, if any
+  std::int64_t successor = -1;  ///< next task writing the same tile
+  std::int64_t publishes = -1;  ///< instance produced, if any
 };
 
 /// Consumers of one published tile on one node.
 struct InstanceGroup {
   std::int32_t node;
-  std::vector<std::int32_t> waiters;  ///< task ids unblocked by availability
+  std::vector<std::int64_t> waiters;  ///< task ids unblocked by availability
 };
 
 /// A published tile (exactly one per matrix tile in these algorithms).

@@ -1,0 +1,14 @@
+// Process resource introspection for bench and CLI reporting.
+#pragma once
+
+#include <cstdint>
+
+namespace anyblock {
+
+/// Peak resident set size of this process in bytes — the high-water mark
+/// since process start, so order phases carefully when attributing memory
+/// (measure the lean configuration first).  Returns 0 when the platform
+/// offers no reading.
+[[nodiscard]] std::int64_t peak_rss_bytes();
+
+}  // namespace anyblock

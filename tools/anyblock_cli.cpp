@@ -169,6 +169,10 @@ int cmd_simulate(int argc, char** argv) {
   parser.add("seeds", "100", "GCR&M search restarts");
   parser.add("collective", "p2p", "tile multicast: p2p | tree | chain");
   parser.add("chunks", "4", "chunks per tile (chain collective only)");
+  parser.add("workload-mode", "auto",
+             "task DAG: auto | materialized | implicit (auto materializes "
+             "small runs, switches to the on-demand generator past ~4M tasks)");
+  parser.add("queue", "calendar", "event queue: calendar | heap");
   parser.add("trace", "", "write a Chrome trace_event JSON timeline here");
   parser.add("metrics", "", "write a CSV metrics summary here");
   parser.add("faults", "",
@@ -194,6 +198,17 @@ int cmd_simulate(int argc, char** argv) {
   machine.tile_size = parser.get_int("tile");
   machine.collective.algorithm = comm::parse_algorithm(parser.get("collective"));
   machine.collective.chain_chunks = parser.get_int("chunks");
+  const bool symmetric = kernel != core::Kernel::kLu;
+  const std::int64_t estimated_tasks = sim::estimated_task_count(symmetric, t);
+  machine.workload_mode =
+      sim::choose_workload_mode(parser.get("workload-mode"), estimated_tasks);
+  machine.event_queue = sim::parse_event_queue_mode(parser.get("queue"));
+  if (machine.workload_mode == sim::WorkloadMode::kMaterialized &&
+      estimated_tasks > sim::kMaterializeTaskLimit)
+    std::fprintf(stderr,
+                 "warning: materializing ~%lld tasks; --workload-mode "
+                 "implicit keeps only the ready frontier in memory\n",
+                 static_cast<long long>(estimated_tasks));
   if (!parser.get("faults").empty())
     machine.faults = fault::parse_fault_spec(parser.get("faults"));
   const std::string trace_path = parser.get("trace");
@@ -201,7 +216,6 @@ int cmd_simulate(int argc, char** argv) {
   obs::Recorder recorder;
   if (!trace_path.empty() || !metrics_path.empty())
     machine.recorder = &recorder;
-  const bool symmetric = kernel != core::Kernel::kLu;
   const core::PatternDistribution dist(rec.pattern, t, symmetric, rec.scheme);
   const sim::SimReport report =
       symmetric ? sim::simulate_cholesky(t, dist, machine)
@@ -218,6 +232,18 @@ int cmd_simulate(int argc, char** argv) {
           symmetric
               ? core::exact_cholesky_messages(dist, t, machine.collective)
               : core::exact_lu_messages(dist, t, machine.collective);
+      const double engine_seconds = report.build_seconds + report.run_seconds;
+      metrics.extra = {
+          {"sim_events", static_cast<double>(report.events)},
+          {"sim_build_seconds", report.build_seconds},
+          {"sim_run_seconds", report.run_seconds},
+          {"sim_frontier_peak", static_cast<double>(report.frontier_peak)},
+          {"sim_makespan_seconds", report.makespan_seconds},
+          {"sim_events_per_second",
+           engine_seconds > 0.0 ? static_cast<double>(report.events) /
+                                      engine_seconds
+                                : 0.0},
+      };
       if (!obs::write_metrics_csv_file(metrics_path, trace, metrics)) {
         std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
         return 1;
@@ -230,6 +256,20 @@ int cmd_simulate(int argc, char** argv) {
               static_cast<long long>(P), rec.scheme.c_str(), rec.cost);
   std::printf("  collective    %s\n",
               comm::algorithm_name(machine.collective.algorithm).c_str());
+  std::printf("  workload      %s (%lld tasks, frontier peak %lld)\n",
+              machine.workload_mode == sim::WorkloadMode::kImplicit
+                  ? "implicit"
+                  : "materialized",
+              static_cast<long long>(report.tasks),
+              static_cast<long long>(report.frontier_peak));
+  {
+    const double engine_seconds = report.build_seconds + report.run_seconds;
+    std::printf("  engine        %lld events in %.2f s (%.0f events/s)\n",
+                static_cast<long long>(report.events), engine_seconds,
+                engine_seconds > 0.0
+                    ? static_cast<double>(report.events) / engine_seconds
+                    : 0.0);
+  }
   std::printf("  time          %.2f s\n", report.makespan_seconds);
   std::printf("  throughput    %.0f GFlop/s (%.0f per node)\n",
               report.total_gflops(), report.per_node_gflops());
