@@ -109,12 +109,18 @@ int main(int argc, char** argv) {
              "write the traced run's CSV metrics summary here");
   parser.add("faults", "",
              "perturb the traced run, e.g. drop=0.05,seed=42");
+  bench::add_transport_options(parser);
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t t = parser.get_int("t");
   const std::string trace_path = parser.get("trace");
   const std::string metrics_path = parser.get("metrics");
   if (!trace_path.empty() || !metrics_path.empty()) {
+    // The traced run spans 23 ranks; --transport=socket spreads them over
+    // the OS processes named by ANYBLOCK_PROC/ANYBLOCK_PROCS.
+    const std::unique_ptr<vmpi::Transport> transport =
+        bench::transport_from(parser, 23);
+    const vmpi::ScopedTransport ambient(transport.get());
     const int status = run_traced_lu(trace_path, metrics_path, t,
                                      parser.get_int("nb"), parser.get("faults"));
     if (status != 0) return status;

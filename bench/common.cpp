@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/cost.hpp"
+#include "net/bootstrap.hpp"
 #include "util/csv.hpp"
 
 namespace anyblock::bench {
@@ -16,6 +17,23 @@ void add_machine_options(ArgParser& parser) {
   parser.add("tile", "1000", "tile side in matrix elements");
   parser.add("workload-mode", "auto",
              "sim task DAG: auto | materialized | implicit");
+}
+
+void add_transport_options(ArgParser& parser) {
+  parser.add("transport", "",
+             "vmpi backend: inproc | socket (default: $ANYBLOCK_TRANSPORT)");
+  parser.add("rendezvous", "",
+             "socket rendezvous directory (default: $ANYBLOCK_RENDEZVOUS)");
+}
+
+std::unique_ptr<vmpi::Transport> transport_from(const ArgParser& parser,
+                                                int world_size) {
+  net::TransportSpec spec = net::spec_from_env();
+  if (!parser.get("transport").empty())
+    spec.backend = parser.get("transport");
+  if (!parser.get("rendezvous").empty())
+    spec.rendezvous_dir = parser.get("rendezvous");
+  return net::make_transport(spec, world_size);
 }
 
 sim::MachineConfig machine_from(const ArgParser& parser, std::int64_t nodes) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,11 +14,22 @@
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
 #include "util/args.hpp"
+#include "vmpi/transport.hpp"
 
 namespace anyblock::bench {
 
 /// Registers --workers/--gflops/--bandwidth/--latency/--tile.
 void add_machine_options(ArgParser& parser);
+
+/// Registers --transport/--rendezvous, so every bench driving real vmpi
+/// runs can pick a backend the same way `anyblock run` does.
+void add_transport_options(ArgParser& parser);
+
+/// Builds the backend from ANYBLOCK_* environment (set by `anyblock
+/// launch`) with the parsed flags layered on top.  Null means the
+/// in-process default; install the result with vmpi::ScopedTransport.
+std::unique_ptr<vmpi::Transport> transport_from(const ArgParser& parser,
+                                                int world_size);
 
 /// Builds the machine model from parsed options; `nodes` is bench-specific.
 sim::MachineConfig machine_from(const ArgParser& parser, std::int64_t nodes);

@@ -1,0 +1,354 @@
+// Micro benchmarks for the transport backends plus the BENCH_net.json
+// throughput trajectory.
+//
+// Two personalities behind one custom main, mirroring micro_sim:
+//
+//   micro_net                          google-benchmark sweeps: a 2-rank
+//                                      message stream per backend and
+//                                      payload size
+//   micro_net --json=BENCH_net.json    append one trajectory entry:
+//                                      messages/sec (8-double envelopes)
+//                                      and MB/sec (64 KiB payloads) for
+//                                      the in-process and socket backends
+//   micro_net --json=... --check       same, but exit 1 when the socket
+//                                      backend's messages/sec regresses
+//                                      >25% against the last entry
+//
+// The socket numbers host both endpoints of a 2-process mesh inside this
+// process over loopback TCP — the full wire path (framing, epoll loop,
+// write-queue backpressure) without cross-host noise, exactly like the
+// conformance suite.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_transport.hpp"
+#include "vmpi/vmpi.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+using vmpi::Payload;
+using vmpi::RankContext;
+
+constexpr int kRanks = 2;
+constexpr std::int64_t kSmallDoubles = 8;      ///< envelope-dominated
+constexpr std::int64_t kLargeDoubles = 8192;   ///< 64 KiB: bandwidth-bound
+constexpr int kSmallMessages = 20000;
+constexpr int kLargeMessages = 2000;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string pattern = "/tmp/anyblock-micronet-XXXXXX";
+    if (mkdtemp(pattern.data()) == nullptr)
+      throw std::runtime_error("mkdtemp failed");
+    path = pattern;
+  }
+  ~TempDir() {
+    const std::string cleanup = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+  }
+};
+
+/// Both endpoints of a 2-process loopback mesh hosted in this process;
+/// run() drives one run_ranks per endpoint on two threads.
+class SocketMesh {
+ public:
+  SocketMesh() {
+    net::SocketTransportConfig config;
+    config.world_size = kRanks;
+    config.process_count = 2;
+    config.rendezvous_dir = rendezvous_.path;
+    net::SocketTransportConfig other = config;
+    other.process_index = 1;
+    config.process_index = 0;
+    std::exception_ptr setup_error;
+    std::thread dialer([&, other] {
+      try {
+        endpoint1_ = std::make_unique<net::SocketTransport>(other);
+      } catch (...) {
+        setup_error = std::current_exception();
+      }
+    });
+    try {
+      endpoint0_ = std::make_unique<net::SocketTransport>(config);
+    } catch (...) {
+      setup_error = std::current_exception();
+    }
+    dialer.join();
+    if (setup_error) std::rethrow_exception(setup_error);
+  }
+
+  void run(const std::function<void(RankContext&)>& body) {
+    std::exception_ptr side_error;
+    std::thread side([&] {
+      try {
+        vmpi::RunOptions options;
+        options.transport = endpoint1_.get();
+        vmpi::run_ranks(kRanks, body, options);
+      } catch (...) {
+        side_error = std::current_exception();
+      }
+    });
+    vmpi::RunOptions options;
+    options.transport = endpoint0_.get();
+    vmpi::run_ranks(kRanks, body, options);
+    side.join();
+    if (side_error) std::rethrow_exception(side_error);
+  }
+
+ private:
+  TempDir rendezvous_;
+  std::unique_ptr<net::SocketTransport> endpoint0_;
+  std::unique_ptr<net::SocketTransport> endpoint1_;
+};
+
+/// Rank 0 streams `messages` payloads of `doubles` to rank 1; run_ranks
+/// returns once rank 1 has received every one, so timing the run times
+/// end-to-end delivery.
+std::function<void(RankContext&)> stream_body(int messages,
+                                              std::int64_t doubles) {
+  return [messages, doubles](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      const Payload payload(static_cast<std::size_t>(doubles), 1.5);
+      for (int k = 0; k < messages; ++k) ctx.send(1, /*tag=*/1, payload);
+    } else {
+      for (int k = 0; k < messages; ++k) ctx.recv(0, /*tag=*/1);
+    }
+  };
+}
+
+double time_inproc(int messages, std::int64_t doubles) {
+  const auto start = std::chrono::steady_clock::now();
+  vmpi::run_ranks(kRanks, stream_body(messages, doubles));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double time_socket(SocketMesh& mesh, int messages, std::int64_t doubles) {
+  const auto start = std::chrono::steady_clock::now();
+  mesh.run(stream_body(messages, doubles));
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark sweeps
+// ---------------------------------------------------------------------------
+
+void BM_InprocStream(benchmark::State& state) {
+  const auto doubles = static_cast<std::int64_t>(state.range(0));
+  constexpr int kBatch = 1000;
+  for (auto _ : state) vmpi::run_ranks(kRanks, stream_body(kBatch, doubles));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate);
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch *
+          static_cast<double>(doubles) * sizeof(double) / 1.0e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InprocStream)
+    ->Arg(kSmallDoubles)
+    ->Arg(kLargeDoubles)
+    ->UseRealTime()  // the driver thread blocks; CPU time would flatter it
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SocketStream(benchmark::State& state) {
+  const auto doubles = static_cast<std::int64_t>(state.range(0));
+  constexpr int kBatch = 1000;
+  SocketMesh mesh;  // one mesh per benchmark: handshake is not timed
+  for (auto _ : state) mesh.run(stream_body(kBatch, doubles));
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch,
+      benchmark::Counter::kIsRate);
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kBatch *
+          static_cast<double>(doubles) * sizeof(double) / 1.0e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SocketStream)
+    ->Arg(kSmallDoubles)
+    ->Arg(kLargeDoubles)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_net.json trajectory
+// ---------------------------------------------------------------------------
+
+struct BackendThroughput {
+  double messages_per_sec = 0.0;  ///< 8-double payload stream
+  double mb_per_sec = 0.0;        ///< 64 KiB payload stream
+};
+
+BackendThroughput measure_inproc() {
+  time_inproc(kSmallMessages / 10, kSmallDoubles);  // warm-up
+  BackendThroughput t;
+  t.messages_per_sec =
+      kSmallMessages / time_inproc(kSmallMessages, kSmallDoubles);
+  t.mb_per_sec = kLargeMessages * kLargeDoubles * sizeof(double) / 1.0e6 /
+                 time_inproc(kLargeMessages, kLargeDoubles);
+  return t;
+}
+
+BackendThroughput measure_socket() {
+  SocketMesh mesh;
+  time_socket(mesh, kSmallMessages / 10, kSmallDoubles);  // warm-up
+  BackendThroughput t;
+  t.messages_per_sec =
+      kSmallMessages / time_socket(mesh, kSmallMessages, kSmallDoubles);
+  t.mb_per_sec = kLargeMessages * kLargeDoubles * sizeof(double) / 1.0e6 /
+                 time_socket(mesh, kLargeMessages, kLargeDoubles);
+  return t;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+std::string render_entry(const std::string& label,
+                         const BackendThroughput& inproc,
+                         const BackendThroughput& socket) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "  {\n"
+      << "    \"date\": \"" << utc_timestamp() << "\",\n"
+      << "    \"label\": \"" << label << "\",\n"
+      << "    \"config\": {\"ranks\": " << kRanks
+      << ", \"small_doubles\": " << kSmallDoubles
+      << ", \"large_doubles\": " << kLargeDoubles
+      << ", \"small_messages\": " << kSmallMessages
+      << ", \"large_messages\": " << kLargeMessages << "},\n"
+      << std::fixed
+      << "    \"inproc_messages_per_sec\": " << inproc.messages_per_sec
+      << ",\n"
+      << "    \"inproc_mb_per_sec\": " << inproc.mb_per_sec << ",\n"
+      << "    \"socket_messages_per_sec\": " << socket.messages_per_sec
+      << ",\n"
+      << "    \"socket_mb_per_sec\": " << socket.mb_per_sec << ",\n"
+      << "    \"socket_vs_inproc\": "
+      << (inproc.messages_per_sec > 0.0
+              ? socket.messages_per_sec / inproc.messages_per_sec
+              : 0.0)
+      << "\n  }";
+  return out.str();
+}
+
+/// Last "socket_messages_per_sec" already recorded (regression baseline),
+/// or -1 when the file has no entries.
+double last_socket_messages_per_sec(const std::string& text) {
+  const std::string key = "\"socket_messages_per_sec\":";
+  double last = -1.0;
+  std::size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    at += key.size();
+    last = std::strtod(text.c_str() + at, nullptr);
+  }
+  return last;
+}
+
+int run_trajectory(const std::string& path, const std::string& label,
+                   bool check) {
+  const BackendThroughput inproc = measure_inproc();
+  const BackendThroughput socket = measure_socket();
+
+  std::string existing;
+  if (std::ifstream in(path); in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  const double previous = last_socket_messages_per_sec(existing);
+
+  const std::string entry = render_entry(label, inproc, socket);
+  std::string updated;
+  const std::size_t closing = existing.rfind(']');
+  if (closing == std::string::npos) {
+    updated = "[\n" + entry + "\n]\n";
+  } else {
+    const bool has_entries = existing.find('{') < closing;
+    updated = existing.substr(0, closing);
+    while (!updated.empty() &&
+           (updated.back() == '\n' || updated.back() == ' '))
+      updated.pop_back();
+    updated += has_entries ? ",\n" : "\n";
+    updated += entry + "\n]\n";
+  }
+  if (std::ofstream out(path); !out || !(out << updated)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("inproc:  %.0f msgs/s (%lld-double), %.1f MB/s (64 KiB)\n",
+              inproc.messages_per_sec,
+              static_cast<long long>(kSmallDoubles), inproc.mb_per_sec);
+  std::printf("socket:  %.0f msgs/s (%lld-double), %.1f MB/s (64 KiB)\n",
+              socket.messages_per_sec,
+              static_cast<long long>(kSmallDoubles), socket.mb_per_sec);
+  std::printf("socket/inproc: %.3fx;  appended to %s\n",
+              inproc.messages_per_sec > 0.0
+                  ? socket.messages_per_sec / inproc.messages_per_sec
+                  : 0.0,
+              path.c_str());
+
+  if (check && previous > 0.0 &&
+      socket.messages_per_sec < 0.75 * previous) {
+    std::fprintf(stderr,
+                 "PERF REGRESSION: %.0f msgs/s is more than 25%% below "
+                 "the last recorded %.0f msgs/s\n",
+                 socket.messages_per_sec, previous);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string label = "dev";
+  bool check = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--label=", 8) == 0) {
+      label = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_trajectory(json_path, label, check);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

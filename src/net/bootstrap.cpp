@@ -1,0 +1,115 @@
+#include "net/bootstrap.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket_transport.hpp"
+
+namespace anyblock::net {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+std::string env_string(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string() : std::string(value);
+}
+
+}  // namespace
+
+TransportSpec spec_from_env() {
+  TransportSpec spec;
+  const std::string backend = env_string(kEnvTransport);
+  if (!backend.empty()) spec.backend = backend;
+  spec.rendezvous_dir = env_string(kEnvRendezvous);
+  spec.process_index = env_int(kEnvProcess, 0);
+  spec.process_count = env_int(kEnvProcesses, 1);
+  return spec;
+}
+
+std::unique_ptr<vmpi::Transport> make_transport(const TransportSpec& spec,
+                                                int world_size) {
+  if (spec.backend == "inproc") return nullptr;
+  if (spec.backend != "socket")
+    throw std::invalid_argument("unknown transport '" + spec.backend +
+                                "' (expected inproc or socket)");
+  if (spec.process_count > 1 && spec.rendezvous_dir.empty())
+    throw std::invalid_argument(
+        "socket transport needs a rendezvous directory: run under "
+        "'anyblock launch', or set --rendezvous/" +
+        std::string(kEnvRendezvous));
+  SocketTransportConfig config;
+  config.world_size = world_size;
+  config.process_index = spec.process_index;
+  config.process_count = spec.process_count;
+  config.rendezvous_dir = spec.rendezvous_dir;
+  return std::make_unique<SocketTransport>(config);
+}
+
+int launch_processes(int process_count,
+                     const std::vector<std::string>& child_args,
+                     std::string rendezvous_dir) {
+  if (process_count < 1)
+    throw std::invalid_argument("launch: process count must be positive");
+  if (rendezvous_dir.empty()) {
+    std::string pattern = "/tmp/anyblock-rdv-XXXXXX";
+    if (mkdtemp(pattern.data()) == nullptr)
+      throw std::runtime_error("launch: mkdtemp failed");
+    rendezvous_dir = pattern;
+  }
+
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(process_count));
+  for (int p = 0; p < process_count; ++p) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      for (const pid_t child : children) kill(child, SIGTERM);
+      throw std::runtime_error("launch: fork failed");
+    }
+    if (pid == 0) {
+      setenv(kEnvTransport, "socket", 1);
+      setenv(kEnvRendezvous, rendezvous_dir.c_str(), 1);
+      setenv(kEnvProcess, std::to_string(p).c_str(), 1);
+      setenv(kEnvProcesses, std::to_string(process_count).c_str(), 1);
+      std::vector<char*> argv;
+      argv.reserve(child_args.size() + 2);
+      static const char* kSelf = "/proc/self/exe";
+      argv.push_back(const_cast<char*>(kSelf));
+      for (const std::string& arg : child_args)
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      argv.push_back(nullptr);
+      execv(kSelf, argv.data());
+      perror("launch: execv");
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  int worst = 0;
+  for (const pid_t child : children) {
+    int status = 0;
+    if (waitpid(child, &status, 0) < 0) {
+      if (worst == 0) worst = 1;
+      continue;
+    }
+    int code = 0;
+    if (WIFEXITED(status))
+      code = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+      code = 128 + WTERMSIG(status);
+    if (code != 0 && worst == 0) worst = code;
+  }
+  return worst;
+}
+
+}  // namespace anyblock::net

@@ -1,0 +1,107 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+namespace anyblock::net {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) != 0) {
+    close(wake_fd_);
+    close(epoll_fd_);
+    throw_errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  close(wake_fd_);
+  close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, Callback callback) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0)
+    throw_errno("epoll_ctl(add)");
+  callbacks_[fd] = std::move(callback);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0)
+    throw_errno("epoll_ctl(mod)");
+}
+
+void EventLoop::remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::run() {
+  std::array<epoll_event, 64> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                   /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    bool woken = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        woken = true;
+        continue;
+      }
+      const auto it = callbacks_.find(fd);
+      // A callback earlier in this batch may have removed the fd.
+      if (it == callbacks_.end()) continue;
+      it->second(events[static_cast<std::size_t>(i)].events);
+    }
+    if (woken && wake_handler_) wake_handler_();
+  }
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore short writes.
+  [[maybe_unused]] const ssize_t rc = write(wake_fd_, &one, sizeof one);
+}
+
+}  // namespace anyblock::net

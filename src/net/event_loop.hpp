@@ -1,0 +1,51 @@
+// A minimal epoll event loop, in the shape of dist-clang's
+// epoll_event_loop: one dedicated thread multiplexing every connection of
+// the process plus an eventfd wakeup channel for cross-thread pokes.
+//
+// Threading contract: add()/modify()/remove() and the registered callbacks
+// run on the loop thread only (registration before run() starts is also
+// allowed — nothing else is looking yet).  wake() and stop() are safe from
+// any thread; a wake() invokes the wake handler on the loop thread, which
+// is how rank threads ask the loop to flush freshly queued writes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace anyblock::net {
+
+class EventLoop {
+ public:
+  /// `events` is the epoll readiness mask (EPOLLIN | EPOLLOUT | ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void add(int fd, std::uint32_t events, Callback callback);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  /// Runs until stop(); call from the dedicated loop thread.
+  void run();
+  /// Asks run() to return; safe from any thread, idempotent.
+  void stop();
+  /// Pokes the loop thread; the wake handler runs once per drain.
+  void wake();
+  void set_wake_handler(std::function<void()> handler) {
+    wake_handler_ = std::move(handler);
+  }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::function<void()> wake_handler_;
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace anyblock::net

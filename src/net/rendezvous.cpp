@@ -1,0 +1,84 @@
+#include "net/rendezvous.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace anyblock::net {
+
+namespace {
+
+std::string endpoint_path(const std::string& dir, int process) {
+  return dir + "/endpoint." + std::to_string(process);
+}
+
+bool try_read_endpoint(const std::string& path, Endpoint& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string host;
+  unsigned port = 0;
+  if (!(in >> host >> port) || host.empty() || port == 0 || port > 65535)
+    return false;
+  out.host = host;
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+}  // namespace
+
+void publish_endpoint(const std::string& dir, int process,
+                      const Endpoint& endpoint) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string final_path = endpoint_path(dir, process);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("rendezvous: cannot write " + tmp_path);
+    out << endpoint.host << ' ' << endpoint.port << '\n';
+  }
+  // rename() is atomic within a filesystem: readers see the whole file or
+  // no file, never a partial write.
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+    throw std::runtime_error("rendezvous: cannot publish " + final_path);
+}
+
+std::vector<Endpoint> await_endpoints(const std::string& dir, int processes,
+                                      double timeout_seconds) {
+  std::vector<Endpoint> endpoints(static_cast<std::size_t>(processes));
+  std::vector<char> seen(static_cast<std::size_t>(processes), 0);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  int remaining = processes;
+  while (true) {
+    for (int p = 0; p < processes; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      if (seen[idx]) continue;
+      if (try_read_endpoint(endpoint_path(dir, p), endpoints[idx])) {
+        seen[idx] = 1;
+        --remaining;
+      }
+    }
+    if (remaining == 0) return endpoints;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::ostringstream message;
+      message << "rendezvous: timed out after " << timeout_seconds
+              << "s waiting for";
+      for (int p = 0; p < processes; ++p)
+        if (!seen[static_cast<std::size_t>(p)])
+          message << ' ' << endpoint_path(dir, p);
+      throw std::runtime_error(message.str());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace anyblock::net

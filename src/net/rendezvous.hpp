@@ -1,0 +1,31 @@
+// One-host rendezvous through a shared directory.
+//
+// Every process of a mesh binds an ephemeral port, then publishes
+// "host port\n" atomically as  <dir>/endpoint.<process>  (write to a temp
+// name, rename into place).  await_all() polls the directory until all
+// `processes` files exist and parse — no fixed ports, no race, no
+// coordinator.  The launcher (anyblock launch) creates the directory and
+// hands it to the children via ANYBLOCK_RENDEZVOUS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anyblock::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Creates `dir` if missing and publishes this process's endpoint.
+void publish_endpoint(const std::string& dir, int process,
+                      const Endpoint& endpoint);
+
+/// Waits until every process's endpoint is published; throws
+/// std::runtime_error after `timeout_seconds` naming the missing ones.
+std::vector<Endpoint> await_endpoints(const std::string& dir, int processes,
+                                      double timeout_seconds);
+
+}  // namespace anyblock::net

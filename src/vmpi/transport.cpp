@@ -1,0 +1,26 @@
+#include "vmpi/transport.hpp"
+
+namespace anyblock::vmpi {
+
+Transport::~Transport() = default;
+
+namespace {
+// Thread-local rather than process-global: a process launched into a mesh
+// sets it once on the main thread and every run_ranks() call site sees it,
+// while tests that host several mesh endpoints inside one process scope a
+// different transport on each endpoint's driver thread without racing.
+thread_local Transport* t_ambient = nullptr;
+}  // namespace
+
+void set_ambient_transport(Transport* transport) { t_ambient = transport; }
+
+Transport* ambient_transport() { return t_ambient; }
+
+ScopedTransport::ScopedTransport(Transport* transport)
+    : previous_(ambient_transport()) {
+  set_ambient_transport(transport);
+}
+
+ScopedTransport::~ScopedTransport() { set_ambient_transport(previous_); }
+
+}  // namespace anyblock::vmpi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <exception>
 #include <memory>
 #include <stdexcept>
@@ -106,14 +107,35 @@ bool delayed_after(const DelayedMessage& a, const DelayedMessage& b) {
 class World {
  public:
   explicit World(int ranks, obs::Recorder* recorder = nullptr,
-                 fault::FaultInjector* injector = nullptr)
+                 fault::FaultInjector* injector = nullptr,
+                 Transport* transport = nullptr)
       : size_(ranks),
         mailboxes_(static_cast<std::size_t>(ranks)),
         traffic_(static_cast<std::size_t>(ranks)),
         traffic_mutexes_(static_cast<std::size_t>(ranks)),
         recorder_(recorder),
         faults_(injector != nullptr && injector->message_faults() ? injector
-                                                                  : nullptr) {
+                                                                  : nullptr),
+        transport_(transport) {
+    if (transport_ != nullptr) {
+      if (transport_->world_size() != ranks)
+        throw std::invalid_argument(
+            "vmpi: transport spans " +
+            std::to_string(transport_->world_size()) + " ranks but the run " +
+            "needs " + std::to_string(ranks));
+      local_.assign(static_cast<std::size_t>(ranks), 0);
+      for (const int r : transport_->local_ranks())
+        local_[static_cast<std::size_t>(r)] = 1;
+      local_rank_count_ = static_cast<int>(transport_->local_ranks().size());
+      // Namespace trace flow ids by process so the per-process trace files
+      // of one mesh merge with their send→recv arrows intact.
+      if (transport_->process_count() > 1)
+        flow_namespace_ =
+            (static_cast<std::uint64_t>(transport_->process_index()) + 1)
+            << 48;
+    } else {
+      local_rank_count_ = ranks;
+    }
     // Sinks are registered up front, before the rank threads start, so
     // each thread only ever appends to its own pre-existing track.
     if (recorder_ != nullptr) {
@@ -126,9 +148,15 @@ class World {
           faults_->plan().recv_timeout_ms * 1e-3;
       default_recv_options_.max_retries = faults_->plan().max_retries;
     }
+    if (transport_ != nullptr)
+      transport_->attach(
+          [this](WireMessage&& message) { on_remote(std::move(message)); });
   }
 
   ~World() {
+    // Stop inbound remote deliveries before the mailboxes die; detach()
+    // blocks until any in-flight sink call has returned.
+    if (transport_ != nullptr) transport_->detach();
     {
       const std::lock_guard<std::mutex> lock(delay_mutex_);
       delay_shutdown_ = true;
@@ -138,6 +166,11 @@ class World {
   }
 
   [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Transport* transport() const { return transport_; }
+
+  [[nodiscard]] bool is_local(int rank) const {
+    return transport_ == nullptr || local_[static_cast<std::size_t>(rank)];
+  }
 
   void send(int source, int dest, std::int64_t tag, Payload data) {
     check_dest(dest);
@@ -145,6 +178,10 @@ class World {
     const std::uint64_t flow =
         record_send(source, dest, tag, static_cast<std::int64_t>(data.size()),
                     /*flow=*/0);
+    if (!is_local(dest)) {
+      transport_->send({source, dest, tag, flow, /*seq=*/0, std::move(data)});
+      return;
+    }
     Message message{source, tag, std::make_shared<Payload>(std::move(data)),
                     /*exclusive=*/faults_ == nullptr, flow};
     if (faults_ == nullptr) {
@@ -166,8 +203,15 @@ class World {
     for (const int dest : dests)
       flow = record_send(source, dest, tag,
                          static_cast<std::int64_t>(data.size()), flow);
-    const auto shared = std::make_shared<Payload>(data);
+    std::shared_ptr<Payload> shared;  // allocated only if a local dest needs it
     for (const int dest : dests) {
+      if (!is_local(dest)) {
+        // Remote destinations get their own serialized copy; the shared
+        // buffer cannot span processes.
+        transport_->send({source, dest, tag, flow, /*seq=*/0, data});
+        continue;
+      }
+      if (shared == nullptr) shared = std::make_shared<Payload>(data);
       Message message{source, tag, shared, /*exclusive=*/false, flow};
       if (faults_ == nullptr)
         deliver(dest, std::move(message));
@@ -293,8 +337,16 @@ class World {
   void barrier() {
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     const std::int64_t generation = barrier_generation_;
-    if (++barrier_arrived_ == size_) {
+    if (++barrier_arrived_ == local_rank_count_) {
       barrier_arrived_ = 0;
+      if (transport_ != nullptr && transport_->process_count() > 1) {
+        // The last local arriver performs the cross-process rendezvous.
+        // Every other local rank is parked waiting for the generation
+        // bump, so nothing races the released lock.
+        lock.unlock();
+        transport_->barrier();
+        lock.lock();
+      }
       ++barrier_generation_;
       barrier_cv_.notify_all();
     } else {
@@ -309,6 +361,25 @@ class World {
   }
 
  private:
+  /// Inbound envelope from a remote process, invoked on the transport's
+  /// event thread.  Re-enters the exact local delivery path: under a fault
+  /// injector the message passes through inject(), which stamps its stream
+  /// sequence number (arrival order equals send order per stream — the
+  /// transport contract), retains it for receiver-driven retransmission and
+  /// applies the seeded fate — so drop/duplicate/delay chaos behaves
+  /// identically whether the sender was a local thread or another process.
+  void on_remote(WireMessage&& wire) {
+    const int dest = wire.dest;
+    Message message{wire.source, wire.tag,
+                    std::make_shared<Payload>(std::move(wire.data)),
+                    /*exclusive=*/faults_ == nullptr, wire.flow};
+    if (faults_ == nullptr) {
+      deliver(dest, std::move(message));
+      return;
+    }
+    inject(dest, std::move(message));
+  }
+
   void check_dest(int dest) const {
     if (dest < 0 || dest >= size_)
       throw std::out_of_range("vmpi send: bad destination rank");
@@ -551,7 +622,7 @@ class World {
   std::uint64_t record_send(int source, int dest, std::int64_t tag,
                             std::int64_t doubles, std::uint64_t flow) {
     if (recorder_ == nullptr) return 0;
-    if (flow == 0) flow = recorder_->next_flow();
+    if (flow == 0) flow = recorder_->next_flow() | flow_namespace_;
     obs::Event event;
     event.kind = obs::EventKind::kSend;
     event.start_seconds = event.end_seconds = recorder_->now();
@@ -610,6 +681,10 @@ class World {
   obs::Recorder* recorder_;
   std::vector<obs::TrackSink*> sinks_;
   fault::FaultInjector* faults_;
+  Transport* transport_;
+  std::vector<char> local_;  ///< per-rank locality (empty when no transport)
+  int local_rank_count_ = 0;
+  std::uint64_t flow_namespace_ = 0;  ///< high bits stamped onto flow ids
   RecvOptions default_recv_options_;
 
   std::mutex barrier_mutex_;
@@ -720,32 +795,135 @@ std::int64_t RunReport::total_doubles_received() const {
   return total;
 }
 
+namespace {
+
+void append_i64(std::string& out, std::int64_t value) {
+  char bytes[sizeof value];
+  std::memcpy(bytes, &value, sizeof value);
+  out.append(bytes, sizeof value);
+}
+
+std::int64_t take_i64(const std::string& in, std::size_t& offset) {
+  std::int64_t value = 0;
+  if (offset + sizeof value > in.size())
+    throw std::runtime_error("vmpi: truncated stats blob");
+  std::memcpy(&value, in.data() + offset, sizeof value);
+  offset += sizeof value;
+  return value;
+}
+
+/// Serializes this process's contribution to the global RunReport: each
+/// local rank's traffic counters plus the process-local fault counters.
+std::string encode_stats(const std::vector<int>& ranks, World& world,
+                         const fault::FaultStats& faults) {
+  std::string blob;
+  append_i64(blob, static_cast<std::int64_t>(ranks.size()));
+  for (const int r : ranks) {
+    const TrafficStats stats = world.traffic(r);
+    append_i64(blob, r);
+    append_i64(blob, stats.messages_sent);
+    append_i64(blob, stats.doubles_sent);
+    append_i64(blob, stats.messages_received);
+    append_i64(blob, stats.doubles_received);
+  }
+  append_i64(blob, faults.drops);
+  append_i64(blob, faults.duplicates);
+  append_i64(blob, faults.delays);
+  append_i64(blob, faults.retries);
+  append_i64(blob, faults.timeout_waits);
+  append_i64(blob, faults.dedup_discards);
+  return blob;
+}
+
+void merge_stats(const std::string& blob, RunReport& report) {
+  std::size_t offset = 0;
+  const std::int64_t count = take_i64(blob, offset);
+  for (std::int64_t k = 0; k < count; ++k) {
+    const auto rank = static_cast<std::size_t>(take_i64(blob, offset));
+    if (rank >= report.per_rank.size())
+      throw std::runtime_error("vmpi: stats blob names an unknown rank");
+    TrafficStats& stats = report.per_rank[rank];
+    stats.messages_sent = take_i64(blob, offset);
+    stats.doubles_sent = take_i64(blob, offset);
+    stats.messages_received = take_i64(blob, offset);
+    stats.doubles_received = take_i64(blob, offset);
+  }
+  report.faults.drops += take_i64(blob, offset);
+  report.faults.duplicates += take_i64(blob, offset);
+  report.faults.delays += take_i64(blob, offset);
+  report.faults.retries += take_i64(blob, offset);
+  report.faults.timeout_waits += take_i64(blob, offset);
+  report.faults.dedup_discards += take_i64(blob, offset);
+}
+
+}  // namespace
+
 RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
-                    obs::Recorder* recorder, fault::FaultInjector* injector) {
+                    const RunOptions& options) {
   if (ranks < 1) throw std::invalid_argument("need at least one rank");
-  World world(ranks, recorder, injector);
+  Transport* transport =
+      options.transport != nullptr ? options.transport : ambient_transport();
+  World world(ranks, options.recorder, options.injector, transport);
+
+  std::vector<int> local_ranks;
+  if (transport != nullptr) {
+    local_ranks = transport->local_ranks();
+  } else {
+    local_ranks.resize(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) local_ranks[static_cast<std::size_t>(r)] = r;
+  }
+
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
-  threads.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) {
-    threads.emplace_back([&world, &body, &errors, r] {
+  std::vector<std::exception_ptr> errors(local_ranks.size());
+  threads.reserve(local_ranks.size());
+  for (std::size_t k = 0; k < local_ranks.size(); ++k) {
+    const int r = local_ranks[k];
+    threads.emplace_back([&world, &body, &errors, k, r] {
       try {
         RankContext ctx(world, r);
         body(ctx);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[k] = std::current_exception();
       }
     });
   }
   for (auto& thread : threads) thread.join();
+
+  RunReport report;
+  report.per_rank.resize(static_cast<std::size_t>(ranks));
+  for (const int r : local_ranks)
+    report.per_rank[static_cast<std::size_t>(r)] = world.traffic(r);
+  const fault::FaultStats local_faults =
+      options.injector != nullptr ? options.injector->stats()
+                                  : fault::FaultStats{};
+  report.faults = local_faults;
+
+  // Merge the other processes' counters so the report is global everywhere.
+  // The gather doubles as the end-of-run rendezvous: it runs even when a
+  // local body threw, so a symmetric failure (e.g. every rank timing out)
+  // cannot leave the surviving processes stuck in the exchange.
+  if (transport != nullptr && transport->process_count() > 1) {
+    const std::string local_blob =
+        encode_stats(local_ranks, world, local_faults);
+    const std::vector<std::string> blobs = transport->gather_blobs(local_blob);
+    for (std::size_t p = 0; p < blobs.size(); ++p) {
+      if (p == static_cast<std::size_t>(transport->process_index())) continue;
+      merge_stats(blobs[p], report);
+    }
+  }
+
   for (const auto& error : errors) {
     if (error) std::rethrow_exception(error);
   }
-  RunReport report;
-  report.per_rank.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) report.per_rank.push_back(world.traffic(r));
-  if (injector != nullptr) report.faults = injector->stats();
   return report;
+}
+
+RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
+                    obs::Recorder* recorder, fault::FaultInjector* injector) {
+  RunOptions options;
+  options.recorder = recorder;
+  options.injector = injector;
+  return run_ranks(ranks, body, options);
 }
 
 }  // namespace anyblock::vmpi

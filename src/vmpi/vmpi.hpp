@@ -28,6 +28,16 @@
 // messages only, so the Eq. 1/2 cross-checks hold verbatim under faults.
 // Without an injector the original zero-overhead blocking paths run (one
 // null-pointer check per operation).
+//
+// Transport seam: World is backend-agnostic.  By default every rank is a
+// thread of this process (the in-process backend — the original mailbox
+// fast path, bit for bit).  With a vmpi::Transport (see transport.hpp) the
+// world may span OS processes: run_ranks() spawns threads only for the
+// transport's local ranks, sends to remote ranks ship a framed envelope
+// through the transport, and inbound envelopes re-enter the very same
+// delivery path (including fault injection and dedup) at the destination
+// process.  The RunReport is global either way: per-rank counters of
+// remote processes are merged through the transport after the bodies join.
 #pragma once
 
 #include <condition_variable>
@@ -42,14 +52,13 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "vmpi/transport.hpp"
 
 namespace anyblock::obs {
 class Recorder;
 }
 
 namespace anyblock::vmpi {
-
-using Payload = std::vector<double>;
 
 /// Matches any source rank in recv().
 inline constexpr int kAnySource = -1;
@@ -171,19 +180,40 @@ struct RunReport {
   [[nodiscard]] std::int64_t total_doubles_received() const;
 };
 
-/// Spawns `ranks` threads running `body` and joins them.  Exceptions thrown
-/// by a rank body are rethrown (first one wins) after all threads joined.
+/// Options for run_ranks().  `transport` selects the backend: null falls
+/// back to the ambient transport (see transport.hpp), and a null ambient
+/// means the in-process backend (all ranks are threads of this process).
+/// With a multi-process transport, `injector` must be constructed from the
+/// same FaultPlan in every process — fates are pure functions of the seed,
+/// so the processes jointly replay one deterministic fault schedule.
+struct RunOptions {
+  obs::Recorder* recorder = nullptr;
+  fault::FaultInjector* injector = nullptr;
+  Transport* transport = nullptr;
+};
+
+/// Spawns one thread per *local* rank running `body` and joins them; under
+/// the in-process backend every rank is local.  Exceptions thrown by a
+/// local rank body are rethrown (first one wins) after all threads joined.
 ///
 /// With a non-null `recorder`, every send/multisend/recv is recorded as an
 /// obs event on a per-rank track ("rank N"), carrying source/dest/tag/byte
 /// metadata plus a flow id linking each send to its matching recv — the
-/// event counts equal the TrafficStats counters exactly.  Injected faults
-/// and recovery actions appear as separate kFault events and never add
-/// kSend/kRecv events or flows.
+/// event counts equal the TrafficStats counters exactly.  Flow ids are
+/// namespaced by process index, so traces from the processes of one mesh
+/// merge with their send→recv arrows intact.  Injected faults and recovery
+/// actions appear as separate kFault events and never add kSend/kRecv
+/// events or flows.
 ///
 /// With a non-null `injector`, deliveries run through the seeded fault plan
 /// and the reliability protocol described above; the report's `faults`
-/// field carries the injector's counters after the run.
+/// field carries the injector's counters after the run (summed across
+/// processes under a multi-process transport, like the per-rank traffic).
+RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
+                    const RunOptions& options);
+
+/// Convenience overload preserved from the thread-ranks-only era; runs over
+/// the ambient transport.
 RunReport run_ranks(int ranks, const std::function<void(RankContext&)>& body,
                     obs::Recorder* recorder = nullptr,
                     fault::FaultInjector* injector = nullptr);

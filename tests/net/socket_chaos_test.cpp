@@ -1,0 +1,237 @@
+// Chaos over sockets: the PR-5 fault injector and at-least-once/dedup
+// layer run UNCHANGED above the transport seam, so the chaos matrix holds
+// verbatim when ranks are spread over a real socket mesh — {1%, 5%} drop
+// (plus duplicates and delays) x {eager, binomial} x {LU on G-2DBC P=23,
+// Cholesky on GCR&M P=31}, every cell bit-identical to the sequential
+// reference with post-dedup counts equal to the Eq. 1/Eq. 2 closed forms.
+//
+// Both mesh endpoints live in this test process; each endpoint constructs
+// its own FaultInjector from the same plan, and because fates are pure in
+// (seed, source, dest, tag, seq, attempt) the two processes jointly replay
+// one deterministic fault schedule.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include "comm/config.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/gcrm.hpp"
+#include "dist/dist_factorization.hpp"
+#include "fault/fault.hpp"
+#include "linalg/factorizations.hpp"
+#include "linalg/generators.hpp"
+#include "net/socket_transport.hpp"
+#include "util/rng.hpp"
+
+namespace anyblock::net {
+namespace {
+
+constexpr std::int64_t kNb = 4;
+constexpr std::int64_t kT = 12;
+
+fault::FaultPlan chaos_plan(double drop) {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.drop = drop;
+  plan.duplicate = 0.01;
+  plan.delay = 0.01;
+  plan.delay_ms = 2.0;
+  plan.recv_timeout_ms = 25.0;
+  plan.max_retries = 12;
+  return plan;
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string pattern = "/tmp/anyblock-chaos-XXXXXX";
+    if (mkdtemp(pattern.data()) == nullptr)
+      throw std::runtime_error("mkdtemp failed");
+    path = pattern;
+  }
+  ~TempDir() {
+    const std::string cleanup = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+  }
+};
+
+/// Runs `factorize` once per endpoint of a fresh 2-process mesh, each on
+/// its own driver thread with its own scoped ambient transport and its own
+/// injector — exactly how two `anyblock launch` children behave.  Returns
+/// the endpoint-0 result (the one hosting rank 0's gathered factor) and
+/// the endpoint-1 result for cross-endpoint count checks.
+using Factorize = std::function<dist::DistRunResult(fault::FaultInjector*)>;
+
+std::pair<dist::DistRunResult, dist::DistRunResult> run_mesh(
+    int ranks, double drop, const Factorize& factorize) {
+  TempDir rendezvous;
+  SocketTransportConfig config;
+  config.world_size = ranks;
+  config.process_count = 2;
+  config.rendezvous_dir = rendezvous.path;
+
+  SocketTransportConfig other = config;
+  other.process_index = 1;
+  config.process_index = 0;
+  std::unique_ptr<SocketTransport> endpoint0;
+  std::unique_ptr<SocketTransport> endpoint1;
+  std::exception_ptr setup_error;
+  std::thread dialer([&, other] {
+    try {
+      endpoint1 = std::make_unique<SocketTransport>(other);
+    } catch (...) {
+      setup_error = std::current_exception();
+    }
+  });
+  try {
+    endpoint0 = std::make_unique<SocketTransport>(config);
+  } catch (...) {
+    setup_error = std::current_exception();
+  }
+  dialer.join();
+  if (setup_error) std::rethrow_exception(setup_error);
+
+  dist::DistRunResult results[2];
+  std::exception_ptr side_error;
+  std::thread side([&] {
+    try {
+      const vmpi::ScopedTransport ambient(endpoint1.get());
+      fault::FaultInjector injector(chaos_plan(drop));
+      results[1] = factorize(&injector);
+    } catch (...) {
+      side_error = std::current_exception();
+    }
+  });
+  std::exception_ptr main_error;
+  try {
+    const vmpi::ScopedTransport ambient(endpoint0.get());
+    fault::FaultInjector injector(chaos_plan(drop));
+    results[0] = factorize(&injector);
+  } catch (...) {
+    main_error = std::current_exception();
+  }
+  side.join();
+  if (main_error) std::rethrow_exception(main_error);
+  if (side_error) std::rethrow_exception(side_error);
+  return {std::move(results[0]), std::move(results[1])};
+}
+
+using ChaosCell = std::tuple<double, comm::Algorithm>;
+
+std::string cell_name(const ::testing::TestParamInfo<ChaosCell>& info) {
+  const auto [drop, algorithm] = info.param;
+  return std::string(drop < 0.02 ? "drop1pct" : "drop5pct") + "_" +
+         comm::algorithm_name(algorithm);
+}
+
+class SocketChaosLu : public ::testing::TestWithParam<ChaosCell> {};
+
+TEST_P(SocketChaosLu, G2dbc23BitIdenticalWithExactCounts) {
+  const auto [drop, algorithm] = GetParam();
+  comm::CollectiveConfig config;
+  config.algorithm = algorithm;
+  config.chain_chunks = 3;
+
+  const core::Pattern pattern = core::make_g2dbc(23);
+  const core::PatternDistribution distribution(pattern, kT,
+                                               /*symmetric=*/false);
+  Rng rng = Rng::for_stream(7, 0);
+  const linalg::DenseMatrix original =
+      linalg::diag_dominant_matrix(kT * kNb, rng);
+  const linalg::TiledMatrix input =
+      linalg::TiledMatrix::from_dense(original, kNb);
+
+  const auto [root, other] = run_mesh(
+      23, drop, [&](fault::FaultInjector* injector) {
+        return dist::distributed_lu(input, distribution, config, nullptr,
+                                    injector);
+      });
+  ASSERT_TRUE(root.ok);
+  ASSERT_TRUE(other.ok);
+
+  linalg::TiledMatrix sequential =
+      linalg::TiledMatrix::from_dense(original, kNb);
+  ASSERT_TRUE(linalg::tiled_lu_nopiv(sequential));
+  for (std::int64_t i = 0; i < sequential.dim(); ++i)
+    for (std::int64_t j = 0; j < sequential.dim(); ++j)
+      EXPECT_DOUBLE_EQ(root.factored.at(i, j), sequential.at(i, j));
+
+  // tile_messages sums only the endpoint's local ranks, so the closed form
+  // must be met by the two endpoints jointly — and on the consume side too
+  // (post-dedup), which is what makes drops and duplicates invisible.
+  const std::int64_t predicted =
+      core::exact_lu_messages(distribution, kT, config);
+  EXPECT_EQ(root.tile_messages + other.tile_messages, predicted);
+  EXPECT_EQ(root.tile_messages_received + other.tile_messages_received,
+            predicted);
+  if (drop >= 0.05) {
+    EXPECT_GT(root.report.faults.drops, 0);
+    EXPECT_GT(root.report.faults.retries, 0);
+  }
+  // The merged global report is identical on both endpoints.
+  EXPECT_EQ(root.report.total_messages(), other.report.total_messages());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SocketChaosLu,
+    ::testing::Combine(::testing::Values(0.01, 0.05),
+                       ::testing::Values(comm::Algorithm::kEagerP2P,
+                                         comm::Algorithm::kBinomialTree)),
+    cell_name);
+
+class SocketChaosCholesky : public ::testing::TestWithParam<ChaosCell> {};
+
+TEST_P(SocketChaosCholesky, Gcrm31BitIdenticalWithExactCounts) {
+  const auto [drop, algorithm] = GetParam();
+  comm::CollectiveConfig config;
+  config.algorithm = algorithm;
+  config.chain_chunks = 3;
+
+  core::GcrmResult built;
+  for (std::uint64_t seed = 0; seed < 50 && !built.valid; ++seed)
+    built = core::gcrm_build(31, 8, seed);
+  ASSERT_TRUE(built.valid);
+  const core::PatternDistribution distribution(built.pattern, kT,
+                                               /*symmetric=*/true);
+  Rng rng = Rng::for_stream(7, 1);
+  const linalg::DenseMatrix original = linalg::spd_matrix(kT * kNb, rng);
+  const linalg::TiledMatrix input =
+      linalg::TiledMatrix::from_dense(original, kNb);
+
+  const auto [root, other] = run_mesh(
+      31, drop, [&](fault::FaultInjector* injector) {
+        return dist::distributed_cholesky(input, distribution, config, nullptr,
+                                          injector);
+      });
+  ASSERT_TRUE(root.ok);
+  ASSERT_TRUE(other.ok);
+
+  linalg::TiledMatrix sequential =
+      linalg::TiledMatrix::from_dense(original, kNb);
+  ASSERT_TRUE(linalg::tiled_cholesky(sequential));
+  for (std::int64_t i = 0; i < sequential.dim(); ++i)
+    for (std::int64_t j = 0; j <= i; ++j)
+      EXPECT_DOUBLE_EQ(root.factored.at(i, j), sequential.at(i, j));
+
+  const std::int64_t predicted =
+      core::exact_cholesky_messages(distribution, kT, config);
+  EXPECT_EQ(root.tile_messages + other.tile_messages, predicted);
+  EXPECT_EQ(root.tile_messages_received + other.tile_messages_received,
+            predicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SocketChaosCholesky,
+    ::testing::Combine(::testing::Values(0.01, 0.05),
+                       ::testing::Values(comm::Algorithm::kEagerP2P,
+                                         comm::Algorithm::kBinomialTree)),
+    cell_name);
+
+}  // namespace
+}  // namespace anyblock::net

@@ -1,0 +1,309 @@
+// Transport conformance suite: the semantics every vmpi backend must share,
+// instantiated over a registry of backends.  Each entry provides one hook —
+// "run this rank body over R ranks" — so registering a third backend is a
+// one-line addition to backends() below.
+//
+// The socket entry hosts BOTH endpoints of a 2-process mesh inside this
+// test process (each driven from its own thread over a loopback socket
+// pair), which exercises the full wire path — framing, epoll loop, barrier
+// markers, blob gather — while keeping the suite a plain in-process gtest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_transport.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace anyblock::net {
+namespace {
+
+using vmpi::Payload;
+using vmpi::RankContext;
+using vmpi::RunReport;
+
+using RankBody = std::function<void(RankContext&)>;
+
+/// Deletes the rendezvous directory contents on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    std::string pattern = "/tmp/anyblock-conformance-XXXXXX";
+    if (mkdtemp(pattern.data()) == nullptr)
+      throw std::runtime_error("mkdtemp failed");
+    path = pattern;
+  }
+  ~TempDir() {
+    const std::string cleanup = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+  }
+};
+
+RunReport run_inproc(int ranks, const RankBody& body) {
+  return vmpi::run_ranks(ranks, body);
+}
+
+/// Both endpoints of a 2-process loopback mesh, hosted in this test
+/// process.  One pair can run several rank bodies back to back, like a
+/// real process pair would.
+class SocketPair {
+ public:
+  explicit SocketPair(int ranks) {
+    SocketTransportConfig config;
+    config.world_size = ranks;
+    config.process_count = 2;
+    config.rendezvous_dir = rendezvous_.path;
+
+    // Both constructors block on the mesh handshake, so they must overlap.
+    // Each side gets its config by value before the thread starts.
+    SocketTransportConfig other = config;
+    other.process_index = 1;
+    config.process_index = 0;
+    std::exception_ptr setup_error;
+    std::thread dialer([&, other] {
+      try {
+        endpoint1_ = std::make_unique<SocketTransport>(other);
+      } catch (...) {
+        setup_error = std::current_exception();
+      }
+    });
+    try {
+      endpoint0_ = std::make_unique<SocketTransport>(config);
+    } catch (...) {
+      setup_error = std::current_exception();
+    }
+    dialer.join();
+    if (setup_error) std::rethrow_exception(setup_error);
+  }
+
+  RunReport run(int ranks, const RankBody& body) {
+    std::exception_ptr side_error;
+    std::thread side([&] {
+      try {
+        vmpi::RunOptions options;
+        options.transport = endpoint1_.get();
+        vmpi::run_ranks(ranks, body, options);
+      } catch (...) {
+        side_error = std::current_exception();
+      }
+    });
+    RunReport report;
+    std::exception_ptr main_error;
+    try {
+      vmpi::RunOptions options;
+      options.transport = endpoint0_.get();
+      report = vmpi::run_ranks(ranks, body, options);
+    } catch (...) {
+      main_error = std::current_exception();
+    }
+    side.join();
+    if (main_error) std::rethrow_exception(main_error);
+    if (side_error) std::rethrow_exception(side_error);
+    return report;
+  }
+
+ private:
+  TempDir rendezvous_;
+  std::unique_ptr<SocketTransport> endpoint0_;
+  std::unique_ptr<SocketTransport> endpoint1_;
+};
+
+/// Splits `ranks` over a fresh 2-process socket mesh.
+RunReport run_socket_pair(int ranks, const RankBody& body) {
+  return SocketPair(ranks).run(ranks, body);
+}
+
+struct Backend {
+  std::string name;
+  RunReport (*run)(int, const RankBody&);
+};
+
+std::vector<Backend> backends() {
+  return {
+      {"inproc", run_inproc},
+      {"socket", run_socket_pair},  // a new backend is one more line here
+  };
+}
+
+class TransportConformance : public ::testing::TestWithParam<Backend> {};
+
+// Ranks 0 and `kRanks - 1` always live in different processes under the
+// socket backend's 2-way block split, so cross-boundary paths are covered.
+constexpr int kRanks = 5;
+
+TEST_P(TransportConformance, PerSourceTagStreamsStayOrdered) {
+  constexpr int kMessages = 50;
+  GetParam().run(kRanks, [](RankContext& ctx) {
+    const int last = ctx.size() - 1;
+    if (ctx.rank() == 0) {
+      for (int k = 0; k < kMessages; ++k) {
+        ctx.send(last, /*tag=*/7, Payload{static_cast<double>(k)});
+        ctx.send(last, /*tag=*/8, Payload{static_cast<double>(100 + k)});
+      }
+    } else if (ctx.rank() == last) {
+      // Interleaved tags: each (source, tag) stream arrives in send order
+      // regardless of how the other stream is drained.
+      for (int k = 0; k < kMessages; ++k)
+        EXPECT_EQ(ctx.recv(0, 8).at(0), 100 + k);
+      for (int k = 0; k < kMessages; ++k)
+        EXPECT_EQ(ctx.recv(0, 7).at(0), k);
+    }
+  });
+}
+
+TEST_P(TransportConformance, MultisendFansOutWithExactCounts) {
+  const RunReport report = GetParam().run(kRanks, [](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<int> dests;
+      for (int r = 1; r < ctx.size(); ++r) dests.push_back(r);
+      ctx.multisend(dests, /*tag=*/3, Payload{2.5, 3.5});
+      EXPECT_EQ(ctx.traffic().messages_sent, ctx.size() - 1);
+      EXPECT_EQ(ctx.traffic().doubles_sent, 2 * (ctx.size() - 1));
+    } else {
+      EXPECT_EQ(ctx.recv(0, 3), (Payload{2.5, 3.5}));
+      EXPECT_EQ(ctx.traffic().messages_received, 1);
+    }
+  });
+  EXPECT_EQ(report.total_messages(), kRanks - 1);
+  EXPECT_EQ(report.total_messages_received(), kRanks - 1);
+  EXPECT_EQ(report.total_doubles(), 2 * (kRanks - 1));
+}
+
+TEST_P(TransportConformance, RecvAnyDrainsEverySource) {
+  static constexpr int kPerSource = 8;
+  GetParam().run(kRanks, [](RankContext& ctx) {
+    const int last = ctx.size() - 1;
+    if (ctx.rank() == last) {
+      // recv_any must not starve any source: all senders' messages arrive.
+      std::vector<int> seen(static_cast<std::size_t>(ctx.size()), 0);
+      for (int k = 0; k < kPerSource * (ctx.size() - 1); ++k) {
+        const auto [envelope, data] = ctx.recv_any();
+        EXPECT_EQ(envelope.tag, 11);
+        EXPECT_EQ(data.at(0), envelope.source);
+        ++seen[static_cast<std::size_t>(envelope.source)];
+      }
+      for (int r = 0; r < last; ++r)
+        EXPECT_EQ(seen[static_cast<std::size_t>(r)], kPerSource);
+      EXPECT_FALSE(ctx.probe().has_value());
+    } else {
+      for (int k = 0; k < kPerSource; ++k)
+        ctx.send(last, /*tag=*/11, Payload{static_cast<double>(ctx.rank())});
+    }
+  });
+}
+
+TEST_P(TransportConformance, TimedRecvThrowsAfterRetries) {
+  EXPECT_THROW(
+      GetParam().run(kRanks,
+                     [](RankContext& ctx) {
+                       if (ctx.rank() != 0) return;
+                       vmpi::RecvOptions options;
+                       options.timeout_seconds = 0.01;
+                       options.max_retries = 2;
+                       ctx.recv(1, /*tag=*/404, options);
+                     }),
+      vmpi::RecvTimeoutError);
+}
+
+TEST_P(TransportConformance, BarrierMakesPriorSendsVisible) {
+  GetParam().run(kRanks, [](RankContext& ctx) {
+    const int last = ctx.size() - 1;
+    if (ctx.rank() == 0)
+      ctx.send(last, /*tag=*/21, Payload{4.0});
+    ctx.barrier();
+    if (ctx.rank() == last) {
+      // The barrier's delivery-visibility guarantee: the pre-barrier send
+      // is already queued, so a non-blocking probe must see it.
+      const auto envelope = ctx.probe();
+      ASSERT_TRUE(envelope.has_value());
+      EXPECT_EQ(envelope->source, 0);
+      EXPECT_EQ(envelope->tag, 21);
+      EXPECT_EQ(ctx.recv(0, 21).at(0), 4.0);
+    }
+    ctx.barrier();  // back-to-back barriers must not wedge
+  });
+}
+
+TEST_P(TransportConformance, BroadcastAndAllreduceAgreeEverywhere) {
+  constexpr int kRoot = kRanks - 1;  // remote from rank 0 under socket
+  std::mutex mutex;
+  std::vector<double> sums;
+  GetParam().run(kRanks, [&](RankContext& ctx) {
+    const Payload value = ctx.broadcast(
+        kRoot, ctx.rank() == kRoot ? Payload{6.5, -1.0} : Payload{});
+    EXPECT_EQ(value, (Payload{6.5, -1.0}));
+    const Payload total =
+        ctx.allreduce_sum(Payload{static_cast<double>(ctx.rank())});
+    const std::lock_guard<std::mutex> lock(mutex);
+    sums.push_back(total.at(0));
+  });
+  ASSERT_EQ(sums.size(), static_cast<std::size_t>(kRanks));
+  for (const double sum : sums)
+    EXPECT_EQ(sum, kRanks * (kRanks - 1) / 2.0);
+}
+
+TEST_P(TransportConformance, RepeatedRunsAreIndependent) {
+  const Backend& backend = GetParam();
+  for (int round = 0; round < 2; ++round) {
+    const RunReport report = backend.run(kRanks, [&](RankContext& ctx) {
+      if (ctx.rank() == 0)
+        ctx.send(ctx.size() - 1, /*tag=*/round, Payload{1.0 + round});
+      if (ctx.rank() == ctx.size() - 1)
+        EXPECT_EQ(ctx.recv(0, round).at(0), 1.0 + round);
+    });
+    EXPECT_EQ(report.total_messages(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::ValuesIn(backends()),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param.name;
+                         });
+
+TEST(SocketTransport, BackToBackRunsReuseOneMesh) {
+  // One mesh, several run_ranks() rounds — like `anyblock launch` running
+  // LU then Cholesky.  Arrivals between runs (a fast peer's next-round
+  // sends landing while our sink is detached) must be queued, not lost.
+  SocketPair mesh(kRanks);
+  for (int round = 0; round < 3; ++round) {
+    const RunReport report = mesh.run(kRanks, [&](RankContext& ctx) {
+      if (ctx.rank() == 0)
+        ctx.send(ctx.size() - 1, /*tag=*/round, Payload{1.0 + round});
+      if (ctx.rank() == ctx.size() - 1)
+        EXPECT_EQ(ctx.recv(0, round).at(0), 1.0 + round);
+    });
+    EXPECT_EQ(report.total_messages(), 1);
+    EXPECT_EQ(report.total_messages_received(), 1);
+  }
+}
+
+TEST(SocketTransport, RanksOfProcessCoverEveryRankOnce) {
+  for (const int world : {1, 2, 5, 23, 31}) {
+    for (int processes = 1; processes <= world && processes <= 4;
+         ++processes) {
+      std::set<int> seen;
+      for (int p = 0; p < processes; ++p)
+        for (const int rank : ranks_of_process(world, processes, p))
+          EXPECT_TRUE(seen.insert(rank).second);
+      EXPECT_EQ(seen.size(), static_cast<std::size_t>(world));
+    }
+  }
+}
+
+TEST(SocketTransport, SocketWithoutRendezvousIsRejected) {
+  SocketTransportConfig config;
+  config.world_size = 4;
+  config.process_count = 2;
+  EXPECT_THROW(SocketTransport{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::net

@@ -4,12 +4,16 @@
 //   anyblock cost      --nodes 23
 //   anyblock show      --kind g2dbc --nodes 10
 //   anyblock simulate  --kernel cholesky --nodes 31 --size 200000
+//   anyblock run       --kernel lu --nodes 23 --tiles 12
+//   anyblock launch    --procs 2 -- run --kernel lu --nodes 23
 //   anyblock atlas     --min 2 --max 40 --out atlas.db
 //
 // Each subcommand accepts --help.  CSV/structured output goes to stdout.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "comm/config.hpp"
 #include "core/block_cyclic.hpp"
@@ -20,12 +24,19 @@
 #include "core/pattern_search.hpp"
 #include "core/recommend.hpp"
 #include "core/sbc.hpp"
+#include "dist/dist_factorization.hpp"
 #include "fault/fault.hpp"
+#include "linalg/factorizations.hpp"
+#include "linalg/generators.hpp"
+#include "linalg/verify.hpp"
+#include "net/bootstrap.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "util/args.hpp"
+#include "util/rng.hpp"
+#include "vmpi/transport.hpp"
 
 using namespace anyblock;
 
@@ -291,6 +302,248 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+int cmd_run(int argc, char** argv) {
+  ArgParser parser("anyblock run",
+                   "run a real distributed factorization over vmpi and "
+                   "verify it against the paper's closed forms");
+  parser.add("kernel", "lu", "lu | cholesky");
+  parser.add("nodes", "23", "number of nodes P (= vmpi ranks)");
+  parser.add("tiles", "12", "tile matrix dimension t");
+  parser.add("tile", "4", "tile size nb");
+  parser.add("seeds", "100", "GCR&M search restarts (cholesky)");
+  parser.add("data-seed", "7", "matrix generator seed");
+  parser.add("collective", "p2p", "tile multicast: p2p | tree | chain");
+  parser.add("chunks", "4", "chunks per tile (chain collective only)");
+  parser.add("faults", "",
+             "fault spec, e.g. drop=0.01,timeout-ms=25,seed=42 (socket runs "
+             "replay the same seeded schedule in every process)");
+  parser.add("transport", "",
+             "inproc | socket (default: $ANYBLOCK_TRANSPORT, else inproc)");
+  parser.add("rendezvous", "",
+             "socket rendezvous directory (default: $ANYBLOCK_RENDEZVOUS)");
+  parser.add("trace", "",
+             "write a Chrome trace here (multi-process runs append .procN; "
+             "flow ids are process-namespaced so merged arrows still link)");
+  parser.add_flag("crosscheck",
+                  "re-run over the in-process backend and require "
+                  "bit-identical factors and per-rank message counts");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t P = parser.get_int("nodes");
+  const std::int64_t t = parser.get_int("tiles");
+  const std::int64_t nb = parser.get_int("tile");
+  const core::Kernel kernel = parse_kernel(parser.get("kernel"));
+  if (kernel == core::Kernel::kSyrk) {
+    std::fprintf(stderr, "run supports lu|cholesky\n");
+    return 1;
+  }
+  const bool symmetric = kernel == core::Kernel::kCholesky;
+
+  comm::CollectiveConfig config;
+  config.algorithm = comm::parse_algorithm(parser.get("collective"));
+  config.chain_chunks = parser.get_int("chunks");
+
+  core::RecommendOptions options;
+  options.search.seeds = parser.get_int("seeds");
+  const core::Recommendation rec = core::recommend_pattern(P, kernel, options);
+  const core::PatternDistribution distribution(rec.pattern, t, symmetric,
+                                               rec.scheme);
+
+  Rng rng(static_cast<std::uint64_t>(parser.get_int("data-seed")));
+  const linalg::DenseMatrix original =
+      symmetric ? linalg::spd_matrix(t * nb, rng)
+                : linalg::diag_dominant_matrix(t * nb, rng);
+  const linalg::TiledMatrix input =
+      linalg::TiledMatrix::from_dense(original, nb);
+
+  net::TransportSpec spec = net::spec_from_env();
+  if (!parser.get("transport").empty())
+    spec.backend = parser.get("transport");
+  if (!parser.get("rendezvous").empty())
+    spec.rendezvous_dir = parser.get("rendezvous");
+  const std::unique_ptr<vmpi::Transport> transport =
+      net::make_transport(spec, static_cast<int>(P));
+  const vmpi::ScopedTransport ambient(transport.get());
+
+  const std::string fault_spec = parser.get("faults");
+  const auto run_once = [&](obs::Recorder* recorder) {
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!fault_spec.empty())
+      injector = std::make_unique<fault::FaultInjector>(
+          fault::parse_fault_spec(fault_spec));
+    return symmetric ? dist::distributed_cholesky(input, distribution, config,
+                                                  recorder, injector.get())
+                     : dist::distributed_lu(input, distribution, config,
+                                            recorder, injector.get());
+  };
+
+  obs::Recorder recorder;
+  const std::string trace_path = parser.get("trace");
+  const dist::DistRunResult result =
+      run_once(trace_path.empty() ? nullptr : &recorder);
+  if (!trace_path.empty()) {
+    std::string path = trace_path;
+    if (transport != nullptr && transport->process_count() > 1)
+      path += ".proc" + std::to_string(transport->process_index());
+    if (!obs::write_chrome_trace_file(path, recorder.take())) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+
+  bool failed = false;
+  if (!result.ok) {
+    std::fprintf(stderr, "run: a tile factorization failed numerically\n");
+    failed = true;
+  }
+
+  // Global count check: the report sums every process; subtracting the
+  // final gather (one message per tile rank 0 does not own) must leave
+  // exactly the closed-form factorization traffic of core/cost — on the
+  // send side and, post-dedup, on the receive side.
+  std::int64_t gather_messages = 0;
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < (symmetric ? i + 1 : t); ++j)
+      if (distribution.owner(i, j) != 0) ++gather_messages;
+  const std::int64_t predicted =
+      symmetric ? core::exact_cholesky_messages(distribution, t, config)
+                : core::exact_lu_messages(distribution, t, config);
+  const std::int64_t sent = result.report.total_messages() - gather_messages;
+  const std::int64_t consumed =
+      result.report.total_messages_received() - gather_messages;
+  if (sent != predicted || consumed != predicted) {
+    std::fprintf(stderr,
+                 "run: message counts diverge from the closed form: sent "
+                 "%lld, consumed %lld, predicted %lld\n",
+                 static_cast<long long>(sent),
+                 static_cast<long long>(consumed),
+                 static_cast<long long>(predicted));
+    failed = true;
+  }
+
+  // Only the process hosting rank 0 holds the gathered factor.
+  const bool root = transport == nullptr || transport->is_local(0);
+  if (root) {
+    linalg::TiledMatrix sequential =
+        linalg::TiledMatrix::from_dense(original, nb);
+    const bool sequential_ok = symmetric ? linalg::tiled_cholesky(sequential)
+                                         : linalg::tiled_lu_nopiv(sequential);
+    if (!sequential_ok) {
+      std::fprintf(stderr, "run: sequential reference failed\n");
+      failed = true;
+    } else {
+      for (std::int64_t i = 0; i < sequential.dim() && !failed; ++i)
+        for (std::int64_t j = 0; j < (symmetric ? i + 1 : sequential.dim());
+             ++j)
+          if (result.factored.at(i, j) != sequential.at(i, j)) {
+            std::fprintf(stderr,
+                         "run: factor differs from the sequential reference "
+                         "at (%lld, %lld)\n",
+                         static_cast<long long>(i), static_cast<long long>(j));
+            failed = true;
+            break;
+          }
+    }
+  }
+
+  if (parser.get_flag("crosscheck") && root && !failed) {
+    const vmpi::ScopedTransport inproc(nullptr);
+    const dist::DistRunResult again = run_once(nullptr);
+    for (std::int64_t i = 0; i < result.factored.dim() && !failed; ++i)
+      for (std::int64_t j = 0;
+           j < (symmetric ? i + 1 : result.factored.dim()); ++j)
+        if (result.factored.at(i, j) != again.factored.at(i, j)) {
+          std::fprintf(stderr,
+                       "run: crosscheck factor mismatch at (%lld, %lld)\n",
+                       static_cast<long long>(i), static_cast<long long>(j));
+          failed = true;
+          break;
+        }
+    for (std::size_t r = 0; r < result.report.per_rank.size(); ++r) {
+      if (result.report.per_rank[r].messages_sent ==
+              again.report.per_rank[r].messages_sent &&
+          result.report.per_rank[r].messages_received ==
+              again.report.per_rank[r].messages_received)
+        continue;
+      std::fprintf(stderr,
+                   "run: crosscheck per-rank message counts diverge at rank "
+                   "%zu\n",
+                   r);
+      failed = true;
+    }
+  }
+
+  const int process = transport == nullptr ? 0 : transport->process_index();
+  const int processes = transport == nullptr ? 1 : transport->process_count();
+  std::printf("%s t=%lld nb=%lld on %lld nodes, %s via %s (process %d/%d)\n",
+              parser.get("kernel").c_str(), static_cast<long long>(t),
+              static_cast<long long>(nb), static_cast<long long>(P),
+              rec.scheme.c_str(),
+              spec.backend == "socket" ? "socket" : "inproc", process,
+              processes);
+  std::printf("  messages    %lld factorization + %lld gather "
+              "(closed form %lld)\n",
+              static_cast<long long>(sent),
+              static_cast<long long>(gather_messages),
+              static_cast<long long>(predicted));
+  if (root)
+    std::printf("  residual    %.3e (factor bit-identical to the sequential "
+                "reference)\n",
+                symmetric
+                    ? linalg::cholesky_residual(original, result.factored)
+                    : linalg::lu_residual(original, result.factored));
+  if (!fault_spec.empty()) {
+    const fault::FaultStats& f = result.report.faults;
+    std::printf("  faults      %lld drops, %lld dups, %lld delays -> %lld "
+                "retries, %lld dedups\n",
+                static_cast<long long>(f.drops),
+                static_cast<long long>(f.duplicates),
+                static_cast<long long>(f.delays),
+                static_cast<long long>(f.retries),
+                static_cast<long long>(f.dedup_discards));
+  }
+  std::printf("  verdict     %s\n", failed ? "FAILED" : "ok");
+  return failed ? 1 : 0;
+}
+
+int cmd_launch(int argc, char** argv) {
+  // Everything after a literal "--" is the child command; the launcher's
+  // own flags must come before it.
+  std::vector<std::string> child;
+  int own_argc = argc;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") != 0) continue;
+    own_argc = i;
+    for (int j = i + 1; j < argc; ++j) child.emplace_back(argv[j]);
+    break;
+  }
+  ArgParser parser("anyblock launch",
+                   "spawn a single-host socket mesh: N OS processes re-run "
+                   "this binary with the command after --");
+  parser.add("procs", "0", "OS processes to spawn");
+  parser.add("ranks", "0",
+             "convenience alias: one process per rank (same as --procs)");
+  parser.add("rendezvous", "",
+             "rendezvous directory (default: a fresh temp dir)");
+  if (!parser.parse(own_argc, argv)) return 1;
+
+  std::int64_t processes = parser.get_int("procs");
+  if (processes <= 0) processes = parser.get_int("ranks");
+  if (processes <= 0) {
+    std::fprintf(stderr, "launch: give --procs N (or --ranks N)\n");
+    return 1;
+  }
+  if (child.empty()) {
+    std::fprintf(stderr,
+                 "launch: missing child command after --\n"
+                 "usage: anyblock launch --procs 2 -- run --kernel lu "
+                 "--nodes 23\n");
+    return 1;
+  }
+  return net::launch_processes(static_cast<int>(processes), child,
+                               parser.get("rendezvous"));
+}
+
 int cmd_atlas(int argc, char** argv) {
   ArgParser parser("anyblock atlas",
                    "precompute best patterns for a range of node counts");
@@ -330,6 +583,9 @@ void print_usage() {
       "  cost        list every scheme's communication cost for P nodes\n"
       "  show        build and render one pattern\n"
       "  simulate    run the cluster simulator with the recommended pattern\n"
+      "  run         run a real distributed factorization over vmpi\n"
+      "              (--transport socket spans OS processes)\n"
+      "  launch      spawn N processes on this host wired into a socket mesh\n"
       "  atlas       precompute a pattern database over a range of P\n\n"
       "run 'anyblock <command> --help' for the command's options");
 }
@@ -350,6 +606,8 @@ int main(int argc, char** argv) {
     if (command == "cost") return cmd_cost(sub_argc, sub_argv);
     if (command == "show") return cmd_show(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "run") return cmd_run(sub_argc, sub_argv);
+    if (command == "launch") return cmd_launch(sub_argc, sub_argv);
     if (command == "atlas") return cmd_atlas(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "anyblock %s: %s\n", command.c_str(), e.what());
