@@ -1,0 +1,289 @@
+// Micro benchmarks for the recommendation service plus the BENCH_serve.json
+// perf trajectory.
+//
+// Two personalities behind one custom main:
+//
+//   micro_serve                          google-benchmark sweeps: store
+//                                        digest/get, table rebuild, and the
+//                                        parallel sweep at small P
+//   micro_serve --json=BENCH_serve.json  append one trajectory entry:
+//                                        cached lookups/sec over a warmed
+//                                        store, the cold sweep at the
+//                                        reference P (serial and parallel),
+//                                        and the parallel-vs-serial speedup
+//   micro_serve --json=... --check       same, but exit 1 when cached
+//                                        lookups/sec regresses >25% against
+//                                        the last recorded entry
+//
+// The trajectory asserts what the serve tests assert — the parallel sweep
+// must be bit-identical to core::gcrm_search — before recording anything:
+// a fast wrong answer must never enter the perf history.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gcrm.hpp"
+#include "core/pattern_search.hpp"
+#include "core/recommend.hpp"
+#include "runtime/task_engine.hpp"
+#include "serve/parallel_search.hpp"
+#include "serve/recommend_service.hpp"
+#include "store/pattern_store.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BM_StoreDigest(benchmark::State& state) {
+  store::StoreKey key;
+  key.P = 9973;
+  key.metric = "symmetric";
+  for (auto _ : state) benchmark::DoNotOptimize(store::store_digest(key));
+}
+BENCHMARK(BM_StoreDigest);
+
+void BM_StoreWarmGet(benchmark::State& state) {
+  store::PatternStore cache;  // in-memory: isolates lookup cost from I/O
+  store::StoreKey key;
+  key.P = 23;
+  key.metric = "symmetric";
+  core::RecommendOptions options;
+  const core::Recommendation rec =
+      core::recommend_pattern(23, core::Kernel::kCholesky, options);
+  cache.put(key, {rec.pattern, rec.scheme, rec.cost, rec.rationale});
+  for (auto _ : state) benchmark::DoNotOptimize(cache.get(key));
+}
+BENCHMARK(BM_StoreWarmGet);
+
+void BM_TableRebuild(benchmark::State& state) {
+  // One winner-row rebuild: the table-hit serving cost for this P.
+  const std::int64_t P = state.range(0);
+  core::GcrmSearchOptions options;
+  const core::GcrmSearchResult search = core::gcrm_search(P, options);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::gcrm_build(P, search.best_r,
+                                              search.best_seed));
+}
+BENCHMARK(BM_TableRebuild)->Arg(13)->Arg(23)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelSweep(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  core::GcrmSearchOptions options;
+  options.seeds = 20;
+  runtime::TaskEngine engine(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(serve::parallel_gcrm_search(P, options, engine));
+}
+BENCHMARK(BM_ParallelSweep)->Arg(7)->Arg(13)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_serve.json trajectory
+// ---------------------------------------------------------------------------
+
+/// The trajectory's reference sweep: P = 23 (the paper's flagship prime,
+/// no SBC) at the default 100-seed budget — the cold query a user actually
+/// pays for before the store takes over.
+constexpr std::int64_t kTrajectoryNodes = 23;
+
+/// Node counts warmed into the store for the cached-lookup measurement.
+constexpr std::int64_t kWarmSet[] = {7, 11, 13, 17, 23};
+constexpr int kLookupRounds = 20000;
+
+struct Measurement {
+  double cached_lookups_per_sec = 0.0;
+  double warm_p99_us = 0.0;
+  double serial_sweep_seconds = 0.0;
+  double parallel_sweep_seconds = 0.0;
+  double sweep_speedup = 0.0;
+  int workers = 0;
+};
+
+/// Returns false (diverged) when the parallel sweep is not bit-identical
+/// to the sequential one — the trajectory refuses to record such a build.
+bool measure(Measurement& m) {
+  core::GcrmSearchOptions options;  // default budget: what serving uses
+
+  double start = now_seconds();
+  const core::GcrmSearchResult serial =
+      core::gcrm_search(kTrajectoryNodes, options);
+  m.serial_sweep_seconds = now_seconds() - start;
+
+  int workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) workers = 1;
+  runtime::TaskEngine engine(workers);
+  m.workers = workers;
+  start = now_seconds();
+  const core::GcrmSearchResult parallel =
+      serve::parallel_gcrm_search(kTrajectoryNodes, options, engine);
+  m.parallel_sweep_seconds = now_seconds() - start;
+  m.sweep_speedup = m.parallel_sweep_seconds > 0.0
+                        ? m.serial_sweep_seconds / m.parallel_sweep_seconds
+                        : 0.0;
+  if (parallel.best_cost != serial.best_cost ||
+      parallel.best_r != serial.best_r ||
+      parallel.best_seed != serial.best_seed ||
+      !(parallel.best == serial.best))
+    return false;
+
+  serve::ServiceOptions service_options;  // in-memory store: pure lookup cost
+  serve::RecommendService service(service_options);
+  for (const std::int64_t P : kWarmSet)
+    (void)service.recommend(P, core::Kernel::kCholesky);
+
+  start = now_seconds();
+  for (int round = 0; round < kLookupRounds; ++round)
+    benchmark::DoNotOptimize(service.recommend(
+        kWarmSet[static_cast<std::size_t>(round) % std::size(kWarmSet)],
+        core::Kernel::kCholesky));
+  const double elapsed = now_seconds() - start;
+  m.cached_lookups_per_sec = elapsed > 0.0 ? kLookupRounds / elapsed : 0.0;
+  for (const auto& [name, value] : service.metric_rows())
+    if (name == "serve_warm_p99_us") m.warm_p99_us = value;
+  return true;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+std::string render_entry(const std::string& label, const Measurement& m) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "  {\n"
+      << "    \"date\": \"" << utc_timestamp() << "\",\n"
+      << "    \"label\": \"" << label << "\",\n"
+      << "    \"config\": {\"P\": " << kTrajectoryNodes
+      << ", \"seeds\": " << core::GcrmSearchOptions{}.seeds
+      << ", \"workers\": " << m.workers << "},\n"
+      << "    \"cached_lookups_per_sec\": " << std::fixed
+      << m.cached_lookups_per_sec << ",\n"
+      << "    \"warm_p99_us\": " << m.warm_p99_us << ",\n"
+      << "    \"serial_sweep_seconds\": " << m.serial_sweep_seconds << ",\n"
+      << "    \"parallel_sweep_seconds\": " << m.parallel_sweep_seconds
+      << ",\n"
+      << "    \"sweep_speedup\": " << m.sweep_speedup << "\n  }";
+  return out.str();
+}
+
+/// Last "cached_lookups_per_sec" already in the trajectory (the regression
+/// baseline), or -1 when the file has no entries.
+double last_lookups_per_sec(const std::string& text) {
+  const std::string key = "\"cached_lookups_per_sec\":";
+  double last = -1.0;
+  std::size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    at += key.size();
+    last = std::strtod(text.c_str() + at, nullptr);
+  }
+  return last;
+}
+
+int run_trajectory(const std::string& path, const std::string& label,
+                   bool check) {
+  Measurement m;
+  if (!measure(m)) {
+    std::fprintf(stderr,
+                 "parallel sweep diverged from the sequential search — "
+                 "refusing to record perf for a wrong answer\n");
+    return 1;
+  }
+
+  std::string existing;
+  if (std::ifstream in(path); in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  const double previous = last_lookups_per_sec(existing);
+
+  const std::string entry = render_entry(label, m);
+  std::string updated;
+  const std::size_t closing = existing.rfind(']');
+  if (closing == std::string::npos) {
+    updated = "[\n" + entry + "\n]\n";
+  } else {
+    const bool has_entries = existing.find('{') < closing;
+    updated = existing.substr(0, closing);
+    while (!updated.empty() &&
+           (updated.back() == '\n' || updated.back() == ' '))
+      updated.pop_back();
+    updated += has_entries ? ",\n" : "\n";
+    updated += entry + "\n]\n";
+  }
+  if (std::ofstream out(path); !out || !(out << updated)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("cached:      %.0f lookups/s (p99 %.1f us over %d rounds)\n",
+              m.cached_lookups_per_sec, m.warm_p99_us, kLookupRounds);
+  std::printf("cold sweep:  %.2f s serial, %.2f s parallel (%d workers, "
+              "%.2fx, bit-identical)\n",
+              m.serial_sweep_seconds, m.parallel_sweep_seconds, m.workers,
+              m.sweep_speedup);
+  std::printf("appended to  %s\n", path.c_str());
+
+  if (check && previous > 0.0 &&
+      m.cached_lookups_per_sec < 0.75 * previous) {
+    std::fprintf(stderr,
+                 "PERF REGRESSION: %.0f cached lookups/s is more than 25%% "
+                 "below the last recorded %.0f\n",
+                 m.cached_lookups_per_sec, previous);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string label = "dev";
+  bool check = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--label=", 8) == 0) {
+      label = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_trajectory(json_path, label, check);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,11 @@
 
 namespace anyblock::core {
 
+PatternIoError::PatternIoError(std::string path, std::string detail)
+    : std::runtime_error(path + ": " + detail),
+      path_(std::move(path)),
+      detail_(std::move(detail)) {}
+
 std::string render_pattern(const Pattern& pattern) {
   // Column width fits the largest node id.
   int width = 1;
@@ -40,22 +45,51 @@ std::string serialize_pattern(const Pattern& pattern) {
   return oss.str();
 }
 
-std::optional<Pattern> parse_pattern(std::istream& in) {
+namespace {
+
+std::optional<Pattern> fail(std::string* error, const std::string& detail) {
+  if (error != nullptr) *error = detail;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Pattern> parse_pattern(std::istream& in, std::string* error) {
   std::string tag;
   std::int64_t rows = 0;
   std::int64_t cols = 0;
   std::int64_t nodes = 0;
-  if (!(in >> tag >> rows >> cols >> nodes) || tag != "pattern") {
-    return std::nullopt;
+  if (!(in >> tag)) return fail(error, "truncated: missing 'pattern' header");
+  if (tag != "pattern")
+    return fail(error, "bad header tag '" + tag + "' (expected 'pattern')");
+  if (!(in >> rows >> cols >> nodes))
+    return fail(error, "truncated or non-numeric pattern dimensions");
+  if (rows <= 0 || cols <= 0 || nodes <= 0)
+    return fail(error, "non-positive pattern dimensions");
+  if (rows > kMaxPatternSide || cols > kMaxPatternSide ||
+      rows > kMaxPatternCells / cols) {
+    std::ostringstream oss;
+    oss << "implausible pattern size " << rows << "x" << cols
+        << " (cap: side <= " << kMaxPatternSide << ", cells <= "
+        << kMaxPatternCells << ")";
+    return fail(error, oss.str());
   }
-  if (rows <= 0 || cols <= 0 || nodes <= 0) return std::nullopt;
+  if (nodes > rows * cols)
+    return fail(error, "more nodes than cells");
   Pattern pattern(rows, cols, nodes);
   for (std::int64_t i = 0; i < rows; ++i) {
     for (std::int64_t j = 0; j < cols; ++j) {
       std::int64_t value = 0;
-      if (!(in >> value)) return std::nullopt;
+      if (!(in >> value)) {
+        std::ostringstream oss;
+        oss << "truncated or non-numeric cell (" << i << ", " << j << ")";
+        return fail(error, oss.str());
+      }
       if (value != Pattern::kFree && (value < 0 || value >= nodes)) {
-        return std::nullopt;
+        std::ostringstream oss;
+        oss << "cell (" << i << ", " << j << ") holds node id " << value
+            << " outside [0, " << nodes << ")";
+        return fail(error, oss.str());
       }
       pattern.set(i, j, static_cast<NodeId>(value));
     }
@@ -63,9 +97,22 @@ std::optional<Pattern> parse_pattern(std::istream& in) {
   return pattern;
 }
 
+std::optional<Pattern> parse_pattern(std::istream& in) {
+  return parse_pattern(in, nullptr);
+}
+
 std::optional<Pattern> parse_pattern_string(const std::string& text) {
   std::istringstream iss(text);
   return parse_pattern(iss);
+}
+
+Pattern load_pattern_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PatternIoError(path, "cannot open file");
+  std::string detail;
+  auto pattern = parse_pattern(in, &detail);
+  if (!pattern) throw PatternIoError(path, detail);
+  return std::move(*pattern);
 }
 
 void PatternDatabase::put(std::int64_t P, Kind kind, Pattern pattern) {
@@ -86,31 +133,45 @@ void PatternDatabase::save(std::ostream& out) const {
   }
 }
 
-bool PatternDatabase::load(std::istream& in) {
+std::string PatternDatabase::load_detail(std::istream& in) {
   entries_.clear();
   std::string magic;
   int version = 0;
-  std::size_t count = 0;
-  if (!(in >> magic >> version >> count) || magic != "anyblock-pattern-db" ||
-      version != 1) {
-    return false;
-  }
-  for (std::size_t k = 0; k < count; ++k) {
+  std::int64_t count = 0;
+  if (!(in >> magic >> version >> count))
+    return "truncated database header";
+  if (magic != "anyblock-pattern-db")
+    return "bad magic '" + magic + "' (expected 'anyblock-pattern-db')";
+  if (version != 1)
+    return "unsupported database version " + std::to_string(version);
+  if (count < 0) return "negative entry count";
+  for (std::int64_t k = 0; k < count; ++k) {
     std::string tag;
     std::int64_t P = 0;
     int kind = 0;
     if (!(in >> tag >> P >> kind) || tag != "entry") {
       entries_.clear();
-      return false;
+      return "entry " + std::to_string(k) + ": truncated or bad record header";
     }
-    auto pattern = parse_pattern(in);
+    if (P <= 0 || kind < 0 || kind > 1) {
+      entries_.clear();
+      return "entry " + std::to_string(k) + ": bad key (P = " +
+             std::to_string(P) + ", kind = " + std::to_string(kind) + ")";
+    }
+    std::string detail;
+    auto pattern = parse_pattern(in, &detail);
     if (!pattern) {
       entries_.clear();
-      return false;
+      return "entry " + std::to_string(k) + " (P = " + std::to_string(P) +
+             "): " + detail;
     }
     entries_.insert_or_assign({P, kind}, std::move(*pattern));
   }
-  return true;
+  return {};
+}
+
+bool PatternDatabase::load(std::istream& in) {
+  return load_detail(in).empty();
 }
 
 bool PatternDatabase::save_file(const std::string& path) const {
@@ -124,6 +185,13 @@ bool PatternDatabase::load_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return false;
   return load(in);
+}
+
+void PatternDatabase::load_file_strict(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw PatternIoError(path, "cannot open file");
+  const std::string detail = load_detail(in);
+  if (!detail.empty()) throw PatternIoError(path, detail);
 }
 
 }  // namespace anyblock::core

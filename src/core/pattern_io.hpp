@@ -4,17 +4,44 @@
 // possible value of P, a very efficient pattern".  PatternDatabase is that
 // database: a text file mapping node counts to precomputed patterns, so the
 // (seconds-long) GCR&M search runs once per P, offline.
+//
+// Parsing is hardened against hostile or damaged input: a truncated,
+// corrupt, or absurdly-sized record raises PatternIoError (naming the
+// offending path and what went wrong) through the strict entry points, and
+// the legacy optional/bool entry points report failure without ever
+// crashing or silently misparsing.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/pattern.hpp"
 
 namespace anyblock::core {
+
+/// Typed failure of a pattern parse or file load: `path()` names the file
+/// ("<string>" for in-memory parses) and `detail()` says what was wrong.
+class PatternIoError : public std::runtime_error {
+ public:
+  PatternIoError(std::string path, std::string detail);
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::string& detail() const { return detail_; }
+
+ private:
+  std::string path_;
+  std::string detail_;
+};
+
+/// Hard ceilings on a parsed pattern's geometry.  Real patterns are tiny
+/// (r <= 6*sqrt(P)); the caps exist so a malformed header like
+/// "pattern 99999999999 9 9" fails cleanly instead of attempting a
+/// multi-terabyte allocation or overflowing rows*cols.
+inline constexpr std::int64_t kMaxPatternSide = 1 << 20;
+inline constexpr std::int64_t kMaxPatternCells = std::int64_t{1} << 26;
 
 /// Renders the pattern as an aligned grid of node ids; free cells print as
 /// '.'.  Matches the style of the paper's Fig. 3 illustration.
@@ -26,8 +53,14 @@ std::string render_pattern(const Pattern& pattern);
 std::string serialize_pattern(const Pattern& pattern);
 
 /// Parses the serialize_pattern() form; returns nullopt on malformed input.
+/// The `error` overload additionally reports what was malformed.
 std::optional<Pattern> parse_pattern(std::istream& in);
+std::optional<Pattern> parse_pattern(std::istream& in, std::string* error);
 std::optional<Pattern> parse_pattern_string(const std::string& text);
+
+/// Strict file load of one serialized pattern; throws PatternIoError (with
+/// the offending path) on a missing, truncated, or corrupt file.
+Pattern load_pattern_file(const std::string& path);
 
 /// Keyed store of the best known pattern per (P, kind) pair.
 class PatternDatabase {
@@ -47,7 +80,15 @@ class PatternDatabase {
   bool save_file(const std::string& path) const;
   bool load_file(const std::string& path);
 
+  /// Like load_file, but failures throw PatternIoError naming the path and
+  /// the first malformed record instead of returning false.
+  void load_file_strict(const std::string& path);
+
  private:
+  /// Shared load body; on failure clears the database and returns the
+  /// detail message of the first problem (empty string = success).
+  std::string load_detail(std::istream& in);
+
   std::map<std::pair<std::int64_t, int>, Pattern> entries_;
 };
 

@@ -4,8 +4,21 @@
 #include <stdexcept>
 
 #include "util/math.hpp"
+#include "util/rng.hpp"
 
 namespace anyblock::core {
+
+std::uint64_t gcrm_attempt_seed(std::uint64_t base_seed, std::int64_t r,
+                                std::int64_t s) {
+  return split_seed(split_seed(base_seed, static_cast<std::uint64_t>(r)),
+                    static_cast<std::uint64_t>(s));
+}
+
+std::int64_t gcrm_sweep_max_r(std::int64_t P,
+                              const GcrmSearchOptions& options) {
+  return static_cast<std::int64_t>(options.max_r_factor *
+                                   std::sqrt(static_cast<double>(P)));
+}
 
 std::vector<std::int64_t> gcrm_feasible_sizes(std::int64_t P,
                                               std::int64_t max_r) {
@@ -20,17 +33,14 @@ GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
                              bool keep_samples) {
   if (P <= 0) throw std::invalid_argument("P must be positive");
   GcrmSearchResult result;
-  const auto max_r = static_cast<std::int64_t>(
-      options.max_r_factor * std::sqrt(static_cast<double>(P)));
+  const std::int64_t max_r = gcrm_sweep_max_r(P, options);
 
   double best_balanced_cost = 0.0;
   bool have_balanced = false;
 
   for (const std::int64_t r : gcrm_feasible_sizes(P, max_r)) {
     for (std::int64_t s = 0; s < options.seeds; ++s) {
-      const std::uint64_t seed =
-          options.base_seed + 1000003ULL * static_cast<std::uint64_t>(r) +
-          static_cast<std::uint64_t>(s);
+      const std::uint64_t seed = gcrm_attempt_seed(options.base_seed, r, s);
       GcrmResult attempt = gcrm_build(P, r, seed);
       const bool balanced =
           attempt.valid && attempt.pattern.is_balanced(options.balance_slack);
@@ -47,12 +57,16 @@ GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
           best_balanced_cost = attempt.cost;
           result.best = std::move(attempt.pattern);
           result.best_cost = attempt.cost;
+          result.best_r = r;
+          result.best_seed = seed;
           result.found = true;
         }
       } else if (!have_balanced &&
                  (!result.found || attempt.cost < result.best_cost)) {
         result.best = std::move(attempt.pattern);
         result.best_cost = attempt.cost;
+        result.best_r = r;
+        result.best_seed = seed;
         result.found = true;
       }
     }

@@ -20,12 +20,26 @@ struct GcrmSearchOptions {
   double max_r_factor = 6.0;
   /// Random restarts per pattern size.
   std::int64_t seeds = 100;
-  /// Base seed; run s of size r uses seed base_seed + 1000003*r + s.
+  /// Base seed; run s of size r uses gcrm_attempt_seed(base_seed, r, s).
   std::uint64_t base_seed = 42;
   /// Keep only patterns whose node loads differ by at most this much
   /// (the lazy diagonal assignment can absorb a +/-1 spread).
   std::int64_t balance_slack = 1;
+
+  bool operator==(const GcrmSearchOptions&) const = default;
 };
+
+/// Seed of restart s at pattern size r: an independent splitmix64-derived
+/// stream per (r, s), via util::rng::split_seed.  A pure function of its
+/// three arguments — never of sweep order — so any partition of the (r, s)
+/// grid across tasks (serve::parallel_gcrm_search) draws exactly the
+/// constructions the sequential sweep draws.
+[[nodiscard]] std::uint64_t gcrm_attempt_seed(std::uint64_t base_seed,
+                                              std::int64_t r, std::int64_t s);
+
+/// Largest pattern size the sweep considers: max_r_factor * sqrt(P).
+[[nodiscard]] std::int64_t gcrm_sweep_max_r(std::int64_t P,
+                                            const GcrmSearchOptions& options);
 
 /// One sampled construction, recorded for Fig. 9-style analyses.
 struct GcrmSample {
@@ -40,6 +54,11 @@ struct GcrmSearchResult {
   Pattern best;       ///< cheapest valid (preferring balanced) pattern
   double best_cost = 0.0;
   bool found = false;
+  /// Winning construction coordinates: gcrm_build(P, best_r, best_seed)
+  /// reproduces `best` exactly — what the precomputed winners table ships
+  /// instead of full patterns.
+  std::int64_t best_r = 0;
+  std::uint64_t best_seed = 0;
   std::vector<GcrmSample> samples;  ///< every construction attempted
 };
 

@@ -10,33 +10,45 @@
 
 namespace anyblock::core {
 
-Recommendation recommend_pattern(std::int64_t P, Kernel kernel,
-                                 const RecommendOptions& options) {
+bool kernel_is_symmetric(Kernel kernel) { return kernel != Kernel::kLu; }
+
+std::string kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kLu: return "lu";
+    case Kernel::kCholesky: return "cholesky";
+    case Kernel::kSyrk: return "syrk";
+  }
+  return "unknown";
+}
+
+Recommendation recommend_lu(std::int64_t P) {
   if (P <= 0) throw std::invalid_argument("P must be positive");
   Recommendation rec;
-
-  if (kernel == Kernel::kLu) {
-    const G2dbcParams params = g2dbc_params(P);
-    rec.pattern = make_g2dbc(P);
-    rec.cost = lu_cost(rec.pattern);
-    std::ostringstream why;
-    if (params.degenerate()) {
-      rec.scheme = "2DBC";
-      why << "P = " << P << " factors as " << params.b << "x" << params.a
-          << ", so plain 2DBC already achieves T = " << rec.cost;
-    } else {
-      rec.scheme = "G-2DBC";
-      why << "no balanced near-square 2DBC grid exists for P = " << P
-          << "; G-2DBC reaches T = " << rec.cost
-          << " (vs " << lu_cost(best_2dbc(P)) << " for the best 2DBC)";
-    }
-    rec.rationale = why.str();
-    return rec;
+  const G2dbcParams params = g2dbc_params(P);
+  rec.pattern = make_g2dbc(P);
+  rec.cost = lu_cost(rec.pattern);
+  std::ostringstream why;
+  if (params.degenerate()) {
+    rec.scheme = "2DBC";
+    why << "P = " << P << " factors as " << params.b << "x" << params.a
+        << ", so plain 2DBC already achieves T = " << rec.cost;
+  } else {
+    rec.scheme = "G-2DBC";
+    why << "no balanced near-square 2DBC grid exists for P = " << P
+        << "; G-2DBC reaches T = " << rec.cost
+        << " (vs " << lu_cost(best_2dbc(P)) << " for the best 2DBC)";
   }
+  rec.rationale = why.str();
+  return rec;
+}
 
-  // Symmetric kernels: SBC when feasible, GCR&M otherwise — and even when
-  // SBC exists, keep the GCR&M result if the search happens to beat it.
-  const GcrmSearchResult search = gcrm_search(P, options.search);
+Recommendation recommend_symmetric_from_search(std::int64_t P,
+                                               const GcrmSearchResult& search,
+                                               const RecommendOptions& options) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  Recommendation rec;
+  // SBC when feasible, GCR&M otherwise — and even when SBC exists, keep the
+  // GCR&M result if the search happens to beat it.
   const auto sbc = sbc_params(P);
   if (sbc && (!search.found || sbc->cost() <= search.best_cost)) {
     rec.pattern = make_sbc(*sbc);
@@ -56,10 +68,19 @@ Recommendation recommend_pattern(std::int64_t P, Kernel kernel,
   rec.cost = search.best_cost;
   std::ostringstream why;
   why << "no SBC pattern " << (sbc ? "beats GCR&M" : "exists")
-      << " for P = " << P << "; GCR&M search (r <= 6*sqrt(P), "
-      << options.search.seeds << " seeds) reached T = " << rec.cost;
+      << " for P = " << P << "; GCR&M search (r <= " << options.search.max_r_factor
+      << "*sqrt(P), " << options.search.seeds << " seeds) reached T = "
+      << rec.cost;
   rec.rationale = why.str();
   return rec;
+}
+
+Recommendation recommend_pattern(std::int64_t P, Kernel kernel,
+                                 const RecommendOptions& options) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  if (kernel == Kernel::kLu) return recommend_lu(P);
+  const GcrmSearchResult search = gcrm_search(P, options.search);
+  return recommend_symmetric_from_search(P, search, options);
 }
 
 }  // namespace anyblock::core

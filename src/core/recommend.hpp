@@ -38,4 +38,25 @@ struct Recommendation {
 Recommendation recommend_pattern(std::int64_t P, Kernel kernel,
                                  const RecommendOptions& options = {});
 
+/// True when `kernel` uses the symmetric (z-bar) decision path — the one
+/// whose GCR&M sweep is worth caching; the LU path is closed-form.
+[[nodiscard]] bool kernel_is_symmetric(Kernel kernel);
+
+/// Canonical lowercase kernel names ("lu" | "cholesky" | "syrk"), used by
+/// the CLI and as part of the pattern store's digest key.
+[[nodiscard]] std::string kernel_name(Kernel kernel);
+
+/// The non-symmetric branch of recommend_pattern: G-2DBC, collapsing to
+/// plain 2DBC when P factors nicely.  Closed-form; never searches.
+Recommendation recommend_lu(std::int64_t P);
+
+/// The symmetric branch of recommend_pattern, with the GCR&M sweep result
+/// supplied by the caller — the seam the serving layer uses to plug in a
+/// parallel sweep or a cache hit.  Applies the identical SBC-vs-GCR&M
+/// comparison, so feeding it gcrm_search(P, options.search) reproduces
+/// recommend_pattern bit for bit.
+Recommendation recommend_symmetric_from_search(std::int64_t P,
+                                               const GcrmSearchResult& search,
+                                               const RecommendOptions& options);
+
 }  // namespace anyblock::core

@@ -1,0 +1,75 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anyblock::obs {
+
+namespace {
+
+int bucket_of(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 2.0) return 0;
+  const int b = static_cast<int>(std::log2(us));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record_seconds(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[static_cast<std::size_t>(bucket_of(seconds))];
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (count_ == 0 || seconds > max_) max_ = seconds;
+  ++count_;
+  sum_ += seconds;
+}
+
+std::int64_t LatencyHistogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double LatencyHistogram::min_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double LatencyHistogram::max_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= target)
+      return std::ldexp(1.0, b + 1) * 1e-6;  // bucket upper edge, in seconds
+  }
+  return max_;
+}
+
+std::vector<std::pair<std::string, double>> LatencyHistogram::metric_rows(
+    const std::string& prefix) const {
+  return {
+      {prefix + "_count", static_cast<double>(count())},
+      {prefix + "_mean_us", mean_seconds() * 1e6},
+      {prefix + "_p50_us", quantile_seconds(0.5) * 1e6},
+      {prefix + "_p99_us", quantile_seconds(0.99) * 1e6},
+      {prefix + "_max_us", max_seconds() * 1e6},
+  };
+}
+
+}  // namespace anyblock::obs

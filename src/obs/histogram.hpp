@@ -1,0 +1,50 @@
+// Latency histogram for query-shaped subsystems (src/serve).
+//
+// The factorization paths report durations through full traces; a serving
+// hot path answering thousands of lookups per second cannot afford one
+// trace event per query.  LatencyHistogram is the cheap aggregate: fixed
+// power-of-two microsecond buckets, thread-safe recording, and percentile
+// summaries that drop straight into obs::MetricsOptions.extra rows — the
+// cold-vs-warm split the pattern-recommendation service reports.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anyblock::obs {
+
+class LatencyHistogram {
+ public:
+  /// Buckets cover [2^b, 2^{b+1}) microseconds for b in [0, kBuckets-2];
+  /// the first bucket also absorbs sub-microsecond samples and the last is
+  /// open-ended (~ >= 2.3 hours), so no sample is ever dropped.
+  static constexpr int kBuckets = 44;
+
+  void record_seconds(double seconds);
+
+  [[nodiscard]] std::int64_t count() const;
+  [[nodiscard]] double min_seconds() const;
+  [[nodiscard]] double max_seconds() const;
+  [[nodiscard]] double mean_seconds() const;
+  /// Upper edge of the bucket holding quantile q (0 < q <= 1); exact to
+  /// within one power-of-two bucket.  0 when empty.
+  [[nodiscard]] double quantile_seconds(double q) const;
+
+  /// Summary rows ("<prefix>_count", "<prefix>_mean_us", "<prefix>_p50_us",
+  /// "<prefix>_p99_us", "<prefix>_max_us") for MetricsOptions.extra.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> metric_rows(
+      const std::string& prefix) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> buckets_ = std::vector<std::int64_t>(kBuckets, 0);
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace anyblock::obs

@@ -1,0 +1,28 @@
+// Deterministic parallel GCR&M sweep over runtime::TaskEngine.
+//
+// The sequential sweep (core::gcrm_search) is embarrassingly parallel:
+// every (r, s) attempt's seed is a pure function of (base_seed, r, s)
+// (core::gcrm_attempt_seed, built on util::rng::split_seed), so attempts
+// can run in any order on any worker and still draw the constructions the
+// sequential sweep draws.  The only order-sensitive part is the winner
+// selection — strict `<` comparisons make the earliest attempt win ties —
+// so each task reduces its contiguous slice of the (r, s) grid locally and
+// the slices are merged in canonical sweep order.  The result is bit-
+// identical to gcrm_search: same pattern, same cost, same samples.
+#pragma once
+
+#include <cstdint>
+
+#include "core/pattern_search.hpp"
+#include "runtime/task_engine.hpp"
+
+namespace anyblock::serve {
+
+/// Parallel drop-in for core::gcrm_search.  `engine` supplies the workers;
+/// submissions happen on the calling thread (STF semantics), so do not call
+/// this concurrently on one engine.
+core::GcrmSearchResult parallel_gcrm_search(
+    std::int64_t P, const core::GcrmSearchOptions& options,
+    runtime::TaskEngine& engine, bool keep_samples = false);
+
+}  // namespace anyblock::serve

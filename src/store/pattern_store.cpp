@@ -1,0 +1,278 @@
+#include "store/pattern_store.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/pattern_io.hpp"
+#include "util/hash.hpp"
+
+namespace anyblock::store {
+
+namespace {
+
+/// Hard cap on one record's payload: real entries are a few KiB (a pattern
+/// is at most ~(6*sqrt(P))^2 small integers); a corrupt length field must
+/// not trigger a giant allocation.
+constexpr std::int64_t kMaxPayloadBytes = std::int64_t{1} << 26;
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);  // exact round-trip
+  return buffer;
+}
+
+std::string render_payload(const StoreKey& key, const StoreEntry& entry) {
+  std::ostringstream oss;
+  oss << "key " << canonical_key_text(key) << '\n'
+      << "scheme " << entry.scheme << '\n'
+      << "cost " << format_double(entry.cost) << '\n'
+      << "rationale " << entry.rationale << '\n'
+      << core::serialize_pattern(entry.pattern);
+  return oss.str();
+}
+
+/// Reads "<label> <rest-of-line>" from `in`; false on tag mismatch or EOF.
+bool read_tagged_line(std::istream& in, const std::string& label,
+                      std::string* rest) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (line.rfind(label + ' ', 0) != 0) return false;
+  *rest = line.substr(label.size() + 1);
+  return true;
+}
+
+bool parse_payload(const std::string& payload, const StoreKey& expected_key,
+                   StoreEntry* entry) {
+  std::istringstream in(payload);
+  std::string key_text;
+  std::string cost_text;
+  if (!read_tagged_line(in, "key", &key_text) ||
+      key_text != canonical_key_text(expected_key))
+    return false;  // digest collision or foreign record
+  if (!read_tagged_line(in, "scheme", &entry->scheme)) return false;
+  if (!read_tagged_line(in, "cost", &cost_text)) return false;
+  char* end = nullptr;
+  entry->cost = std::strtod(cost_text.c_str(), &end);
+  if (end == cost_text.c_str()) return false;
+  if (!read_tagged_line(in, "rationale", &entry->rationale)) return false;
+  auto pattern = core::parse_pattern(in);
+  if (!pattern) return false;
+  entry->pattern = std::move(*pattern);
+  return true;
+}
+
+/// Recovers the StoreKey from its canonical text (needed because records
+/// are self-describing: the manifest stores no separate key table).
+std::optional<StoreKey> parse_key_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string version_tag;
+  StoreKey key;
+  if (!(in >> version_tag >> key.metric >> key.P)) return std::nullopt;
+  if (version_tag != "v1" || key.P <= 0 || key.metric.empty())
+    return std::nullopt;
+  std::string max_r;
+  char* end = nullptr;
+  if (!(in >> max_r >> key.search.seeds >> key.search.base_seed >>
+        key.search.balance_slack))
+    return std::nullopt;
+  key.search.max_r_factor = std::strtod(max_r.c_str(), &end);
+  if (end == max_r.c_str()) return std::nullopt;
+  return key;
+}
+
+}  // namespace
+
+std::string canonical_key_text(const StoreKey& key) {
+  std::ostringstream oss;
+  oss << "v1 " << key.metric << ' ' << key.P << ' '
+      << format_double(key.search.max_r_factor) << ' ' << key.search.seeds
+      << ' ' << key.search.base_seed << ' ' << key.search.balance_slack;
+  return oss.str();
+}
+
+std::uint64_t store_digest(const StoreKey& key) {
+  return fnv1a64(canonical_key_text(key));
+}
+
+std::vector<std::pair<std::string, double>> StoreStats::metric_rows() const {
+  return {
+      {"store_hits", static_cast<double>(hits)},
+      {"store_misses", static_cast<double>(misses)},
+      {"store_inserts", static_cast<double>(inserts)},
+      {"store_evicted_corrupt", static_cast<double>(evicted_corrupt)},
+      {"store_evicted_version", static_cast<double>(evicted_version)},
+      {"store_flushes", static_cast<double>(flushes)},
+  };
+}
+
+PatternStore::PatternStore(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    load_locked();
+  }
+}
+
+PatternStore::~PatternStore() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dirty_) flush_locked();
+}
+
+bool PatternStore::load_locked() {
+  entries_.clear();
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return true;  // absent file = empty store
+
+  std::string header;
+  if (!std::getline(in, header)) {
+    ++stats_.evicted_corrupt;
+    return false;
+  }
+  {
+    std::istringstream hs(header);
+    std::string magic;
+    int version = -1;
+    if (!(hs >> magic >> version) || magic != "anyblock-pattern-store") {
+      ++stats_.evicted_corrupt;
+      return false;
+    }
+    if (version != kFormatVersion) {
+      // A foreign version is not corruption — but nothing in it may be
+      // served.  The whole manifest is dropped (and overwritten on the
+      // next flush).
+      ++stats_.evicted_version;
+      return false;
+    }
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::uint64_t digest = 0;
+    std::int64_t payload_bytes = -1;
+    std::uint32_t crc = 0;
+    if (std::sscanf(line.c_str(), "entry %" SCNx64 " %" SCNd64 " %" SCNx32,
+                    &digest, &payload_bytes, &crc) != 3 ||
+        payload_bytes < 0 || payload_bytes > kMaxPayloadBytes) {
+      // A mangled record header desynchronizes the stream: everything from
+      // here on is unrecoverable and dropped.
+      ++stats_.evicted_corrupt;
+      return false;
+    }
+    std::string payload(static_cast<std::size_t>(payload_bytes), '\0');
+    if (!in.read(payload.data(), payload_bytes)) {
+      ++stats_.evicted_corrupt;  // truncated mid-payload
+      return false;
+    }
+    in.get();  // the separator newline after the payload
+    if (crc32(payload) != crc) {
+      ++stats_.evicted_corrupt;  // bit rot inside one record: skip just it
+      continue;
+    }
+    std::string key_text;
+    {
+      std::istringstream ps(payload);
+      if (!read_tagged_line(ps, "key", &key_text)) {
+        ++stats_.evicted_corrupt;
+        continue;
+      }
+    }
+    const auto key = parse_key_text(key_text);
+    if (!key || store_digest(*key) != digest ||
+        fnv1a64(key_text) != digest) {
+      ++stats_.evicted_corrupt;
+      continue;
+    }
+    StoreEntry entry;
+    if (!parse_payload(payload, *key, &entry) ||
+        !entry.pattern.validate().empty()) {
+      ++stats_.evicted_corrupt;
+      continue;
+    }
+    entries_.insert_or_assign(digest, std::make_pair(*key, std::move(entry)));
+  }
+  return true;
+}
+
+bool PatternStore::flush_locked() {
+  if (path_.empty()) {
+    dirty_ = false;
+    return true;
+  }
+  std::ostringstream out;
+  out << "anyblock-pattern-store " << kFormatVersion << '\n';
+  for (const auto& [digest, kv] : entries_) {
+    const std::string payload = render_payload(kv.first, kv.second);
+    char header[80];
+    std::snprintf(header, sizeof(header), "entry %016" PRIx64 " %zu %08x\n",
+                  digest, payload.size(), crc32(payload));
+    out << header << payload << '\n';
+  }
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file || !(file << out.str())) return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  ++stats_.flushes;
+  dirty_ = false;
+  return true;
+}
+
+std::optional<StoreEntry> PatternStore::get(const StoreKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(store_digest(key));
+  if (it == entries_.end() || it->second.first != key) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.second;
+}
+
+bool PatternStore::put(const StoreKey& key, StoreEntry entry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(store_digest(key),
+                            std::make_pair(key, std::move(entry)));
+  ++stats_.inserts;
+  dirty_ = true;
+  if (path_.empty()) return true;
+  return flush_locked();
+}
+
+bool PatternStore::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!dirty_) return true;
+  return flush_locked();
+}
+
+bool PatternStore::reload() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (path_.empty()) return true;
+  return load_locked();
+}
+
+std::size_t PatternStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+StoreStats PatternStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<StoreKey> PatternStore::keys() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<StoreKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [digest, kv] : entries_) keys.push_back(kv.first);
+  return keys;
+}
+
+}  // namespace anyblock::store

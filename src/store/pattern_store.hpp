@@ -1,0 +1,126 @@
+// Persistent, content-addressed cache of recommendation results.
+//
+// Patterns depend only on (P, metric, search budget) — never on the matrix
+// (paper, Section V-B) — so the GCR&M sweep is memoize-once-serve-forever
+// work.  PatternStore is the on-disk memo: each entry is keyed by a
+// canonical digest of its StoreKey, serialized into a versioned manifest of
+// CRC-checked, length-prefixed records.  The durability contract follows
+// dist-clang's file_cache idiom:
+//
+//  * records that fail their CRC, carry a mismatched digest, or belong to
+//    another format version are EVICTED on load, never trusted;
+//  * updates go through write-to-temp-then-rename, so a concurrent reader
+//    of the manifest path always sees a complete former or current state,
+//    never a torn one;
+//  * hit/miss/insert/eviction counters are exposed for obs metrics rows.
+//
+// Thread-safety: every public method is safe to call concurrently; the
+// store serializes internally.  Cross-process, the atomic rename gives
+// single-writer/multi-reader safety on POSIX filesystems.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/pattern_search.hpp"
+
+namespace anyblock::store {
+
+/// What a cached result is the answer to.  `metric` is the pattern class
+/// ("lu" for the non-symmetric x-bar+y-bar metric, "symmetric" for z-bar);
+/// the search options only shape symmetric sweeps but are digested for
+/// both, so a budget change can never serve a stale entry.
+struct StoreKey {
+  std::int64_t P = 0;
+  std::string metric;
+  core::GcrmSearchOptions search;
+
+  bool operator==(const StoreKey&) const = default;
+};
+
+/// Canonical single-line text form of the key — the digest pre-image, and
+/// stored inside every record so a digest collision is caught by equality.
+[[nodiscard]] std::string canonical_key_text(const StoreKey& key);
+
+/// Content address: FNV-1a 64 over canonical_key_text(key).
+[[nodiscard]] std::uint64_t store_digest(const StoreKey& key);
+
+/// One cached recommendation.
+struct StoreEntry {
+  core::Pattern pattern;
+  std::string scheme;     ///< "2DBC" | "G-2DBC" | "SBC" | "GCR&M"
+  double cost = 0.0;      ///< stored as hexfloat: exact round-trip
+  std::string rationale;  ///< single line, as produced by core/recommend
+};
+
+struct StoreStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t inserts = 0;
+  std::int64_t evicted_corrupt = 0;  ///< CRC/digest/parse failures dropped
+  std::int64_t evicted_version = 0;  ///< whole manifests of a foreign version
+  std::int64_t flushes = 0;          ///< manifest rewrites (tmp+rename)
+
+  /// Rows for obs::MetricsOptions.extra, prefixed "store_".
+  [[nodiscard]] std::vector<std::pair<std::string, double>> metric_rows()
+      const;
+};
+
+class PatternStore {
+ public:
+  /// Opens (and immediately loads) the manifest at `path`; a missing file
+  /// is an empty store.  An empty path is a purely in-memory store.
+  explicit PatternStore(std::string path = {});
+
+  /// Flushes pending inserts best-effort (failures are swallowed — callers
+  /// that care must flush() explicitly and check).
+  ~PatternStore();
+
+  PatternStore(const PatternStore&) = delete;
+  PatternStore& operator=(const PatternStore&) = delete;
+
+  /// Cached entry for `key`, counting a hit or miss.
+  [[nodiscard]] std::optional<StoreEntry> get(const StoreKey& key);
+
+  /// Inserts (or overwrites) the entry and, for a file-backed store,
+  /// rewrites the manifest atomically.  Returns false when persisting
+  /// failed (the in-memory entry is kept either way).
+  bool put(const StoreKey& key, StoreEntry entry);
+
+  /// Rewrites the manifest (tmp + rename) if there are unpersisted
+  /// changes.  No-op (true) for in-memory stores.
+  bool flush();
+
+  /// Replaces the in-memory contents with the manifest's current on-disk
+  /// state (what a fresh reader would see).  Counters accumulate.
+  bool reload();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Every cached key, in unspecified order (tooling/introspection).
+  [[nodiscard]] std::vector<StoreKey> keys() const;
+
+  /// On-disk format version; bumped whenever the record layout changes so
+  /// old binaries never misread new manifests (and vice versa).
+  static constexpr int kFormatVersion = 1;
+
+ private:
+  bool load_locked();
+  bool flush_locked();
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::unordered_map<std::uint64_t, std::pair<StoreKey, StoreEntry>> entries_;
+  StoreStats stats_;
+  bool dirty_ = false;
+};
+
+}  // namespace anyblock::store

@@ -1,0 +1,129 @@
+#include "store/winners_table.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace anyblock::store {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+bool parse_double(const std::string& token, double* value) {
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::optional<WinnerRow> WinnersTable::find(std::int64_t P) const {
+  const auto it = rows_.find(P);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void WinnersTable::add(const WinnerRow& row) {
+  rows_.insert_or_assign(row.P, row);
+}
+
+bool WinnersTable::save_file(const std::string& path) const {
+  std::ostringstream out;
+  out << "anyblock-gcrm-winners " << kFormatVersion << '\n'
+      << "options " << format_double(options_.max_r_factor) << ' '
+      << options_.seeds << ' ' << options_.base_seed << ' '
+      << options_.balance_slack << '\n';
+  for (const auto& [P, row] : rows_) {
+    out << P << '\t' << row.r << '\t' << row.seed << '\t'
+        << format_double(row.cost) << '\n';
+  }
+  const std::string body = out.str();
+  char crc_line[32];
+  std::snprintf(crc_line, sizeof(crc_line), "crc %08x\n", crc32(body));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file || !(file << body << crc_line)) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WinnersTable::load_file(const std::string& path) {
+  rows_.clear();
+  error_.clear();
+  const auto reject = [&](const std::string& why) {
+    rows_.clear();
+    error_ = path + ": " + why;
+    return false;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return reject("cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Split off and verify the trailing CRC line first.
+  const std::size_t crc_at = text.rfind("crc ");
+  if (crc_at == std::string::npos ||
+      (crc_at != 0 && text[crc_at - 1] != '\n'))
+    return reject("missing trailing crc line");
+  std::uint32_t recorded = 0;
+  if (std::sscanf(text.c_str() + crc_at, "crc %" SCNx32, &recorded) != 1)
+    return reject("malformed crc line");
+  const std::string body = text.substr(0, crc_at);
+  if (crc32(body) != recorded)
+    return reject("crc mismatch: file is corrupt or was hand-edited");
+
+  std::istringstream is(body);
+  std::string line;
+  if (!std::getline(is, line)) return reject("empty file");
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    int version = -1;
+    if (!(hs >> magic >> version) || magic != "anyblock-gcrm-winners")
+      return reject("bad magic");
+    if (version != kFormatVersion)
+      return reject("unsupported version " + std::to_string(version));
+  }
+  if (!std::getline(is, line)) return reject("missing options line");
+  {
+    std::istringstream os(line);
+    std::string tag;
+    std::string max_r;
+    if (!(os >> tag >> max_r >> options_.seeds >> options_.base_seed >>
+          options_.balance_slack) ||
+        tag != "options" || !parse_double(max_r, &options_.max_r_factor))
+      return reject("malformed options line");
+  }
+  std::int64_t line_no = 2;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream rs(line);
+    WinnerRow row;
+    std::string cost;
+    if (!(rs >> row.P >> row.r >> row.seed >> cost) ||
+        !parse_double(cost, &row.cost) || row.P <= 0 || row.r < 2)
+      return reject("malformed row at line " + std::to_string(line_no));
+    rows_.insert_or_assign(row.P, row);
+  }
+  return true;
+}
+
+}  // namespace anyblock::store

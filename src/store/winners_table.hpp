@@ -1,0 +1,68 @@
+// Shipped table of GCR&M sweep winners (data/gcrm_winners.tsv).
+//
+// A full pattern for P = 10'000 is ~360k cells, so shipping patterns for
+// every P is gigabytes.  The sweep winner, however, is fully determined by
+// its construction coordinates: gcrm_build(P, r, seed) deterministically
+// reproduces the winning pattern in milliseconds.  The table therefore
+// stores one (P, r, seed, cost) row per node count — about 40 bytes — and
+// the serving layer rebuilds on demand, cross-checking the rebuilt cost
+// against the recorded one (a mismatching row is ignored, never served).
+//
+// The header pins the exact GcrmSearchOptions the table was swept with:
+// rows only answer queries whose options match, so a different search
+// budget transparently falls back to a live sweep.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/pattern_search.hpp"
+
+namespace anyblock::store {
+
+struct WinnerRow {
+  std::int64_t P = 0;
+  std::int64_t r = 0;        ///< winning pattern size
+  std::uint64_t seed = 0;    ///< winning construction seed
+  double cost = 0.0;         ///< z-bar of the winner, for cross-checking
+};
+
+class WinnersTable {
+ public:
+  /// The options every row was swept under.
+  [[nodiscard]] const core::GcrmSearchOptions& options() const {
+    return options_;
+  }
+  void set_options(const core::GcrmSearchOptions& options) {
+    options_ = options;
+  }
+
+  [[nodiscard]] std::optional<WinnerRow> find(std::int64_t P) const;
+  void add(const WinnerRow& row);
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::int64_t max_p() const {
+    return rows_.empty() ? 0 : rows_.rbegin()->first;
+  }
+
+  /// Atomic save (tmp + rename).  Plain TSV with a version/options header
+  /// and a trailing whole-file CRC line.
+  [[nodiscard]] bool save_file(const std::string& path) const;
+
+  /// Loads `path`, replacing the contents; returns false (leaving the
+  /// table empty, with `error()` describing why) on a missing file, a
+  /// version/CRC mismatch, or a malformed row.  A shipped artifact is
+  /// all-or-nothing: unlike the store, a damaged table is rejected whole.
+  [[nodiscard]] bool load_file(const std::string& path);
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  static constexpr int kFormatVersion = 1;
+
+ private:
+  core::GcrmSearchOptions options_;
+  std::map<std::int64_t, WinnerRow> rows_;
+  std::string error_;
+};
+
+}  // namespace anyblock::store

@@ -1,0 +1,26 @@
+// Small self-contained hashes for on-disk integrity and content addressing.
+//
+// The pattern store (src/store) names every record by a digest of its
+// canonical key text and guards every payload with a CRC — a record that
+// does not check out is evicted, never trusted.  Both functions are pure,
+// platform-independent, and stable across releases: the digests are part
+// of the on-disk format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace anyblock {
+
+/// FNV-1a 64-bit over a byte string.  Used as the content-address digest of
+/// canonical key text; stability across platforms matters more than
+/// collision resistance (a collision only costs a wrong-key check, caught
+/// by the key text stored inside the record).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte string.
+/// Guards store payloads against torn writes and bit rot.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+}  // namespace anyblock

@@ -95,5 +95,90 @@ TEST(PatternSearch, InvalidP) {
   EXPECT_THROW(gcrm_search(0, GcrmSearchOptions{}), std::invalid_argument);
 }
 
+TEST(PatternSearch, SmallestNodeCounts) {
+  // P = 2 and P = 3: the degenerate end of the sweep, where few r are
+  // feasible at all (r(r-1) >= P and Eq. 3 must both hold).
+  const GcrmSearchResult two = gcrm_search(2, fast_options());
+  ASSERT_TRUE(two.found);
+  EXPECT_TRUE(two.best.validate().empty());
+  EXPECT_TRUE(two.best.is_balanced(1));
+  EXPECT_EQ(two.best_r, 4);
+  EXPECT_DOUBLE_EQ(two.best_cost, 1.75);
+
+  const GcrmSearchResult three = gcrm_search(3, fast_options());
+  ASSERT_TRUE(three.found);
+  EXPECT_EQ(three.best_r, 3);
+  EXPECT_DOUBLE_EQ(three.best_cost, 2.0);
+  for (const std::int64_t r : gcrm_feasible_sizes(2, 12))
+    EXPECT_TRUE(gcrm_feasible(2, r));
+}
+
+TEST(PatternSearch, MaxRFactorBoundary) {
+  // The sweep ceiling is max_r_factor * sqrt(P); at factor 1 no feasible r
+  // survives for P = 23 (the smallest is r = 6 > floor(sqrt(23)) = 4), so
+  // the search honestly reports nothing instead of quietly widening.
+  GcrmSearchOptions tight = fast_options();
+  tight.max_r_factor = 1.0;
+  EXPECT_EQ(gcrm_sweep_max_r(23, tight), 4);
+  const GcrmSearchResult none = gcrm_search(23, tight);
+  EXPECT_FALSE(none.found);
+
+  GcrmSearchOptions standard = fast_options();
+  EXPECT_EQ(gcrm_sweep_max_r(23, standard), 28);
+  EXPECT_TRUE(gcrm_search(23, standard).found);
+}
+
+TEST(PatternSearch, AttemptSeedsAreIndependentStreams) {
+  // The per-attempt seed is a pure function of (base, r, s) — the property
+  // the parallel sweep's correctness rests on — and distinct across the
+  // (r, s) grid.
+  const std::uint64_t a = gcrm_attempt_seed(42, 6, 0);
+  EXPECT_EQ(a, gcrm_attempt_seed(42, 6, 0));
+  EXPECT_NE(a, gcrm_attempt_seed(42, 6, 1));
+  EXPECT_NE(a, gcrm_attempt_seed(42, 7, 0));
+  EXPECT_NE(a, gcrm_attempt_seed(43, 6, 0));
+}
+
+TEST(PatternSearch, DeterminismRegressionPins) {
+  // Exact winners under the default base seed with 10 restarts.  These pins
+  // freeze the seed derivation (gcrm_attempt_seed) and the sweep's
+  // tie-breaking: any change to either shows up here before it silently
+  // invalidates shipped winners tables.
+  struct Pin {
+    std::int64_t P;
+    std::int64_t r;
+    std::uint64_t seed;
+    double cost;
+  };
+  const Pin pins[] = {
+      {2, 4, 10476127714420245461ull, 0x1.cp+0},
+      {3, 3, 14776605467051059856ull, 0x1p+1},
+      {10, 14, 10199843993517833259ull, 0x1.f6db6db6db6dbp+1},
+      {23, 24, 13317451383556275218ull, 0x1.82aaaaaaaaaabp+2},
+      {31, 23, 8561350423227967952ull, 0x1.c2c8590b21643p+2},
+      {37, 35, 4905807329613737129ull, 0x1.f507507507507p+2},
+  };
+  for (const Pin& pin : pins) {
+    SCOPED_TRACE(pin.P);
+    const GcrmSearchResult result = gcrm_search(pin.P, fast_options());
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.best_r, pin.r);
+    EXPECT_EQ(result.best_seed, pin.seed);
+    EXPECT_EQ(result.best_cost, pin.cost);  // bit-exact, not approximate
+  }
+}
+
+TEST(PatternSearch, WinnerCoordinatesReproduceTheWinner) {
+  // (best_r, best_seed) must rebuild `best` exactly — the contract the
+  // winners table ships on.
+  for (const std::int64_t P : {10, 23, 31}) {
+    const GcrmSearchResult result = gcrm_search(P, fast_options());
+    ASSERT_TRUE(result.found) << P;
+    const GcrmResult rebuilt = gcrm_build(P, result.best_r, result.best_seed);
+    ASSERT_TRUE(rebuilt.valid) << P;
+    EXPECT_EQ(rebuilt.pattern, result.best) << P;
+  }
+}
+
 }  // namespace
 }  // namespace anyblock::core

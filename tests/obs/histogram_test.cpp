@@ -1,0 +1,81 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace anyblock::obs {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean_seconds(), 0.0);
+  EXPECT_EQ(h.quantile_seconds(0.5), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+}
+
+TEST(LatencyHistogram, TracksCountMinMaxMean) {
+  LatencyHistogram h;
+  h.record_seconds(1e-6);
+  h.record_seconds(3e-6);
+  h.record_seconds(8e-6);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 8e-6);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 4e-6);
+}
+
+TEST(LatencyHistogram, QuantileWithinOneBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record_seconds(2e-6);   // bucket [2, 4) us
+  h.record_seconds(1e-3);                                // ~2^10 us
+  // p50 sits in the [2, 4) us bucket: upper edge 4 us.
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), 4e-6);
+  // p100 covers the single slow sample; its bucket edge is >= 1 ms.
+  EXPECT_GE(h.quantile_seconds(1.0), 1e-3);
+  // The slow outlier must not drag p50 upward.
+  EXPECT_LT(h.quantile_seconds(0.5), 1e-5);
+}
+
+TEST(LatencyHistogram, ExtremeSamplesAreNotDropped) {
+  LatencyHistogram h;
+  h.record_seconds(0.0);       // sub-microsecond → first bucket
+  h.record_seconds(1e-9);
+  h.record_seconds(1e6);       // ~11.5 days → open-ended last bucket
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 1e6);
+}
+
+TEST(LatencyHistogram, MetricRowsCarryPrefix) {
+  LatencyHistogram h;
+  h.record_seconds(5e-6);
+  const auto rows = h.metric_rows("serve_warm");
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].first, "serve_warm_count");
+  EXPECT_DOUBLE_EQ(rows[0].second, 1.0);
+  EXPECT_EQ(rows[1].first, "serve_warm_mean_us");
+  EXPECT_DOUBLE_EQ(rows[1].second, 5.0);
+  EXPECT_EQ(rows[2].first, "serve_warm_p50_us");
+  EXPECT_EQ(rows[3].first, "serve_warm_p99_us");
+  EXPECT_EQ(rows[4].first, "serve_warm_max_us");
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingIsExact) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&h] {
+      for (int j = 0; j < kPerThread; ++j) h.record_seconds(1e-6);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // The sum accumulates rounding over 40k adds; exact to ~1e-12 is plenty.
+  EXPECT_NEAR(h.mean_seconds(), 1e-6, 1e-11);
+}
+
+}  // namespace
+}  // namespace anyblock::obs

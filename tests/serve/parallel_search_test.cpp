@@ -1,0 +1,99 @@
+#include "serve/parallel_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_search.hpp"
+#include "runtime/task_engine.hpp"
+
+namespace anyblock::serve {
+namespace {
+
+core::GcrmSearchOptions fast_options() {
+  core::GcrmSearchOptions options;
+  options.seeds = 10;
+  return options;
+}
+
+/// The acceptance criterion, verbatim: the parallel sweep must return the
+/// SAME pattern at the SAME cost as the sequential gcrm_search — not an
+/// equally-good winner, the identical one (including the tie-broken winner
+/// coordinates), for any worker count.
+TEST(ParallelSearch, BitIdenticalToSequential) {
+  for (const std::int64_t P : {2, 7, 13, 23, 31}) {
+    SCOPED_TRACE(P);
+    const core::GcrmSearchResult sequential =
+        core::gcrm_search(P, fast_options());
+    for (const int workers : {1, 2, 4, 7}) {
+      SCOPED_TRACE(workers);
+      runtime::TaskEngine engine(workers);
+      const core::GcrmSearchResult parallel =
+          parallel_gcrm_search(P, fast_options(), engine);
+      ASSERT_EQ(parallel.found, sequential.found);
+      if (!sequential.found) continue;
+      EXPECT_EQ(parallel.best, sequential.best);
+      EXPECT_EQ(parallel.best_cost, sequential.best_cost);  // bit-exact
+      EXPECT_EQ(parallel.best_r, sequential.best_r);
+      EXPECT_EQ(parallel.best_seed, sequential.best_seed);
+    }
+  }
+}
+
+TEST(ParallelSearch, SamplesMatchSequentialOrderAndContent) {
+  // With keep_samples the merged sample list must replay the sequential
+  // sweep's canonical (r, then s) order exactly — Fig. 9 analyses consume
+  // this ordering.
+  core::GcrmSearchOptions options = fast_options();
+  options.seeds = 3;
+  const core::GcrmSearchResult sequential =
+      core::gcrm_search(23, options, true);
+  runtime::TaskEngine engine(3);
+  const core::GcrmSearchResult parallel =
+      parallel_gcrm_search(23, options, engine, true);
+  ASSERT_EQ(parallel.samples.size(), sequential.samples.size());
+  for (std::size_t i = 0; i < sequential.samples.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(parallel.samples[i].r, sequential.samples[i].r);
+    EXPECT_EQ(parallel.samples[i].seed, sequential.samples[i].seed);
+    EXPECT_EQ(parallel.samples[i].cost, sequential.samples[i].cost);
+    EXPECT_EQ(parallel.samples[i].valid, sequential.samples[i].valid);
+    EXPECT_EQ(parallel.samples[i].balanced, sequential.samples[i].balanced);
+  }
+}
+
+TEST(ParallelSearch, NoSamplesByDefault) {
+  runtime::TaskEngine engine(2);
+  const core::GcrmSearchResult result =
+      parallel_gcrm_search(10, fast_options(), engine);
+  EXPECT_TRUE(result.samples.empty());
+}
+
+TEST(ParallelSearch, InfeasibleSweepReportsNothing) {
+  core::GcrmSearchOptions tight = fast_options();
+  tight.max_r_factor = 1.0;  // no feasible r for P = 23
+  runtime::TaskEngine engine(2);
+  const core::GcrmSearchResult result =
+      parallel_gcrm_search(23, tight, engine);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(ParallelSearch, EngineIsReusableAcrossSweeps) {
+  // One engine serving successive queries (the RecommendService pattern):
+  // results stay deterministic run over run.
+  runtime::TaskEngine engine(2);
+  const core::GcrmSearchResult a =
+      parallel_gcrm_search(17, fast_options(), engine);
+  const core::GcrmSearchResult b =
+      parallel_gcrm_search(17, fast_options(), engine);
+  ASSERT_TRUE(a.found);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_seed, b.best_seed);
+}
+
+TEST(ParallelSearch, InvalidP) {
+  runtime::TaskEngine engine(1);
+  EXPECT_THROW(parallel_gcrm_search(0, fast_options(), engine),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyblock::serve

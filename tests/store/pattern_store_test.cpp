@@ -1,0 +1,245 @@
+#include "store/pattern_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/block_cyclic.hpp"
+#include "core/g2dbc.hpp"
+
+namespace anyblock::store {
+namespace {
+
+StoreKey key_for(std::int64_t P, const std::string& metric = "symmetric") {
+  StoreKey key;
+  key.P = P;
+  key.metric = metric;
+  return key;
+}
+
+StoreEntry entry_for(std::int64_t P) {
+  StoreEntry entry;
+  entry.pattern = core::make_g2dbc(P);
+  entry.scheme = "G-2DBC";
+  entry.cost = 2.0 * P + 0.125;  // representable exactly; hexfloat round-trip
+  entry.rationale = "test entry for P = " + std::to_string(P);
+  return entry;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+TEST(StoreKeyDigest, CanonicalTextIsStable) {
+  const StoreKey key = key_for(23);
+  // The digest pre-image is part of the on-disk format: pin it.
+  EXPECT_EQ(canonical_key_text(key), "v1 symmetric 23 0x1.8p+2 100 42 1");
+  EXPECT_EQ(store_digest(key), store_digest(key_for(23)));
+  EXPECT_NE(store_digest(key), store_digest(key_for(24)));
+  EXPECT_NE(store_digest(key), store_digest(key_for(23, "lu")));
+
+  // Any options change re-keys the entry — a budget change can never serve
+  // a stale pattern.
+  StoreKey other = key_for(23);
+  other.search.seeds = 50;
+  EXPECT_NE(store_digest(key), store_digest(other));
+  other = key_for(23);
+  other.search.base_seed = 43;
+  EXPECT_NE(store_digest(key), store_digest(other));
+  other = key_for(23);
+  other.search.max_r_factor = 5.0;
+  EXPECT_NE(store_digest(key), store_digest(other));
+}
+
+TEST(PatternStore, InMemoryPutGet) {
+  PatternStore cache;
+  EXPECT_FALSE(cache.get(key_for(23)).has_value());
+  EXPECT_TRUE(cache.put(key_for(23), entry_for(23)));
+  const auto hit = cache.get(key_for(23));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pattern, core::make_g2dbc(23));
+  EXPECT_EQ(hit->scheme, "G-2DBC");
+  EXPECT_EQ(hit->cost, 2.0 * 23 + 0.125);
+  const StoreStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.inserts, 1);
+}
+
+TEST(PatternStore, FileRoundTripExact) {
+  const std::string path = temp_path("store_roundtrip.db");
+  std::remove(path.c_str());
+  {
+    PatternStore cache(path);
+    cache.put(key_for(23), entry_for(23));
+    cache.put(key_for(10, "lu"), entry_for(10));
+  }
+  PatternStore loaded(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto hit = loaded.get(key_for(23));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pattern, core::make_g2dbc(23));
+  EXPECT_EQ(hit->cost, 2.0 * 23 + 0.125);  // hexfloat: bit-exact round-trip
+  EXPECT_EQ(hit->rationale, "test entry for P = 23");
+  ASSERT_TRUE(loaded.get(key_for(10, "lu")).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, MissingFileIsEmptyStore) {
+  const std::string path = temp_path("store_never_written.db");
+  std::remove(path.c_str());
+  PatternStore cache(path);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evicted_corrupt, 0);
+}
+
+TEST(PatternStore, CorruptRecordIsEvictedOthersSurvive) {
+  const std::string path = temp_path("store_corrupt.db");
+  std::remove(path.c_str());
+  {
+    PatternStore cache(path);
+    cache.put(key_for(23), entry_for(23));
+    cache.put(key_for(31), entry_for(31));
+  }
+  // Flip one byte inside the FIRST record's rationale text: its CRC fails,
+  // the second record still loads.
+  std::string manifest = slurp(path);
+  const std::size_t at = manifest.find("test entry");
+  ASSERT_NE(at, std::string::npos);
+  manifest[at] = 'X';
+  spit(path, manifest);
+
+  PatternStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.stats().evicted_corrupt, 1);
+  // Whichever record was damaged, the surviving one answers correctly.
+  const bool first = reloaded.get(key_for(23)).has_value();
+  const bool second = reloaded.get(key_for(31)).has_value();
+  EXPECT_NE(first, second);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, MangledRecordHeaderDropsTheTail) {
+  const std::string path = temp_path("store_desync.db");
+  std::remove(path.c_str());
+  {
+    PatternStore cache(path);
+    cache.put(key_for(23), entry_for(23));
+  }
+  std::string manifest = slurp(path);
+  const std::size_t at = manifest.find("entry ");
+  ASSERT_NE(at, std::string::npos);
+  manifest.replace(at, 6, "wtf!! ");
+  spit(path, manifest);
+
+  PatternStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_GE(reloaded.stats().evicted_corrupt, 1);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, ForeignVersionIsNeverServed) {
+  const std::string path = temp_path("store_version.db");
+  std::remove(path.c_str());
+  {
+    PatternStore cache(path);
+    cache.put(key_for(23), entry_for(23));
+  }
+  std::string manifest = slurp(path);
+  const std::string header = "anyblock-pattern-store 1";
+  const std::size_t at = manifest.find(header);
+  ASSERT_EQ(at, 0u);
+  manifest.replace(0, header.size(), "anyblock-pattern-store 9");
+  spit(path, manifest);
+
+  PatternStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_EQ(reloaded.stats().evicted_version, 1);
+  EXPECT_EQ(reloaded.stats().evicted_corrupt, 0);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, TruncatedPayloadIsEvicted) {
+  const std::string path = temp_path("store_truncated.db");
+  std::remove(path.c_str());
+  {
+    PatternStore cache(path);
+    cache.put(key_for(23), entry_for(23));
+  }
+  const std::string manifest = slurp(path);
+  spit(path, manifest.substr(0, manifest.size() - 10));
+
+  PatternStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_GE(reloaded.stats().evicted_corrupt, 1);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, GiantPayloadLengthIsRejected) {
+  const std::string path = temp_path("store_giant.db");
+  // A forged length field must not trigger a giant allocation.
+  spit(path,
+       "anyblock-pattern-store 1\n"
+       "entry 0123456789abcdef 99999999999999 deadbeef\n");
+  PatternStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_GE(reloaded.stats().evicted_corrupt, 1);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, PutIsImmediatelyDurable) {
+  // put() on a file-backed store flushes via tmp+rename: a fresh reader
+  // (a second process in real deployments) sees the entry at once, and no
+  // .tmp debris is left behind.
+  const std::string path = temp_path("store_durable.db");
+  std::remove(path.c_str());
+  PatternStore writer(path);
+  writer.put(key_for(23), entry_for(23));
+
+  PatternStore reader(path);
+  EXPECT_TRUE(reader.get(key_for(23)).has_value());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, ReloadSeesConcurrentWriterState) {
+  const std::string path = temp_path("store_reload.db");
+  std::remove(path.c_str());
+  PatternStore reader(path);
+  EXPECT_EQ(reader.size(), 0u);
+  {
+    PatternStore writer(path);
+    writer.put(key_for(23), entry_for(23));
+  }
+  EXPECT_TRUE(reader.reload());
+  EXPECT_EQ(reader.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(PatternStore, KeysEnumerateContents) {
+  PatternStore cache;
+  cache.put(key_for(23), entry_for(23));
+  cache.put(key_for(10, "lu"), entry_for(10));
+  const auto keys = cache.keys();
+  EXPECT_EQ(keys.size(), 2u);
+  for (const StoreKey& key : keys)
+    EXPECT_TRUE(key == key_for(23) || key == key_for(10, "lu"));
+}
+
+}  // namespace
+}  // namespace anyblock::store

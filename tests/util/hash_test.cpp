@@ -1,0 +1,44 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace anyblock {
+namespace {
+
+// Both hashes are on-disk format constants (store record CRCs, content
+// digests), so they are pinned against published reference vectors — a
+// changed constant here means existing manifests stop verifying.
+
+TEST(Hash, Fnv1a64ReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);  // offset basis
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, Crc32ReferenceVectors) {
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);  // the classic check value
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414fa339u);
+}
+
+TEST(Hash, SensitiveToEveryByte) {
+  const std::string base = "anyblock pattern store record";
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string mutated = base;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(fnv1a64(mutated), fnv1a64(base)) << i;
+    EXPECT_NE(crc32(mutated), crc32(base)) << i;
+  }
+}
+
+TEST(Hash, EmbeddedNulBytesCount) {
+  const std::string with_nul("ab\0cd", 5);
+  EXPECT_NE(fnv1a64(with_nul), fnv1a64("abcd"));
+  EXPECT_NE(crc32(with_nul), crc32("abcd"));
+}
+
+}  // namespace
+}  // namespace anyblock

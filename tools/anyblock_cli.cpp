@@ -1,18 +1,23 @@
 // anyblock — command-line front end to the distribution-pattern library.
 //
-//   anyblock recommend --nodes 23 --kernel lu
-//   anyblock cost      --nodes 23
-//   anyblock show      --kind g2dbc --nodes 10
-//   anyblock simulate  --kernel cholesky --nodes 31 --size 200000
-//   anyblock run       --kernel lu --nodes 23 --tiles 12
-//   anyblock launch    --procs 2 -- run --kernel lu --nodes 23
-//   anyblock atlas     --min 2 --max 40 --out atlas.db
+//   anyblock recommend  --nodes 23 --kernel lu
+//   anyblock recommend  --batch 23,31,39 --kernel cholesky --format json
+//   anyblock cost       --nodes 23
+//   anyblock show       --kind g2dbc --nodes 10
+//   anyblock simulate   --kernel cholesky --nodes 31 --size 200000
+//   anyblock run        --kernel lu --nodes 23 --tiles 12
+//   anyblock launch     --procs 2 -- run --kernel lu --nodes 23
+//   anyblock atlas      --min 2 --max 40 --out atlas.db
+//   anyblock precompute --max-p 10000 --table data/gcrm_winners.tsv
 //
 // Each subcommand accepts --help.  CSV/structured output goes to stdout.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/config.hpp"
@@ -33,7 +38,10 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/parallel_search.hpp"
+#include "serve/recommend_service.hpp"
 #include "sim/engine.hpp"
+#include "store/winners_table.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
 #include "vmpi/transport.hpp"
@@ -50,28 +58,255 @@ core::Kernel parse_kernel(const std::string& name) {
                               " (expected lu|cholesky|syrk)");
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One recommendation as a JSON object (schema documented in README.md).
+std::string served_to_json(std::int64_t P, const std::string& kernel,
+                           const serve::ServedRecommendation& served,
+                           bool include_pattern) {
+  const core::Recommendation& rec = served.rec;
+  std::ostringstream out;
+  out << "{\"nodes\":" << P << ",\"kernel\":\"" << json_escape(kernel)
+      << "\",\"scheme\":\"" << json_escape(rec.scheme)
+      << "\",\"rows\":" << rec.pattern.rows()
+      << ",\"cols\":" << rec.pattern.cols() << ",\"cost\":";
+  char cost[64];
+  std::snprintf(cost, sizeof cost, "%.6f", rec.cost);
+  out << cost << ",\"source\":\"" << source_name(served.source)
+      << "\",\"seconds\":";
+  char secs[64];
+  std::snprintf(secs, sizeof secs, "%.6f", served.seconds);
+  out << secs << ",\"rationale\":\"" << json_escape(rec.rationale) << '"';
+  if (include_pattern)
+    out << ",\"pattern\":\"" << json_escape(core::serialize_pattern(rec.pattern))
+        << '"';
+  out << '}';
+  return out.str();
+}
+
+/// Shared --store/--table wiring for every service-backed command.
+/// (simulate/run already use --workers for compute workers per node, so the
+/// sweep thread count is a separate argument.)
+void add_service_options(ArgParser& parser) {
+  parser.add("store", "",
+             "persistent pattern-store manifest (created on first use)");
+  parser.add("table", "", "shipped winners table, e.g. data/gcrm_winners.tsv");
+}
+
+int resolve_workers(std::int64_t requested) {
+  if (requested > 0) return static_cast<int>(requested);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+serve::ServiceOptions service_options_from(const ArgParser& parser,
+                                           const core::RecommendOptions& rec,
+                                           int workers) {
+  serve::ServiceOptions options;
+  options.store_path = parser.get("store");
+  options.table_path = parser.get("table");
+  options.recommend = rec;
+  options.workers = workers;
+  return options;
+}
+
 int cmd_recommend(int argc, char** argv) {
   ArgParser parser("anyblock recommend",
                    "pick the best distribution scheme for P nodes");
   parser.add("nodes", "23", "number of nodes P");
+  parser.add("batch", "", "comma-separated node counts, e.g. 23,31,39");
+  parser.add("batch-file", "",
+             "file with one node count per line ('#' starts a comment)");
   parser.add("kernel", "lu", "lu | cholesky | syrk");
   parser.add("seeds", "100", "GCR&M search restarts (symmetric kernels)");
+  parser.add("format", "text", "text | json");
+  add_service_options(parser);
+  parser.add("workers", "0",
+             "sweep worker threads (0 = hardware concurrency)");
   parser.add_flag("print-pattern", "also render the pattern");
+  parser.add_flag("stats", "append service counters (hits, latency)");
   if (!parser.parse(argc, argv)) return 1;
 
+  const std::string format = parser.get("format");
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "recommend: --format must be text or json\n");
+    return 1;
+  }
+
+  // One query list: --nodes, or --batch, or --batch-file (first match wins,
+  // so plain `anyblock recommend --nodes 23` behaves exactly as before).
+  std::vector<std::int64_t> nodes;
+  if (!parser.get("batch").empty()) {
+    nodes = parser.get_int_list("batch");
+  } else if (!parser.get("batch-file").empty()) {
+    std::ifstream in(parser.get("batch-file"));
+    if (!in) {
+      std::fprintf(stderr, "recommend: cannot read %s\n",
+                   parser.get("batch-file").c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      std::istringstream row(line);
+      std::int64_t P = 0;
+      if (row >> P) nodes.push_back(P);
+    }
+  } else {
+    nodes.push_back(parser.get_int("nodes"));
+  }
+  if (nodes.empty()) {
+    std::fprintf(stderr, "recommend: no node counts given\n");
+    return 1;
+  }
+
+  const core::Kernel kernel = parse_kernel(parser.get("kernel"));
   core::RecommendOptions options;
   options.search.seeds = parser.get_int("seeds");
-  const core::Recommendation rec = core::recommend_pattern(
-      parser.get_int("nodes"), parse_kernel(parser.get("kernel")), options);
-  std::printf("scheme:    %s\n", rec.scheme.c_str());
-  std::printf("pattern:   %lldx%lld over %lld nodes\n",
-              static_cast<long long>(rec.pattern.rows()),
-              static_cast<long long>(rec.pattern.cols()),
-              static_cast<long long>(rec.pattern.num_nodes()));
-  std::printf("cost T:    %.4f\n", rec.cost);
-  std::printf("rationale: %s\n", rec.rationale.c_str());
-  if (parser.get_flag("print-pattern"))
-    std::printf("%s", core::render_pattern(rec.pattern).c_str());
+  serve::RecommendService service(service_options_from(
+      parser, options, resolve_workers(parser.get_int("workers"))));
+  const std::vector<serve::ServedRecommendation> served =
+      service.recommend_batch(nodes, kernel);
+
+  const bool print_pattern = parser.get_flag("print-pattern");
+  if (format == "json") {
+    std::printf("{\"schema_version\":1,\"results\":[");
+    for (std::size_t i = 0; i < served.size(); ++i)
+      std::printf("%s%s", i == 0 ? "" : ",",
+                  served_to_json(nodes[i], parser.get("kernel"), served[i],
+                                 print_pattern)
+                      .c_str());
+    std::printf("]");
+    if (parser.get_flag("stats")) {
+      std::printf(",\"metrics\":{");
+      const auto rows = service.metric_rows();
+      for (std::size_t i = 0; i < rows.size(); ++i)
+        std::printf("%s\"%s\":%.6f", i == 0 ? "" : ",",
+                    json_escape(rows[i].first).c_str(), rows[i].second);
+      std::printf("}");
+    }
+    std::printf("}\n");
+    return 0;
+  }
+
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    const core::Recommendation& rec = served[i].rec;
+    if (i > 0) std::printf("\n");
+    std::printf("scheme:    %s\n", rec.scheme.c_str());
+    std::printf("pattern:   %lldx%lld over %lld nodes\n",
+                static_cast<long long>(rec.pattern.rows()),
+                static_cast<long long>(rec.pattern.cols()),
+                static_cast<long long>(rec.pattern.num_nodes()));
+    std::printf("cost T:    %.4f\n", rec.cost);
+    std::printf("source:    %s (%.3f ms)\n", source_name(served[i].source),
+                served[i].seconds * 1e3);
+    std::printf("rationale: %s\n", rec.rationale.c_str());
+    if (print_pattern)
+      std::printf("%s", core::render_pattern(rec.pattern).c_str());
+  }
+  if (parser.get_flag("stats"))
+    for (const auto& [name, value] : service.metric_rows())
+      std::fprintf(stderr, "%s %.6f\n", name.c_str(), value);
+  return 0;
+}
+
+int cmd_precompute(int argc, char** argv) {
+  ArgParser parser(
+      "anyblock precompute",
+      "sweep GCR&M winners for a range of P and ship them as a table");
+  parser.add("min-p", "2", "smallest P");
+  parser.add("max-p", "64", "largest P");
+  parser.add("seeds", "100", "GCR&M search restarts per size");
+  parser.add("table", "data/gcrm_winners.tsv", "output winners table");
+  parser.add("store", "",
+             "also memoize full recommendations into this pattern store");
+  parser.add("workers", "0",
+             "sweep worker threads (0 = hardware concurrency)");
+  parser.add_flag("resume",
+                  "keep rows already in the table (same options only)");
+  if (!parser.parse(argc, argv)) return 1;
+
+  const std::int64_t min_p = parser.get_int("min-p");
+  const std::int64_t max_p = parser.get_int("max-p");
+  if (min_p < 2 || max_p < min_p) {
+    std::fprintf(stderr, "precompute: need 2 <= min-p <= max-p\n");
+    return 1;
+  }
+  core::GcrmSearchOptions options;
+  options.seeds = parser.get_int("seeds");
+  const int workers = resolve_workers(parser.get_int("workers"));
+
+  store::WinnersTable table;
+  if (parser.get_flag("resume") && table.load_file(parser.get("table")) &&
+      !(table.options() == options)) {
+    std::fprintf(stderr,
+                 "precompute: existing table was swept with different "
+                 "options; starting over\n");
+    table = store::WinnersTable();
+  }
+  table.set_options(options);
+
+  std::unique_ptr<store::PatternStore> memo;
+  if (!parser.get("store").empty())
+    memo = std::make_unique<store::PatternStore>(parser.get("store"));
+
+  runtime::TaskEngine engine(workers);
+  std::int64_t swept = 0;
+  for (std::int64_t P = min_p; P <= max_p; ++P) {
+    if (table.find(P)) continue;  // resume: row already present
+    const core::GcrmSearchResult search =
+        serve::parallel_gcrm_search(P, options, engine);
+    if (!search.found) {
+      std::fprintf(stderr, "P=%lld: no feasible pattern\n",
+                   static_cast<long long>(P));
+      continue;
+    }
+    table.add({P, search.best_r, search.best_seed, search.best_cost});
+    ++swept;
+    if (memo) {
+      core::RecommendOptions rec_options;
+      rec_options.search = options;
+      const core::Recommendation rec =
+          core::recommend_symmetric_from_search(P, search, rec_options);
+      store::StoreKey key;
+      key.P = P;
+      key.metric = "symmetric";
+      key.search = options;
+      memo->put(key, {rec.pattern, rec.scheme, rec.cost, rec.rationale});
+    }
+    std::fprintf(stderr, "P=%lld done (r=%lld cost %.4f)\n",
+                 static_cast<long long>(P),
+                 static_cast<long long>(search.best_r), search.best_cost);
+  }
+  if (!table.save_file(parser.get("table"))) {
+    std::fprintf(stderr, "cannot write %s\n", parser.get("table").c_str());
+    return 1;
+  }
+  std::printf("%zu winners (%lld new) -> %s\n", table.size(),
+              static_cast<long long>(swept), parser.get("table").c_str());
   return 0;
 }
 
@@ -167,6 +402,22 @@ int cmd_show(int argc, char** argv) {
   return 0;
 }
 
+/// Pattern lookup for simulate/run: straight recommend_pattern unless a
+/// store or winners table was given, in which case the service answers
+/// (memoizing a cold sweep for next time) with an identical result.
+core::Recommendation resolve_recommendation(
+    const ArgParser& parser, std::int64_t P, core::Kernel kernel,
+    const core::RecommendOptions& options) {
+  if (parser.get("store").empty() && parser.get("table").empty())
+    return core::recommend_pattern(P, kernel, options);
+  serve::RecommendService service(
+      service_options_from(parser, options, resolve_workers(0)));
+  const serve::ServedRecommendation served = service.recommend(P, kernel);
+  std::fprintf(stderr, "pattern served from %s in %.3f ms\n",
+               source_name(served.source), served.seconds * 1e3);
+  return served.rec;
+}
+
 int cmd_simulate(int argc, char** argv) {
   ArgParser parser("anyblock simulate",
                    "simulate a factorization under the recommended pattern");
@@ -188,6 +439,7 @@ int cmd_simulate(int argc, char** argv) {
   parser.add("metrics", "", "write a CSV metrics summary here");
   parser.add("faults", "",
              "fault spec, e.g. drop=0.01,delay-ms=5,dup=0.001,seed=42");
+  add_service_options(parser);
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t P = parser.get_int("nodes");
@@ -199,7 +451,8 @@ int cmd_simulate(int argc, char** argv) {
   }
   core::RecommendOptions options;
   options.search.seeds = parser.get_int("seeds");
-  const core::Recommendation rec = core::recommend_pattern(P, kernel, options);
+  const core::Recommendation rec =
+      resolve_recommendation(parser, P, kernel, options);
 
   sim::MachineConfig machine;
   machine.nodes = P;
@@ -327,6 +580,7 @@ int cmd_run(int argc, char** argv) {
   parser.add_flag("crosscheck",
                   "re-run over the in-process backend and require "
                   "bit-identical factors and per-rank message counts");
+  add_service_options(parser);
   if (!parser.parse(argc, argv)) return 1;
 
   const std::int64_t P = parser.get_int("nodes");
@@ -345,7 +599,8 @@ int cmd_run(int argc, char** argv) {
 
   core::RecommendOptions options;
   options.search.seeds = parser.get_int("seeds");
-  const core::Recommendation rec = core::recommend_pattern(P, kernel, options);
+  const core::Recommendation rec =
+      resolve_recommendation(parser, P, kernel, options);
   const core::PatternDistribution distribution(rec.pattern, t, symmetric,
                                                rec.scheme);
 
@@ -580,6 +835,10 @@ void print_usage() {
       "usage: anyblock <command> [options]\n\n"
       "commands:\n"
       "  recommend   pick the best scheme for P nodes and a kernel\n"
+      "              (--batch P1,P2,... and --format json for tooling;\n"
+      "              --store/--table serve memoized answers)\n"
+      "  precompute  sweep GCR&M winners for a range of P into a shipped\n"
+      "              table (data/gcrm_winners.tsv)\n"
       "  cost        list every scheme's communication cost for P nodes\n"
       "  show        build and render one pattern\n"
       "  simulate    run the cluster simulator with the recommended pattern\n"
@@ -603,6 +862,7 @@ int main(int argc, char** argv) {
   char** sub_argv = argv + 1;
   try {
     if (command == "recommend") return cmd_recommend(sub_argc, sub_argv);
+    if (command == "precompute") return cmd_precompute(sub_argc, sub_argv);
     if (command == "cost") return cmd_cost(sub_argc, sub_argv);
     if (command == "show") return cmd_show(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
