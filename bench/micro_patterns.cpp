@@ -45,10 +45,14 @@ void BM_GcrmFullSearch(benchmark::State& state) {
   const std::int64_t P = state.range(0);
   core::GcrmSearchOptions options;
   options.seeds = 100;
+  options.prune = state.range(1) != 0;  // both are bit-identical winners
   for (auto _ : state)
     benchmark::DoNotOptimize(core::gcrm_search(P, options));
 }
-BENCHMARK(BM_GcrmFullSearch)->Arg(23)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GcrmFullSearch)
+    ->Args({23, 0})
+    ->Args({23, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LuCost(benchmark::State& state) {
   const core::Pattern pattern = core::make_g2dbc(state.range(0));

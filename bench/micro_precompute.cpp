@@ -1,0 +1,287 @@
+// Micro benchmarks for the pruned precompute sweep plus the
+// BENCH_precompute.json perf trajectory.
+//
+// Two personalities behind one custom main:
+//
+//   micro_precompute                      google-benchmark sweeps: one
+//                                         gcrm_build at reference sizes and
+//                                         the pruned/unpruned search at
+//                                         small P
+//   micro_precompute --json=BENCH_precompute.json
+//                                         append one trajectory entry: the
+//                                         pinned sweep window run pruned
+//                                         and unpruned, their wall times,
+//                                         the prune speedup, and the
+//                                         abandon/skip counters
+//   micro_precompute --json=... --check   same, but exit 1 when the pruned
+//                                         sweep runs >25% slower than the
+//                                         last recorded entry
+//
+// The trajectory asserts what the golden tests assert — pruning must be
+// result-identical — before recording anything: every winner coordinate
+// (r, seed) and every cost bit is compared against the unpruned sweep, and
+// a fast wrong answer never enters the perf history.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gcrm.hpp"
+#include "core/pattern_search.hpp"
+#include "runtime/task_engine.hpp"
+#include "serve/parallel_search.hpp"
+
+using namespace anyblock;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BM_GcrmBuild(benchmark::State& state) {
+  const std::int64_t P = state.range(0);
+  const std::int64_t r = state.range(1);
+  std::uint64_t seed = 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::gcrm_build(P, r, ++seed));
+}
+BENCHMARK(BM_GcrmBuild)
+    ->Args({23, 24})
+    ->Args({64, 48})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SearchPruned(benchmark::State& state) {
+  core::GcrmSearchOptions options;
+  options.seeds = 20;
+  options.prune = state.range(1) != 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::gcrm_search(state.range(0), options));
+}
+BENCHMARK(BM_SearchPruned)
+    ->Args({23, 0})
+    ->Args({23, 1})
+    ->Args({31, 0})
+    ->Args({31, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_precompute.json trajectory
+// ---------------------------------------------------------------------------
+
+/// The pinned sweep window: large enough that pruning has balanced
+/// incumbents to compare against, small enough for a CI smoke job.  The
+/// full-scale numbers (P <= 512 and the P <= 10'000 recipe) live with the
+/// shipped table; this window tracks the per-commit trend.
+constexpr std::int64_t kWindowMin = 60;
+constexpr std::int64_t kWindowMax = 64;
+
+struct Measurement {
+  double pruned_seconds = 0.0;
+  double unpruned_seconds = 0.0;
+  double prune_speedup = 0.0;
+  std::int64_t attempts_built = 0;
+  std::int64_t attempts_abandoned = 0;
+  std::int64_t attempts_skipped = 0;
+  std::int64_t sizes_pruned = 0;
+  std::int64_t sizes_feasible = 0;
+  int workers = 0;
+};
+
+/// Returns false (diverged) when any winner differs between the pruned and
+/// unpruned sweeps — the trajectory refuses to record such a build.
+bool measure(Measurement& m) {
+  int workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) workers = 1;
+  runtime::TaskEngine engine(workers);
+  m.workers = workers;
+
+  core::GcrmSearchOptions pruned_options;  // default budget: what the
+  pruned_options.prune = true;             // shipped table is swept with
+  core::GcrmSearchOptions unpruned_options;
+  unpruned_options.prune = false;
+
+  std::vector<core::GcrmSearchResult> pruned;
+  core::GcrmSweepProfile profile;
+  double start = now_seconds();
+  for (std::int64_t P = kWindowMin; P <= kWindowMax; ++P)
+    pruned.push_back(
+        serve::parallel_gcrm_search(P, pruned_options, engine, false,
+                                    &profile));
+  m.pruned_seconds = now_seconds() - start;
+  m.attempts_built = profile.attempts_built;
+  m.attempts_abandoned = profile.attempts_abandoned;
+  m.attempts_skipped = profile.attempts_skipped;
+  m.sizes_pruned = profile.sizes_pruned;
+  m.sizes_feasible = profile.sizes_feasible;
+
+  start = now_seconds();
+  for (std::int64_t P = kWindowMin; P <= kWindowMax; ++P) {
+    const core::GcrmSearchResult reference =
+        serve::parallel_gcrm_search(P, unpruned_options, engine);
+    const core::GcrmSearchResult& fast =
+        pruned[static_cast<std::size_t>(P - kWindowMin)];
+    if (fast.found != reference.found) return false;
+    if (!reference.found) continue;
+    if (fast.best_r != reference.best_r ||
+        fast.best_seed != reference.best_seed ||
+        fast.best_cost != reference.best_cost ||
+        !(fast.best == reference.best))
+      return false;
+  }
+  m.unpruned_seconds = now_seconds() - start;
+  m.prune_speedup =
+      m.pruned_seconds > 0.0 ? m.unpruned_seconds / m.pruned_seconds : 0.0;
+  return true;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+std::string render_entry(const std::string& label, const Measurement& m) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "  {\n"
+      << "    \"date\": \"" << utc_timestamp() << "\",\n"
+      << "    \"label\": \"" << label << "\",\n"
+      << "    \"config\": {\"min_p\": " << kWindowMin
+      << ", \"max_p\": " << kWindowMax
+      << ", \"seeds\": " << core::GcrmSearchOptions{}.seeds
+      << ", \"workers\": " << m.workers << "},\n"
+      << "    \"pruned_sweep_seconds\": " << std::fixed << m.pruned_seconds
+      << ",\n"
+      << "    \"unpruned_sweep_seconds\": " << m.unpruned_seconds << ",\n"
+      << "    \"prune_speedup\": " << m.prune_speedup << ",\n"
+      << "    \"attempts_built\": " << m.attempts_built << ",\n"
+      << "    \"attempts_abandoned\": " << m.attempts_abandoned << ",\n"
+      << "    \"attempts_skipped\": " << m.attempts_skipped << ",\n"
+      << "    \"sizes_pruned\": " << m.sizes_pruned << ",\n"
+      << "    \"sizes_feasible\": " << m.sizes_feasible << "\n  }";
+  return out.str();
+}
+
+/// Last "pruned_sweep_seconds" already in the trajectory (the regression
+/// baseline), or -1 when the file has no entries.
+double last_pruned_seconds(const std::string& text) {
+  const std::string key = "\"pruned_sweep_seconds\":";
+  double last = -1.0;
+  std::size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    at += key.size();
+    last = std::strtod(text.c_str() + at, nullptr);
+  }
+  return last;
+}
+
+int run_trajectory(const std::string& path, const std::string& label,
+                   bool check) {
+  Measurement m;
+  if (!measure(m)) {
+    std::fprintf(stderr,
+                 "pruned sweep diverged from the unpruned search — "
+                 "refusing to record perf for a wrong answer\n");
+    return 1;
+  }
+
+  std::string existing;
+  if (std::ifstream in(path); in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  const double previous = last_pruned_seconds(existing);
+
+  const std::string entry = render_entry(label, m);
+  std::string updated;
+  const std::size_t closing = existing.rfind(']');
+  if (closing == std::string::npos) {
+    updated = "[\n" + entry + "\n]\n";
+  } else {
+    const bool has_entries = existing.find('{') < closing;
+    updated = existing.substr(0, closing);
+    while (!updated.empty() &&
+           (updated.back() == '\n' || updated.back() == ' '))
+      updated.pop_back();
+    updated += has_entries ? ",\n" : "\n";
+    updated += entry + "\n]\n";
+  }
+  if (std::ofstream out(path); !out || !(out << updated)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("window:   P in [%lld, %lld], %lld seeds, %d workers\n",
+              static_cast<long long>(kWindowMin),
+              static_cast<long long>(kWindowMax),
+              static_cast<long long>(core::GcrmSearchOptions{}.seeds),
+              m.workers);
+  std::printf("pruned:   %.2f s (%lld built, %lld abandoned, %lld skipped, "
+              "%lld/%lld sizes pruned)\n",
+              m.pruned_seconds, static_cast<long long>(m.attempts_built),
+              static_cast<long long>(m.attempts_abandoned),
+              static_cast<long long>(m.attempts_skipped),
+              static_cast<long long>(m.sizes_pruned),
+              static_cast<long long>(m.sizes_feasible));
+  std::printf("unpruned: %.2f s (%.2fx speedup, bit-identical winners)\n",
+              m.unpruned_seconds, m.prune_speedup);
+  std::printf("appended to %s\n", path.c_str());
+
+  if (check && previous > 0.0 && m.pruned_seconds > 1.25 * previous) {
+    std::fprintf(stderr,
+                 "PERF REGRESSION: pruned sweep took %.2f s, more than 25%% "
+                 "above the last recorded %.2f s\n",
+                 m.pruned_seconds, previous);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string label = "dev";
+  bool check = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--label=", 8) == 0) {
+      label = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return run_trajectory(json_path, label, check);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

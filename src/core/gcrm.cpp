@@ -1,8 +1,11 @@
 #include "core/gcrm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/cost.hpp"
 #include "graph/hopcroft_karp.hpp"
@@ -13,33 +16,198 @@ namespace anyblock::core {
 
 bool gcrm_feasible(std::int64_t P, std::int64_t r) {
   if (P <= 0 || r <= 1) return false;
+  // Past this bound the Eq. 3 product below (at most r(r-1) + P - 1 with
+  // P <= r(r-1)) can exceed int64; such sizes are far beyond anything the
+  // builder accepts, so report them infeasible instead of wrapping.
+  if (r > 2'147'483'647) return false;
+  // Every node needs at least one off-diagonal cell to be present on some
+  // colrow at all.
+  if (r * (r - 1) < P) return false;
   // Eq. 3: the lazy diagonal assignment can only even out the load if no
-  // node is forced above r^2/P cells...
-  if (ceil_div(r * (r - 1), P) * P > r * r) return false;
-  // ... and every node needs at least one off-diagonal cell to be present
-  // on some colrow at all.
-  return r * (r - 1) >= P;
+  // node is forced above r^2/P cells.
+  return ceil_div(r * (r - 1), P) * P <= r * r;
 }
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// Accumulates elapsed seconds into `*sink` on destruction; no-op (and no
+/// clock read) when sink is null, so the untimed path stays untouched.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), start_(sink ? Clock::now() : Clock::time_point{}) {}
+  ~PhaseTimer() {
+    if (sink_)
+      *sink_ += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  Clock::time_point start_;
+};
+
+/// Round-1 matching: maximum bipartite matching of cells against k
+/// duplicates per node, WITHOUT materializing the k-duplicated graph.
+///
+/// Replays Hopcroft-Karp over the duplicate graph decision-for-decision
+/// (same greedy warm start, same BFS discovery order, same DFS scan order),
+/// so the cell -> node assignment is bit-identical to building the
+/// duplicate graph and running graph::hopcroft_karp on it — the invariants
+/// that make the compression exact are spelled out in DESIGN.md ("Pruned
+/// sweep invariants"):
+///  * duplicate slots of a node fill in ascending index order and a
+///    matched slot never becomes free again, so "the first free duplicate"
+///    is always slot used[p];
+///  * BFS layer labels are shortest alternating distances, which depend
+///    only on which cells each node holds — not on which duplicate holds
+///    them — so scanning a node's matched slots once per BFS phase (instead
+///    of once per arriving cell) discovers the same cells in the same
+///    order;
+///  * the DFS tries a node's matched slots in ascending order and then its
+///    first free slot, exactly the duplicate adjacency order.
+/// The duplicate graph has I*k edges (I = cell/node incidences); this
+/// walks the I incidences directly, which is what makes large-P sweeps
+/// affordable.
+class Round1Matcher {
+ public:
+  Round1Matcher(const std::vector<std::vector<std::int32_t>>& covers,
+                std::int64_t P, std::int64_t k)
+      : covers_(covers),
+        k_(k),
+        cell_node_(covers.size(), -1),
+        slots_(static_cast<std::size_t>(P * k), -1),
+        used_(static_cast<std::size_t>(P), 0),
+        node_epoch_(static_cast<std::size_t>(P), 0),
+        dist_(covers.size(), kInf),
+        queue_(covers.size()) {}
+
+  /// Runs greedy warm start + Hopcroft-Karp phases; returns cell -> node
+  /// (-1 = unmatched), identical to match_left[c] / k on the dup graph.
+  const std::vector<std::int32_t>& solve() {
+    for (std::size_t c = 0; c < covers_.size(); ++c) {
+      for (const std::int32_t p : covers_[c]) {
+        if (used_[static_cast<std::size_t>(p)] < k_) {
+          take_free_slot(static_cast<std::int32_t>(c), p);
+          break;
+        }
+      }
+    }
+    while (bfs_layers()) {
+      for (std::size_t c = 0; c < covers_.size(); ++c)
+        if (cell_node_[c] < 0) dfs_augment(static_cast<std::int32_t>(c));
+    }
+    return cell_node_;
+  }
+
+ private:
+  static constexpr std::uint32_t kInf =
+      std::numeric_limits<std::uint32_t>::max();
+
+  void take_free_slot(std::int32_t cell, std::int32_t p) {
+    auto& used = used_[static_cast<std::size_t>(p)];
+    slots_[static_cast<std::size_t>(p * k_ + used)] = cell;
+    ++used;
+    cell_node_[static_cast<std::size_t>(cell)] = p;
+  }
+
+  bool bfs_layers() {
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    for (std::size_t c = 0; c < covers_.size(); ++c) {
+      if (cell_node_[c] < 0) {
+        dist_[c] = 0;
+        queue_[tail++] = static_cast<std::int32_t>(c);
+      } else {
+        dist_[c] = kInf;
+      }
+    }
+    ++epoch_;
+    bool found_free = false;
+    while (head < tail) {
+      const auto u = static_cast<std::size_t>(queue_[head++]);
+      for (const std::int32_t p : covers_[u]) {
+        const auto pi = static_cast<std::size_t>(p);
+        if (used_[pi] < k_) found_free = true;
+        if (node_epoch_[pi] == epoch_) continue;  // slots already scanned
+        node_epoch_[pi] = epoch_;
+        for (std::int64_t i = 0; i < used_[pi]; ++i) {
+          const auto w =
+              static_cast<std::size_t>(slots_[static_cast<std::size_t>(
+                  p * k_ + i)]);
+          if (dist_[w] == kInf) {
+            dist_[w] = dist_[u] + 1;
+            queue_[tail++] = static_cast<std::int32_t>(w);
+          }
+        }
+      }
+    }
+    return found_free;
+  }
+
+  bool dfs_augment(std::int32_t u) {
+    const auto ui = static_cast<std::size_t>(u);
+    for (const std::int32_t p : covers_[ui]) {
+      const auto pi = static_cast<std::size_t>(p);
+      for (std::int64_t i = 0; i < used_[pi]; ++i) {
+        const auto slot = static_cast<std::size_t>(p * k_ + i);
+        const std::int32_t w = slots_[slot];
+        if (dist_[static_cast<std::size_t>(w)] == dist_[ui] + 1 &&
+            dfs_augment(w)) {
+          slots_[slot] = u;
+          cell_node_[ui] = p;
+          return true;
+        }
+      }
+      if (used_[pi] < k_) {
+        take_free_slot(u, p);
+        return true;
+      }
+    }
+    dist_[ui] = kInf;  // dead end: prune this cell for the current phase
+    return false;
+  }
+
+  const std::vector<std::vector<std::int32_t>>& covers_;
+  std::int64_t k_;
+  std::vector<std::int32_t> cell_node_;  ///< cell -> matched node, -1 free
+  std::vector<std::int32_t> slots_;      ///< slots_[p*k + i]: cell in dup i
+  std::vector<std::int64_t> used_;       ///< matched duplicates per node
+  std::vector<std::uint32_t> node_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::int32_t> queue_;
+};
+
 /// Working state shared by the two phases of Algorithm 1.
 class GcrmRun {
  public:
-  GcrmRun(std::int64_t P, std::int64_t r, std::uint64_t seed)
+  GcrmRun(std::int64_t P, std::int64_t r, std::uint64_t seed,
+          const GcrmBuildControls& controls)
       : P_(P),
         r_(r),
         rng_(seed),
+        controls_(controls),
+        abandon_enabled_(std::isfinite(controls.abandon_above)),
         has_(static_cast<std::size_t>(P * r), false),
         colrows_(static_cast<std::size_t>(P)),
         cover_load_(static_cast<std::size_t>(P), 0),
         colrow_usage_(static_cast<std::size_t>(r), 0),
         covered_(static_cast<std::size_t>(r * r), false) {
     uncovered_ = r * (r - 1) / 2;
+    if (abandon_enabled_)
+      appears_.assign(static_cast<std::size_t>(P * r), false);
   }
 
   GcrmResult run() {
-    phase1();
+    {
+      PhaseTimer t(controls_.timings ? &controls_.timings->phase1_seconds
+                                     : nullptr);
+      phase1();
+    }
     GcrmResult result = phase2();
     result.colrows_per_node = colrows_;
     return result;
@@ -72,6 +240,32 @@ class GcrmRun {
     const auto lo = std::min(i, j);
     const auto hi = std::max(i, j);
     return covered_[static_cast<std::size_t>(lo * r_ + hi)];
+  }
+
+  /// Records that node p owns a cell on colrows i and j of the finished
+  /// pattern.  Assignments are never revoked, so `committed_ / r` is a
+  /// monotone lower bound on the final z-bar at every point of phase 2.
+  void commit_cell(std::int64_t p, std::int64_t i, std::int64_t j) {
+    auto fi = appears_[static_cast<std::size_t>(p * r_ + i)];
+    if (!fi) {
+      fi = true;
+      ++committed_;
+    }
+    auto fj = appears_[static_cast<std::size_t>(p * r_ + j)];
+    if (!fj) {
+      fj = true;
+      ++committed_;
+    }
+  }
+
+  /// True when the committed-incidence bound already strictly exceeds the
+  /// incumbent: fl(x) is monotone, so fl(committed/r) > threshold (itself a
+  /// double produced by the same total/r division in mean_colrow_distinct)
+  /// implies the finished pattern's computed cost exceeds it too — the
+  /// attempt cannot win a strict-< selection.
+  [[nodiscard]] bool over_threshold() const {
+    return static_cast<double>(committed_) / static_cast<double>(r_) >
+           controls_.abandon_above;
   }
 
   /// Algorithm 1, lines 1-10.
@@ -142,20 +336,35 @@ class GcrmRun {
       std::int32_t j;
     };
     std::vector<Cell> cells;
-    cells.reserve(static_cast<std::size_t>(r_ * (r_ - 1)));
-    for (std::int32_t i = 0; i < r_; ++i)
-      for (std::int32_t j = 0; j < r_; ++j)
-        if (i != j) cells.push_back({i, j});
+    std::vector<std::vector<std::int32_t>> covers;
+    {
+      PhaseTimer t(controls_.timings ? &controls_.timings->covers_seconds
+                                     : nullptr);
+      cells.reserve(static_cast<std::size_t>(r_ * (r_ - 1)));
+      for (std::int32_t i = 0; i < r_; ++i)
+        for (std::int32_t j = 0; j < r_; ++j)
+          if (i != j) cells.push_back({i, j});
 
-    // covers[cell] = nodes holding both colrows, in random order so the
-    // matching's arbitrary choices vary across seeds.
-    std::vector<std::vector<std::int32_t>> covers(cells.size());
-    for (std::size_t c = 0; c < cells.size(); ++c) {
+      // covers[cell] = nodes holding both colrows.  Enumerated per node over
+      // its colrow pairs — O(sum |A[p]|^2) instead of the O(r^2 P) per-cell
+      // scan — with p ascending in the outer loop, so each list accumulates
+      // nodes in exactly the order the per-cell scan produced.  Cell (i, j)
+      // with i != j sits at index i*(r-1) + j - (j > i).
+      covers.resize(cells.size());
       for (std::int64_t p = 0; p < P_; ++p) {
-        if (has(p, cells[c].i) && has(p, cells[c].j))
-          covers[c].push_back(static_cast<std::int32_t>(p));
+        const auto& mine = colrows_[static_cast<std::size_t>(p)];
+        for (const std::int32_t a : mine) {
+          for (const std::int32_t b : mine) {
+            if (a == b) continue;
+            const auto c = static_cast<std::size_t>(
+                static_cast<std::int64_t>(a) * (r_ - 1) + b - (b > a ? 1 : 0));
+            covers[c].push_back(static_cast<std::int32_t>(p));
+          }
+        }
       }
-      rng_.shuffle(covers[c].begin(), covers[c].end());
+      // Shuffled in ascending cell order: the same RNG draws, in the same
+      // order, as when each list was shuffled right after its scan.
+      for (auto& list : covers) rng_.shuffle(list.begin(), list.end());
     }
 
     const std::int64_t k = (r_ * (r_ - 1)) / P_;
@@ -166,26 +375,30 @@ class GcrmRun {
     // Round 1: k duplicates per node — no node can exceed k cells, but some
     // cells may stay unassigned.
     {
-      graph::BipartiteGraph g(cells.size(),
-                              static_cast<std::size_t>(P_ * k));
-      for (std::size_t c = 0; c < cells.size(); ++c)
-        for (const std::int32_t p : covers[c])
-          for (std::int64_t dup = 0; dup < k; ++dup)
-            g.add_edge(c, static_cast<std::size_t>(p * k + dup));
-      const graph::Matching m = graph::hopcroft_karp(g);
+      PhaseTimer t(controls_.timings ? &controls_.timings->match_seconds
+                                     : nullptr);
+      Round1Matcher matcher(covers, P_, k);
+      const std::vector<std::int32_t>& owner = matcher.solve();
       for (std::size_t c = 0; c < cells.size(); ++c) {
-        if (m.match_left[c] == graph::Matching::kUnmatched) continue;
-        const auto p = static_cast<std::int32_t>(m.match_left[c] / k);
+        if (owner[c] < 0) continue;
+        const std::int32_t p = owner[c];
         cell_owner[c] = p;
         ++assigned[static_cast<std::size_t>(p)];
         ++result.cells_matched_round1;
+        if (abandon_enabled_) commit_cell(p, cells[c].i, cells[c].j);
       }
+    }
+    if (abandon_enabled_ && over_threshold()) {
+      result.abandoned = true;
+      return result;
     }
 
     // Round 2: one extra duplicate per node for the leftovers, keeping every
     // load at most ceil(r(r-1)/P) — nodes already at the ceiling (possible
     // when P divides r(r-1), so k equals the ceiling) are excluded.
     {
+      PhaseTimer t(controls_.timings ? &controls_.timings->match_seconds
+                                     : nullptr);
       const std::int64_t cap = ceil_div(r_ * (r_ - 1), P_);
       graph::BipartiteGraph g(cells.size(), static_cast<std::size_t>(P_));
       for (std::size_t c = 0; c < cells.size(); ++c) {
@@ -202,64 +415,98 @@ class GcrmRun {
         cell_owner[c] = p;
         ++assigned[static_cast<std::size_t>(p)];
         ++result.cells_matched_round2;
+        if (abandon_enabled_) commit_cell(p, cells[c].i, cells[c].j);
       }
+    }
+    if (abandon_enabled_ && over_threshold()) {
+      result.abandoned = true;
+      return result;
     }
 
     // Fallback (lines 13-14): least-loaded node that already holds colrow i
     // or colrow j; the missing colrow is added to its assignment.
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      if (cell_owner[c] >= 0) continue;
-      const std::int32_t i = cells[c].i;
-      const std::int32_t j = cells[c].j;
-      std::int32_t best = -1;
-      std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
-      std::size_t tie_count = 0;
-      for (std::int64_t p = 0; p < P_; ++p) {
-        if (!has(p, i) && !has(p, j)) continue;
-        const std::int64_t load = assigned[static_cast<std::size_t>(p)];
-        if (load < best_load) {
-          best = static_cast<std::int32_t>(p);
-          best_load = load;
-          tie_count = 1;
-        } else if (load == best_load && rng_.below(++tie_count) == 0) {
-          best = static_cast<std::int32_t>(p);
+    {
+      PhaseTimer t(controls_.timings ? &controls_.timings->fallback_seconds
+                                     : nullptr);
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (cell_owner[c] >= 0) continue;
+        const std::int32_t i = cells[c].i;
+        const std::int32_t j = cells[c].j;
+        std::int32_t best = -1;
+        std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+        std::size_t tie_count = 0;
+        for (std::int64_t p = 0; p < P_; ++p) {
+          if (!has(p, i) && !has(p, j)) continue;
+          const std::int64_t load = assigned[static_cast<std::size_t>(p)];
+          if (load < best_load) {
+            best = static_cast<std::int32_t>(p);
+            best_load = load;
+            tie_count = 1;
+          } else if (load == best_load && rng_.below(++tie_count) == 0) {
+            best = static_cast<std::int32_t>(p);
+          }
+        }
+        if (best < 0)
+          throw std::logic_error("GCR&M fallback: cell with no adjacent node");
+        if (!has(best, i)) add_colrow(best, i);
+        if (!has(best, j)) add_colrow(best, j);
+        cell_owner[c] = best;
+        ++assigned[static_cast<std::size_t>(best)];
+        ++result.cells_fallback;
+        if (abandon_enabled_) {
+          commit_cell(best, i, j);
+          if (over_threshold()) {
+            result.abandoned = true;
+            return result;
+          }
         }
       }
-      if (best < 0)
-        throw std::logic_error("GCR&M fallback: cell with no adjacent node");
-      if (!has(best, i)) add_colrow(best, i);
-      if (!has(best, j)) add_colrow(best, j);
-      cell_owner[c] = best;
-      ++assigned[static_cast<std::size_t>(best)];
-      ++result.cells_fallback;
     }
 
     // Materialize the pattern: diagonal free, everything else assigned.
-    result.pattern = Pattern(r_, r_, P_);
-    for (std::size_t c = 0; c < cells.size(); ++c)
-      result.pattern.set(cells[c].i, cells[c].j, cell_owner[c]);
-    result.valid = result.pattern.validate().empty();
-    if (result.valid) result.cost = cholesky_cost(result.pattern);
+    {
+      PhaseTimer t(controls_.timings ? &controls_.timings->finalize_seconds
+                                     : nullptr);
+      result.pattern = Pattern(r_, r_, P_);
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        result.pattern.set(cells[c].i, cells[c].j, cell_owner[c]);
+      result.valid = result.pattern.validate().empty();
+      if (result.valid) result.cost = cholesky_cost(result.pattern);
+    }
     return result;
   }
 
   std::int64_t P_;
   std::int64_t r_;
   Rng rng_;
+  GcrmBuildControls controls_;
+  bool abandon_enabled_;
   std::vector<bool> has_;  ///< has_[p*r + q]: node p holds colrow q
   std::vector<std::vector<std::int32_t>> colrows_;  ///< A[p]
   std::vector<std::int64_t> cover_load_;  ///< pairs credited per node
   std::vector<std::int64_t> colrow_usage_;
-  std::vector<bool> covered_;  ///< covered_[min*r + max] per pair
+  std::vector<bool> covered_;   ///< covered_[min*r + max] per pair
+  std::vector<bool> appears_;   ///< appears_[p*r + q]: p owns a cell on q
+  std::int64_t committed_ = 0;  ///< incidences implied by assigned cells
   std::int64_t uncovered_;
 };
 
 }  // namespace
 
 GcrmResult gcrm_build(std::int64_t P, std::int64_t r, std::uint64_t seed) {
+  return gcrm_build(P, r, seed, GcrmBuildControls{});
+}
+
+GcrmResult gcrm_build(std::int64_t P, std::int64_t r, std::uint64_t seed,
+                      const GcrmBuildControls& controls) {
   if (!gcrm_feasible(P, r))
     throw std::invalid_argument("infeasible (P, r) for GCR&M: Eq. 3 violated");
-  return GcrmRun(P, r, seed).run();
+  if (r > kGcrmMaxSide)
+    throw std::invalid_argument(
+        "GCR&M pattern side r = " + std::to_string(r) + " exceeds " +
+        std::to_string(kGcrmMaxSide) +
+        ": r(r-1) cell ids would overflow the 32-bit matching vertices");
+  return GcrmRun(P, r, seed, controls).run();
 }
 
 }  // namespace anyblock::core

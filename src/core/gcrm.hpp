@@ -23,19 +23,33 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/pattern.hpp"
 
 namespace anyblock::core {
 
+/// Largest pattern side gcrm_build accepts.  The matching phase indexes the
+/// r(r-1) off-diagonal cells and the node duplicates through 32-bit vertex
+/// ids (graph::BipartiteGraph stores uint32 adjacency, graph::Matching holds
+/// int32 matches), so r(r-1) must fit in int32.  gcrm_build throws loudly —
+/// never wraps silently — past this bound.
+inline constexpr std::int64_t kGcrmMaxSide = 46'340;
+
 /// Feasibility of pattern size r for P nodes: Eq. 3 plus r(r-1) >= P.
+/// Overflow-safe: sizes so large that r(r-1) would not fit in int64 are
+/// reported infeasible rather than computed with wrapped arithmetic.
 [[nodiscard]] bool gcrm_feasible(std::int64_t P, std::int64_t r);
 
 struct GcrmResult {
   Pattern pattern;  ///< square r x r, diagonal free
   bool valid = false;
   double cost = 0.0;  ///< z-bar of the pattern; meaningless when !valid
+  /// True when the construction was cut short by GcrmBuildControls::
+  /// abandon_above: the running incidence bound proved the finished pattern
+  /// could not beat the incumbent.  `pattern` is empty and `valid` false.
+  bool abandoned = false;
 
   // Construction statistics (useful for tests and the Fig. 8 illustration).
   std::int64_t cells_matched_round1 = 0;
@@ -45,7 +59,36 @@ struct GcrmResult {
   std::vector<std::vector<std::int32_t>> colrows_per_node;
 };
 
+/// Per-phase wall-clock breakdown of gcrm_build, accumulated (+=) across
+/// attempts so a sweep can report where its time went (obs `sweep_*` rows).
+struct GcrmBuildTimings {
+  double phase1_seconds = 0.0;    ///< greedy colrow assignment (Alg. 1, 1-10)
+  double covers_seconds = 0.0;    ///< cell -> covering-nodes enumeration
+  double match_seconds = 0.0;     ///< both Hopcroft-Karp rounds
+  double fallback_seconds = 0.0;  ///< greedy leftover assignment (13-14)
+  double finalize_seconds = 0.0;  ///< materialize + validate + cost
+};
+
+/// Optional knobs threaded through a sweep into individual constructions.
+struct GcrmBuildControls {
+  /// Abandon the attempt as soon as the committed-incidence lower bound on
+  /// the final z-bar strictly exceeds this threshold.  Cell assignments are
+  /// never revoked, so once a cell is matched its owner provably appears on
+  /// both of the cell's colrows in the finished pattern; the bound
+  /// (committed incidences / r) therefore only grows, and an attempt whose
+  /// bound strictly exceeds the incumbent best can never win a strict-<
+  /// winner selection.  +inf (the default) never abandons.
+  double abandon_above = std::numeric_limits<double>::infinity();
+  /// When non-null, per-phase wall-clock seconds are accumulated here.
+  GcrmBuildTimings* timings = nullptr;
+};
+
 /// One run of Algorithm 1 for a given pattern size and random seed.
 GcrmResult gcrm_build(std::int64_t P, std::int64_t r, std::uint64_t seed);
+
+/// Instrumented overload: identical construction (bit-for-bit, same RNG
+/// draws) with early-abandon and per-phase timing hooks for sweeps.
+GcrmResult gcrm_build(std::int64_t P, std::int64_t r, std::uint64_t seed,
+                      const GcrmBuildControls& controls);
 
 }  // namespace anyblock::core

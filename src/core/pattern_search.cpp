@@ -1,6 +1,9 @@
 #include "core/pattern_search.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "util/math.hpp"
@@ -16,8 +19,33 @@ std::uint64_t gcrm_attempt_seed(std::uint64_t base_seed, std::int64_t r,
 
 std::int64_t gcrm_sweep_max_r(std::int64_t P,
                               const GcrmSearchOptions& options) {
-  return static_cast<std::int64_t>(options.max_r_factor *
-                                   std::sqrt(static_cast<double>(P)));
+  // r <= f * sqrt(P)  <=>  r^2 <= f^2 * P.  Squaring first and taking the
+  // exact integer square root keeps the boundary size: the old
+  // static_cast<int64>(f * sqrt(P)) dropped r = k whenever the rounded
+  // product landed at k - epsilon.  llround absorbs the one representation
+  // rounding of f^2 * P (exact for integral f^2 * P in range).
+  const double squared = options.max_r_factor * options.max_r_factor *
+                         static_cast<double>(P);
+  if (!(squared >= 1.0)) return 0;  // also rejects NaN / negative factors
+  if (squared >= 9.2e18)
+    throw std::overflow_error("gcrm_sweep_max_r: max_r_factor^2 * P overflows");
+  return isqrt_floor(std::llround(squared));
+}
+
+double gcrm_balanced_cost_floor(std::int64_t P, std::int64_t r,
+                                std::int64_t balance_slack) {
+  // Minimum cells per node: loads are integers summing to r(r-1), so the
+  // max load is >= ceil(r(r-1)/P); balancedness pulls every load to within
+  // `slack` of it, and validity keeps every node above zero.
+  const std::int64_t cells = r * (r - 1);
+  std::int64_t c_min = ceil_div(cells, P) - balance_slack;
+  if (c_min < 1) c_min = 1;
+  // Fewest colrows a node owning c_min cells can appear on: its cells are
+  // ordered pairs of its own colrows, so v(v-1) >= c_min (and v >= 2, both
+  // colrows of any single cell).
+  std::int64_t v = std::max<std::int64_t>(2, isqrt_floor(c_min));
+  while (v * (v - 1) < c_min) ++v;
+  return static_cast<double>(P * v) / static_cast<double>(r);
 }
 
 std::vector<std::int64_t> gcrm_feasible_sizes(std::int64_t P,
@@ -29,48 +57,182 @@ std::vector<std::int64_t> gcrm_feasible_sizes(std::int64_t P,
   return sizes;
 }
 
-GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
-                             bool keep_samples) {
-  if (P <= 0) throw std::invalid_argument("P must be positive");
-  GcrmSearchResult result;
-  const std::int64_t max_r = gcrm_sweep_max_r(P, options);
+void GcrmSweepProfile::merge(const GcrmSweepProfile& other) {
+  searches += other.searches;
+  sizes_feasible += other.sizes_feasible;
+  sizes_pruned += other.sizes_pruned;
+  attempts_built += other.attempts_built;
+  attempts_abandoned += other.attempts_abandoned;
+  attempts_skipped += other.attempts_skipped;
+  timings.phase1_seconds += other.timings.phase1_seconds;
+  timings.covers_seconds += other.timings.covers_seconds;
+  timings.match_seconds += other.timings.match_seconds;
+  timings.fallback_seconds += other.timings.fallback_seconds;
+  timings.finalize_seconds += other.timings.finalize_seconds;
+  total_seconds += other.total_seconds;
+}
 
-  double best_balanced_cost = 0.0;
+std::vector<std::pair<std::string, double>> GcrmSweepProfile::metric_rows()
+    const {
+  return {
+      {"sweep_searches", static_cast<double>(searches)},
+      {"sweep_sizes_feasible", static_cast<double>(sizes_feasible)},
+      {"sweep_sizes_pruned", static_cast<double>(sizes_pruned)},
+      {"sweep_attempts_built", static_cast<double>(attempts_built)},
+      {"sweep_attempts_abandoned", static_cast<double>(attempts_abandoned)},
+      {"sweep_attempts_skipped", static_cast<double>(attempts_skipped)},
+      {"sweep_phase1_seconds", timings.phase1_seconds},
+      {"sweep_covers_seconds", timings.covers_seconds},
+      {"sweep_match_seconds", timings.match_seconds},
+      {"sweep_fallback_seconds", timings.fallback_seconds},
+      {"sweep_finalize_seconds", timings.finalize_seconds},
+      {"sweep_total_seconds", total_seconds},
+  };
+}
+
+namespace {
+
+/// One pattern size's local reduction: exactly what the flat sequential
+/// sweep would keep had it only seen this size's attempts.  Strict `<`
+/// keeps the earliest seed of equal cost, so merging blocks in ascending-r
+/// order replays the flat sweep's tie-breaking.
+struct SizeBest {
   bool have_balanced = false;
+  double balanced_cost = 0.0;
+  std::uint64_t balanced_seed = 0;
 
-  for (const std::int64_t r : gcrm_feasible_sizes(P, max_r)) {
-    for (std::int64_t s = 0; s < options.seeds; ++s) {
-      const std::uint64_t seed = gcrm_attempt_seed(options.base_seed, r, s);
-      GcrmResult attempt = gcrm_build(P, r, seed);
-      const bool balanced =
-          attempt.valid && attempt.pattern.is_balanced(options.balance_slack);
-      if (keep_samples)
-        result.samples.push_back(
-            {r, seed, attempt.cost, attempt.valid, balanced});
-      if (!attempt.valid) continue;
+  bool have_valid = false;
+  double valid_cost = 0.0;
+  std::uint64_t valid_seed = 0;
 
-      // Balanced patterns strictly dominate unbalanced ones; among patterns
-      // of the same class, lower z-bar wins.
-      if (balanced) {
-        if (!have_balanced || attempt.cost < best_balanced_cost) {
-          have_balanced = true;
-          best_balanced_cost = attempt.cost;
-          result.best = std::move(attempt.pattern);
-          result.best_cost = attempt.cost;
-          result.best_r = r;
-          result.best_seed = seed;
-          result.found = true;
-        }
-      } else if (!have_balanced &&
-                 (!result.found || attempt.cost < result.best_cost)) {
-        result.best = std::move(attempt.pattern);
-        result.best_cost = attempt.cost;
-        result.best_r = r;
-        result.best_seed = seed;
-        result.found = true;
+  std::vector<GcrmSample> samples;
+};
+
+/// Runs all seeds of one pattern size.  `threshold` (nullable) is the
+/// cheapest balanced cost built anywhere so far (+inf when none): attempts
+/// abandon against it, and it tightens as this block builds cheaper
+/// patterns.  Null threshold = reference mode: never abandon.
+SizeBest reduce_size_block(std::int64_t P, std::int64_t r,
+                           const GcrmSearchOptions& options,
+                           bool keep_samples, double* threshold,
+                           GcrmSweepProfile* profile) {
+  SizeBest best;
+  GcrmBuildControls controls;
+  controls.timings = profile ? &profile->timings : nullptr;
+  for (std::int64_t s = 0; s < options.seeds; ++s) {
+    const std::uint64_t seed = gcrm_attempt_seed(options.base_seed, r, s);
+    if (threshold) controls.abandon_above = *threshold;
+    GcrmResult attempt = gcrm_build(P, r, seed, controls);
+    if (attempt.abandoned) {
+      if (profile) ++profile->attempts_abandoned;
+      continue;
+    }
+    if (profile) ++profile->attempts_built;
+    const bool balanced =
+        attempt.valid && attempt.pattern.is_balanced(options.balance_slack);
+    if (keep_samples)
+      best.samples.push_back({r, seed, attempt.cost, attempt.valid, balanced});
+    if (!attempt.valid) continue;
+    if (balanced) {
+      if (!best.have_balanced || attempt.cost < best.balanced_cost) {
+        best.have_balanced = true;
+        best.balanced_cost = attempt.cost;
+        best.balanced_seed = seed;
       }
+      if (threshold && attempt.cost < *threshold) *threshold = attempt.cost;
+    }
+    if (!best.have_valid || attempt.cost < best.valid_cost) {
+      best.have_valid = true;
+      best.valid_cost = attempt.cost;
+      best.valid_seed = seed;
     }
   }
+  return best;
+}
+
+}  // namespace
+
+GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
+                             bool keep_samples, GcrmSweepProfile* profile) {
+  if (P <= 0) throw std::invalid_argument("P must be positive");
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  const std::vector<std::int64_t> sizes =
+      gcrm_feasible_sizes(P, gcrm_sweep_max_r(P, options));
+  if (profile) {
+    ++profile->searches;
+    profile->sizes_feasible += static_cast<std::int64_t>(sizes.size());
+  }
+
+  // Samples must record every attempt, so pruning turns off with them.
+  const bool prune = options.prune && !keep_samples;
+  std::vector<SizeBest> blocks(sizes.size());
+  double threshold = std::numeric_limits<double>::infinity();
+
+  if (prune) {
+    // Descending r: winners empirically sit near max_r, so the incumbent
+    // tightens immediately and low-r blocks fall to the cost floor.  The
+    // execution order is free to differ from canonical order because the
+    // threshold only ever removes attempts that provably lose the strict-<
+    // selection below (see the pruned-sweep invariants in DESIGN.md).
+    for (std::size_t idx = sizes.size(); idx-- > 0;) {
+      const std::int64_t r = sizes[idx];
+      if (gcrm_balanced_cost_floor(P, r, options.balance_slack) > threshold) {
+        if (profile) {
+          ++profile->sizes_pruned;
+          profile->attempts_skipped += options.seeds;
+        }
+        continue;  // block stays empty: nothing in it can win
+      }
+      blocks[idx] = reduce_size_block(P, r, options, /*keep_samples=*/false,
+                                      &threshold, profile);
+    }
+  } else {
+    for (std::size_t idx = 0; idx < sizes.size(); ++idx)
+      blocks[idx] = reduce_size_block(P, sizes[idx], options, keep_samples,
+                                      /*threshold=*/nullptr, profile);
+  }
+
+  // Canonical ascending-r merge: replay the flat sequential selection over
+  // the block reductions.  Balanced patterns strictly dominate unbalanced
+  // ones; among patterns of the same class, lower z-bar wins and strict `<`
+  // keeps the earliest (r, s).
+  GcrmSearchResult result;
+  bool have_balanced = false;
+  double best_balanced_cost = 0.0;
+  for (std::size_t idx = 0; idx < blocks.size(); ++idx) {
+    SizeBest& block = blocks[idx];
+    if (keep_samples)
+      result.samples.insert(result.samples.end(),
+                            std::make_move_iterator(block.samples.begin()),
+                            std::make_move_iterator(block.samples.end()));
+    if (block.have_balanced &&
+        (!have_balanced || block.balanced_cost < best_balanced_cost)) {
+      have_balanced = true;
+      best_balanced_cost = block.balanced_cost;
+      result.best_cost = block.balanced_cost;
+      result.best_r = sizes[idx];
+      result.best_seed = block.balanced_seed;
+      result.found = true;
+    }
+    if (!have_balanced && block.have_valid &&
+        (!result.found || block.valid_cost < result.best_cost)) {
+      result.best_cost = block.valid_cost;
+      result.best_r = sizes[idx];
+      result.best_seed = block.valid_seed;
+      result.found = true;
+    }
+  }
+  // One extra construction rebuilds the winner from its coordinates — the
+  // same determinism the winners table relies on.
+  if (result.found)
+    result.best = gcrm_build(P, result.best_r, result.best_seed).pattern;
+
+  if (profile)
+    profile->total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
   return result;
 }
 

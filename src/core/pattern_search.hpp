@@ -5,9 +5,20 @@
 // 100 seeds and keeps the cheapest balanced pattern.  Patterns depend only
 // on P, never on the matrix, so this search runs once per node count (and
 // its results can be stored in a PatternDatabase).
+//
+// The sweep dominates `anyblock precompute` at large P, so it supports a
+// provably result-identical pruned mode (GcrmSearchOptions::prune): pattern
+// sizes whose balanced-cost floor already exceeds the best cost built so
+// far are skipped whole, and individual constructions abandon as soon as
+// their committed incidences bound them above the incumbent.  Both cuts
+// only remove attempts that lose the strict-< winner selection, so the
+// pruned sweep returns the bit-identical (r, seed, cost) winner
+// (DESIGN.md "Pruned sweep invariants").
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/gcrm.hpp"
@@ -25,8 +36,21 @@ struct GcrmSearchOptions {
   /// Keep only patterns whose node loads differ by at most this much
   /// (the lazy diagonal assignment can absorb a +/-1 spread).
   std::int64_t balance_slack = 1;
+  /// Skip pattern sizes and abandon constructions that provably cannot beat
+  /// the incumbent (bit-identical winners — pinned by the golden
+  /// pruned-vs-unpruned equivalence tests, so it defaults on).  Ignored
+  /// when samples are requested: samples record every attempt in full.
+  bool prune = true;
 
-  bool operator==(const GcrmSearchOptions&) const = default;
+  /// Identity of the swept grid and selection rule.  `prune` is excluded
+  /// deliberately: pruning is result-identical, so winners tables and store
+  /// entries produced with and without it are interchangeable (and the
+  /// on-disk formats never record it).
+  friend bool operator==(const GcrmSearchOptions& a,
+                         const GcrmSearchOptions& b) {
+    return a.max_r_factor == b.max_r_factor && a.seeds == b.seeds &&
+           a.base_seed == b.base_seed && a.balance_slack == b.balance_slack;
+  }
 };
 
 /// Seed of restart s at pattern size r: an independent splitmix64-derived
@@ -37,9 +61,22 @@ struct GcrmSearchOptions {
 [[nodiscard]] std::uint64_t gcrm_attempt_seed(std::uint64_t base_seed,
                                               std::int64_t r, std::int64_t s);
 
-/// Largest pattern size the sweep considers: max_r_factor * sqrt(P).
+/// Largest pattern size the sweep considers: the biggest r with
+/// r^2 <= max_r_factor^2 * P, computed through exact integer square root so
+/// boundary sizes are never lost to floating-point truncation (sqrt
+/// returning k - epsilon used to drop the exact boundary r = k).
 [[nodiscard]] std::int64_t gcrm_sweep_max_r(std::int64_t P,
                                             const GcrmSearchOptions& options);
+
+/// Lower bound on the z-bar of ANY balanced valid pattern of size r for P
+/// nodes — the floor the pruned sweep compares against the incumbent.
+/// Derivation (all integer, see DESIGN.md): validity forces every node to
+/// own >= 1 cell and balancedness forces >= ceil(r(r-1)/P) - slack, so each
+/// node owns c >= c_min cells; a node owning c cells appears on v colrows
+/// with v(v-1) >= c; hence cost = (sum v_p)/r >= P * v_min(c_min) / r.
+/// Not monotone in r (v_min jumps), so the sweep evaluates it per size.
+[[nodiscard]] double gcrm_balanced_cost_floor(std::int64_t P, std::int64_t r,
+                                              std::int64_t balance_slack);
 
 /// One sampled construction, recorded for Fig. 9-style analyses.
 struct GcrmSample {
@@ -48,6 +85,25 @@ struct GcrmSample {
   double cost = 0.0;
   bool valid = false;
   bool balanced = false;
+};
+
+/// Where a sweep's work went: counters for the pruning cuts plus the
+/// per-phase gcrm_build timing breakdown.  Accumulates across sweeps via
+/// merge(); metric_rows() emits the obs-convention `sweep_*` rows for
+/// MetricsOptions.extra / `--metrics` CSVs.
+struct GcrmSweepProfile {
+  std::int64_t searches = 0;        ///< sweeps accumulated into this profile
+  std::int64_t sizes_feasible = 0;  ///< pattern sizes passing Eq. 3
+  std::int64_t sizes_pruned = 0;    ///< sizes skipped by the cost floor
+  std::int64_t attempts_built = 0;  ///< constructions run to completion
+  std::int64_t attempts_abandoned = 0;  ///< cut short by the incidence bound
+  std::int64_t attempts_skipped = 0;    ///< never started (size pruned)
+  GcrmBuildTimings timings;             ///< per-phase seconds, built attempts
+  double total_seconds = 0.0;           ///< wall clock of the whole sweep
+
+  void merge(const GcrmSweepProfile& other);
+  [[nodiscard]] std::vector<std::pair<std::string, double>> metric_rows()
+      const;
 };
 
 struct GcrmSearchResult {
@@ -68,8 +124,11 @@ std::vector<std::int64_t> gcrm_feasible_sizes(std::int64_t P,
 
 /// Full sweep; `keep_samples` controls whether every attempt is recorded
 /// (Fig. 9) or only the winner retained (fast path for large sweeps).
+/// When `profile` is non-null the sweep's counters and per-phase timings
+/// are accumulated into it (+=, so one profile can span many sweeps).
 GcrmSearchResult gcrm_search(std::int64_t P, const GcrmSearchOptions& options,
-                             bool keep_samples = false);
+                             bool keep_samples = false,
+                             GcrmSweepProfile* profile = nullptr);
 
 /// Convenience: the best GCR&M pattern for P with default options; throws
 /// if the search finds nothing (does not happen for P >= 2 in practice).

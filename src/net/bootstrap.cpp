@@ -37,6 +37,16 @@ TransportSpec spec_from_env() {
   return spec;
 }
 
+std::string make_rendezvous_dir() {
+  std::string base = env_string("TMPDIR");
+  if (base.empty()) base = "/tmp";
+  while (base.size() > 1 && base.back() == '/') base.pop_back();
+  std::string pattern = base + "/anyblock-rdv-XXXXXX";
+  if (mkdtemp(pattern.data()) == nullptr)
+    throw std::runtime_error("launch: mkdtemp failed under " + base);
+  return pattern;
+}
+
 std::unique_ptr<vmpi::Transport> make_transport(const TransportSpec& spec,
                                                 int world_size) {
   if (spec.backend == "inproc") return nullptr;
@@ -61,12 +71,7 @@ int launch_processes(int process_count,
                      std::string rendezvous_dir) {
   if (process_count < 1)
     throw std::invalid_argument("launch: process count must be positive");
-  if (rendezvous_dir.empty()) {
-    std::string pattern = "/tmp/anyblock-rdv-XXXXXX";
-    if (mkdtemp(pattern.data()) == nullptr)
-      throw std::runtime_error("launch: mkdtemp failed");
-    rendezvous_dir = pattern;
-  }
+  if (rendezvous_dir.empty()) rendezvous_dir = make_rendezvous_dir();
 
   std::vector<pid_t> children;
   children.reserve(static_cast<std::size_t>(process_count));

@@ -33,6 +33,11 @@ inline constexpr const char* kEnvProcesses = "ANYBLOCK_PROCS";
 /// Reads the ANYBLOCK_* variables; unset ones keep the defaults above.
 TransportSpec spec_from_env();
 
+/// Creates a fresh `anyblock-rdv-XXXXXX` rendezvous directory under
+/// $TMPDIR (falling back to /tmp when unset or empty) and returns its
+/// path.  Throws std::runtime_error when the directory cannot be made.
+std::string make_rendezvous_dir();
+
 /// Builds the backend for `spec`.  Returns null for "inproc" (vmpi's
 /// zero-overhead thread path needs no transport object).  Throws
 /// std::invalid_argument for an unknown backend or for "socket" without a

@@ -1,6 +1,9 @@
 #include "serve/parallel_search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -38,28 +41,62 @@ struct SliceBest {
   std::uint64_t valid_seed = 0;
 
   std::vector<core::GcrmSample> samples;
+
+  /// Slice-local profile slice, merged deterministically after wait_all.
+  core::GcrmSweepProfile profile;
+  bool skipped = false;  ///< whole slice fell to the balanced-cost floor
 };
 
+/// Lowers `target` to `value` if smaller.  The threshold is a standalone
+/// monotone hint — no other data is published through it — so relaxed
+/// ordering suffices; a stale read only prunes less, never wrongly.
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 SliceBest reduce_slice(std::int64_t P, const core::GcrmSearchOptions& options,
-                       const Slice& slice, bool keep_samples) {
+                       const Slice& slice, bool keep_samples,
+                       std::atomic<double>* threshold) {
   SliceBest best;
+  if (threshold &&
+      core::gcrm_balanced_cost_floor(P, slice.r, options.balance_slack) >
+          threshold->load(std::memory_order_relaxed)) {
+    best.skipped = true;
+    best.profile.attempts_skipped += slice.s_end - slice.s_begin;
+    return best;
+  }
+  core::GcrmBuildControls controls;
+  controls.timings = &best.profile.timings;
   for (std::int64_t s = slice.s_begin; s < slice.s_end; ++s) {
     const std::uint64_t seed =
         core::gcrm_attempt_seed(options.base_seed, slice.r, s);
-    core::GcrmResult attempt = core::gcrm_build(P, slice.r, seed);
+    if (threshold)
+      controls.abandon_above = threshold->load(std::memory_order_relaxed);
+    core::GcrmResult attempt = core::gcrm_build(P, slice.r, seed, controls);
+    if (attempt.abandoned) {
+      ++best.profile.attempts_abandoned;
+      continue;
+    }
+    ++best.profile.attempts_built;
     const bool balanced =
         attempt.valid && attempt.pattern.is_balanced(options.balance_slack);
     if (keep_samples)
       best.samples.push_back(
           {slice.r, seed, attempt.cost, attempt.valid, balanced});
     if (!attempt.valid) continue;
-    if (balanced &&
-        (!best.have_balanced || attempt.cost < best.balanced_cost)) {
-      best.have_balanced = true;
-      best.balanced_cost = attempt.cost;
-      best.balanced = attempt.pattern;
-      best.balanced_r = slice.r;
-      best.balanced_seed = seed;
+    if (balanced) {
+      if (!best.have_balanced || attempt.cost < best.balanced_cost) {
+        best.have_balanced = true;
+        best.balanced_cost = attempt.cost;
+        best.balanced = attempt.pattern;
+        best.balanced_r = slice.r;
+        best.balanced_seed = seed;
+      }
+      if (threshold) atomic_min(*threshold, attempt.cost);
     }
     if (!best.have_valid || attempt.cost < best.valid_cost) {
       best.have_valid = true;
@@ -76,8 +113,10 @@ SliceBest reduce_slice(std::int64_t P, const core::GcrmSearchOptions& options,
 
 core::GcrmSearchResult parallel_gcrm_search(
     std::int64_t P, const core::GcrmSearchOptions& options,
-    runtime::TaskEngine& engine, bool keep_samples) {
+    runtime::TaskEngine& engine, bool keep_samples,
+    core::GcrmSweepProfile* profile) {
   if (P <= 0) throw std::invalid_argument("P must be positive");
+  const auto sweep_start = std::chrono::steady_clock::now();
 
   // Slice the (r, s) grid in canonical sweep order.  Several slices per
   // pattern size keep all workers busy even when few sizes are feasible;
@@ -93,12 +132,22 @@ core::GcrmSearchResult parallel_gcrm_search(
     for (std::int64_t s = 0; s < options.seeds; s += chunk)
       slices.push_back({r, s, std::min(s + chunk, options.seeds)});
 
+  // Samples must record every attempt, so pruning turns off with them.
+  const bool prune = options.prune && !keep_samples;
+  std::atomic<double> threshold{std::numeric_limits<double>::infinity()};
+
   std::vector<SliceBest> locals(slices.size());
-  for (std::size_t i = 0; i < slices.size(); ++i) {
+  // Pruned sweeps submit in descending-r order: winners empirically sit
+  // near max_r, so the shared incumbent tightens in the first slices and
+  // low-r slices fall to the cost floor.  locals stays indexed in
+  // canonical order either way.
+  for (std::size_t n = 0; n < slices.size(); ++n) {
+    const std::size_t i = prune ? slices.size() - 1 - n : n;
     const runtime::HandleId slot = engine.register_data();
     engine.submit(
-        [P, &options, &slices, &locals, i, keep_samples] {
-          locals[i] = reduce_slice(P, options, slices[i], keep_samples);
+        [P, &options, &slices, &locals, &threshold, i, keep_samples, prune] {
+          locals[i] = reduce_slice(P, options, slices[i], keep_samples,
+                                   prune ? &threshold : nullptr);
         },
         {{slot, runtime::AccessMode::kWrite}}, /*priority=*/0,
         "gcrm r=" + std::to_string(slices[i].r));
@@ -135,6 +184,24 @@ core::GcrmSearchResult parallel_gcrm_search(
       result.best_seed = local.valid_seed;
       result.found = true;
     }
+  }
+
+  if (profile) {
+    ++profile->searches;
+    profile->sizes_feasible += static_cast<std::int64_t>(sizes.size());
+    for (const SliceBest& local : locals) profile->merge(local.profile);
+    // A size counts as pruned when every one of its slices was skipped.
+    for (std::size_t i = 0; i < slices.size();) {
+      const std::int64_t r = slices[i].r;
+      bool all_skipped = true;
+      for (; i < slices.size() && slices[i].r == r; ++i)
+        all_skipped = all_skipped && locals[i].skipped;
+      if (all_skipped) ++profile->sizes_pruned;
+    }
+    profile->total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
   }
   return result;
 }

@@ -9,6 +9,13 @@
 // so each task reduces its contiguous slice of the (r, s) grid locally and
 // the slices are merged in canonical sweep order.  The result is bit-
 // identical to gcrm_search: same pattern, same cost, same samples.
+//
+// Pruning (GcrmSearchOptions::prune) carries over: slices share the
+// cheapest balanced cost built so far through one atomic, each slice
+// re-checks its size's balanced-cost floor against it before building
+// anything, and individual attempts abandon against a snapshot of it.
+// Stale snapshots only prune less, never more, so the winner stays
+// bit-identical to the sequential search (pruned or not).
 #pragma once
 
 #include <cstdint>
@@ -20,9 +27,12 @@ namespace anyblock::serve {
 
 /// Parallel drop-in for core::gcrm_search.  `engine` supplies the workers;
 /// submissions happen on the calling thread (STF semantics), so do not call
-/// this concurrently on one engine.
+/// this concurrently on one engine.  When `profile` is non-null the sweep's
+/// counters and per-phase timings are accumulated into it after the merge
+/// (single-threaded, like the sequential search's profile).
 core::GcrmSearchResult parallel_gcrm_search(
     std::int64_t P, const core::GcrmSearchOptions& options,
-    runtime::TaskEngine& engine, bool keep_samples = false);
+    runtime::TaskEngine& engine, bool keep_samples = false,
+    core::GcrmSweepProfile* profile = nullptr);
 
 }  // namespace anyblock::serve

@@ -1,0 +1,73 @@
+// Checkpointed winners-table precompute — the engine behind
+// `anyblock precompute`.
+//
+// Sweeping GCR&M winners for P up to 10'000 is a multi-hour job, so the
+// loop checkpoints the table to disk (atomic tmp + rename) every few rows:
+// an interrupted run loses at most `checkpoint_every` sweeps and `--resume`
+// picks up from the last checkpoint.
+//
+// Resume is strict about what it extends.  A table that fails to load
+// (truncated mid-row, CRC mismatch) or that was swept under different
+// GcrmSearchOptions is REFUSED with a PrecomputeError — silently mixing
+// rows from different sweeps would poison the shipped artifact, whose
+// header pins one option set for every row.  A larger --max-p against a
+// healthy table is the intended use: present rows are kept, missing ones
+// swept.  (GcrmSearchOptions::prune is excluded from options identity —
+// pruning is result-identical, so pruned and unpruned runs may extend each
+// other's tables.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "core/pattern_search.hpp"
+#include "runtime/task_engine.hpp"
+#include "store/winners_table.hpp"
+
+namespace anyblock::serve {
+
+struct PrecomputeOptions {
+  std::int64_t min_p = 2;
+  std::int64_t max_p = 64;
+  core::GcrmSearchOptions search;
+  /// Winners table to write (and to extend under `resume`).
+  std::string table_path;
+  /// Optional pattern store: every swept winner is also memoized as a full
+  /// recommendation, exactly like a cold serve would.
+  std::string store_path;
+  /// Load `table_path` first and keep its rows.  Refuses (throws) when the
+  /// existing table is damaged or was swept with different options.
+  bool resume = false;
+  /// Save the table after this many newly swept rows (and always at the
+  /// end).  1 = checkpoint every row; <= 0 disables intermediate saves.
+  std::int64_t checkpoint_every = 1;
+};
+
+/// A resume precondition failed; nothing was swept or written.
+class PrecomputeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PrecomputeReport {
+  std::int64_t swept = 0;        ///< rows newly swept this run
+  std::int64_t resumed = 0;      ///< rows kept from the loaded table
+  std::int64_t infeasible = 0;   ///< P values with no feasible pattern
+  std::int64_t checkpoints = 0;  ///< intermediate table saves
+  std::size_t table_rows = 0;    ///< final table size
+  core::GcrmSweepProfile profile;
+};
+
+/// Called after each newly swept row (before its checkpoint).
+using PrecomputeProgress =
+    std::function<void(const store::WinnerRow& row)>;
+
+/// Runs the sweep loop over P in [min_p, max_p].  Throws PrecomputeError on
+/// a refused resume and std::runtime_error when the table cannot be saved.
+PrecomputeReport precompute_winners(const PrecomputeOptions& options,
+                                    runtime::TaskEngine& engine,
+                                    const PrecomputeProgress& progress = {});
+
+}  // namespace anyblock::serve

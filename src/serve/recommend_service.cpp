@@ -68,7 +68,8 @@ ServedRecommendation RecommendService::answer_symmetric(std::int64_t P) {
         options_.workers > 0 ? options_.workers : 1);
   }
   const core::GcrmSearchResult search =
-      parallel_gcrm_search(P, options_.recommend.search, *engine_);
+      parallel_gcrm_search(P, options_.recommend.search, *engine_,
+                           /*keep_samples=*/false, &sweep_profile_);
   ServedRecommendation served;
   served.rec =
       core::recommend_symmetric_from_search(P, search, options_.recommend);
@@ -139,6 +140,11 @@ ServiceStats RecommendService::stats() const {
   return stats_;
 }
 
+core::GcrmSweepProfile RecommendService::sweep_profile() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sweep_profile_;
+}
+
 std::vector<std::pair<std::string, double>> RecommendService::metric_rows()
     const {
   const ServiceStats snapshot = stats();
@@ -154,6 +160,8 @@ std::vector<std::pair<std::string, double>> RecommendService::metric_rows()
   for (auto& row : cold_latency_.metric_rows("serve_cold"))
     rows.push_back(std::move(row));
   for (auto& row : store_.stats().metric_rows()) rows.push_back(std::move(row));
+  for (auto& row : sweep_profile().metric_rows())
+    rows.push_back(std::move(row));
   return rows;
 }
 

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/pattern_search.hpp"
 #include "core/recommend.hpp"
 #include "obs/histogram.hpp"
 #include "runtime/task_engine.hpp"
@@ -84,10 +85,13 @@ class RecommendService {
   [[nodiscard]] bool table_usable() const { return table_usable_; }
 
   /// Cold (miss → rebuild/sweep) and warm (store hit) latency summaries
-  /// plus service and store counters, in the obs extra-row convention
-  /// ("serve_*" / "store_*").
+  /// plus service, store, and sweep-profile counters, in the obs extra-row
+  /// convention ("serve_*" / "store_*" / "sweep_*").
   [[nodiscard]] std::vector<std::pair<std::string, double>> metric_rows()
       const;
+
+  /// Accumulated profile of every sweep this service ran (cold path).
+  [[nodiscard]] core::GcrmSweepProfile sweep_profile() const;
 
  private:
   store::StoreKey key_for(std::int64_t P, core::Kernel kernel) const;
@@ -104,6 +108,7 @@ class RecommendService {
   mutable std::mutex mutex_;
   std::unique_ptr<runtime::TaskEngine> engine_;
   ServiceStats stats_;
+  core::GcrmSweepProfile sweep_profile_;  ///< guarded by mutex_ (cold path)
 
   obs::LatencyHistogram cold_latency_;
   obs::LatencyHistogram warm_latency_;

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "core/cost.hpp"
 #include "util/math.hpp"
@@ -141,6 +144,66 @@ TEST(Gcrm, SmallestCases) {
     found = result.valid && result.pattern.is_balanced(1);
   }
   EXPECT_TRUE(found);
+}
+
+TEST(Gcrm, LargeSideFailsLoudlyNotSilently) {
+  // Beyond kGcrmMaxSide the 32-bit matching-vertex arithmetic could wrap;
+  // the build must refuse with a message naming the limit, never produce a
+  // quietly corrupted pattern.
+  EXPECT_GT(kGcrmMaxSide * (kGcrmMaxSide - 1),
+            std::int64_t{0});  // itself overflow-free
+  try {
+    gcrm_build(1000, 50'000, 1);
+    FAIL() << "expected gcrm_build to throw for r > kGcrmMaxSide";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("46340"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Gcrm, FeasibilityGuardsAgainstOverflow) {
+  // Eq. 3's ceil(r(r-1)/P) * P must not wrap for absurd r; the guard
+  // reports infeasible instead of invoking signed-overflow UB.
+  EXPECT_FALSE(gcrm_feasible(3, std::int64_t{3'000'000'000}));
+  EXPECT_FALSE(gcrm_feasible(3, std::numeric_limits<std::int64_t>::max()));
+  // Near the guard boundary the answer is still computed, not crashed.
+  EXPECT_TRUE(gcrm_feasible(2, 2'000'000'000) ||
+              !gcrm_feasible(2, 2'000'000'000));
+}
+
+TEST(Gcrm, AbandonControlsMatchUnabandonedBuild) {
+  // With a threshold no attempt can beat, the build flags `abandoned` and
+  // stops early; with an infinite threshold the result is bit-identical to
+  // the plain build.
+  GcrmBuildControls relaxed;
+  const GcrmResult plain = gcrm_build(23, 24, 7);
+  const GcrmResult instrumented = gcrm_build(23, 24, 7, relaxed);
+  ASSERT_EQ(plain.valid, instrumented.valid);
+  EXPECT_FALSE(instrumented.abandoned);
+  EXPECT_EQ(plain.pattern, instrumented.pattern);
+
+  GcrmBuildControls harsh;
+  harsh.abandon_above = 0.0;  // any committed incidence exceeds this
+  const GcrmResult abandoned = gcrm_build(23, 24, 7, harsh);
+  EXPECT_TRUE(abandoned.abandoned);
+  EXPECT_FALSE(abandoned.valid);
+}
+
+TEST(Gcrm, BuildTimingsAccumulatePerPhase) {
+  GcrmBuildTimings timings;
+  GcrmBuildControls controls;
+  controls.timings = &timings;
+  const GcrmResult result = gcrm_build(23, 24, 7, controls);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GE(timings.phase1_seconds, 0.0);
+  EXPECT_GE(timings.covers_seconds, 0.0);
+  EXPECT_GE(timings.match_seconds, 0.0);
+  EXPECT_GE(timings.fallback_seconds, 0.0);
+  EXPECT_GE(timings.finalize_seconds, 0.0);
+  // A second build adds on top instead of resetting.
+  const double after_one = timings.phase1_seconds;
+  gcrm_build(23, 24, 8, controls);
+  EXPECT_GE(timings.phase1_seconds, after_one);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "core/bounds.hpp"
 #include "core/cost.hpp"
+#include "core/gcrm.hpp"
 #include "core/sbc.hpp"
 
 namespace anyblock::core {
@@ -166,6 +167,134 @@ TEST(PatternSearch, DeterminismRegressionPins) {
     EXPECT_EQ(result.best_seed, pin.seed);
     EXPECT_EQ(result.best_cost, pin.cost);  // bit-exact, not approximate
   }
+}
+
+TEST(PatternSearch, MaxRExactOnPerfectSquares) {
+  // The r-grid ceiling is floor(f * sqrt(P)).  The old float-truncation
+  // path could land one below on perfect squares (f * sqrt(P) exact in
+  // doubles, truncated after a sub-ulp dip); the integer-safe rounding must
+  // hit f * m exactly at P = m^2 and stay monotone at P -+ 1.
+  for (std::int64_t m = 2; m <= 100; ++m) {
+    const std::int64_t P = m * m;
+    for (const double f : {1.0, 2.0, 6.0}) {
+      GcrmSearchOptions options;
+      options.max_r_factor = f;
+      const auto exact = static_cast<std::int64_t>(f) * m;
+      EXPECT_EQ(gcrm_sweep_max_r(P, options), exact)
+          << "P=" << P << " f=" << f;
+      EXPECT_LE(gcrm_sweep_max_r(P - 1, options), exact) << "P-1, f=" << f;
+      EXPECT_GE(gcrm_sweep_max_r(P + 1, options), exact) << "P+1, f=" << f;
+    }
+  }
+}
+
+TEST(PatternSearch, MaxRMonotoneInP) {
+  for (const double f : {1.0, 2.24, 6.0}) {
+    GcrmSearchOptions options;
+    options.max_r_factor = f;
+    for (std::int64_t P = 2; P < 600; ++P)
+      EXPECT_LE(gcrm_sweep_max_r(P, options), gcrm_sweep_max_r(P + 1, options))
+          << "P=" << P << " f=" << f;
+  }
+}
+
+TEST(PatternSearch, BalancedCostFloorIsATrueLowerBound) {
+  // The pruning bound: every balanced pattern gcrm_build can produce at
+  // (P, r) costs at least gcrm_balanced_cost_floor(P, r, slack).
+  for (const std::int64_t P : {7, 12, 23, 31}) {
+    const auto sizes =
+        gcrm_feasible_sizes(P, gcrm_sweep_max_r(P, GcrmSearchOptions{}));
+    for (const std::int64_t r : sizes) {
+      const double floor = gcrm_balanced_cost_floor(P, r, 1);
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        const GcrmResult built =
+            gcrm_build(P, r, gcrm_attempt_seed(GcrmSearchOptions{}.base_seed, r, s));
+        if (!built.valid || !built.pattern.is_balanced(1)) continue;
+        EXPECT_GE(cholesky_cost(built.pattern), floor)
+            << "P=" << P << " r=" << r << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(PatternSearch, PrunedSweepBitIdenticalToUnpruned) {
+  // The golden grid: pruning and early abandonment must return the SAME
+  // winner coordinates, cost bits, and pattern as the exhaustive sweep.
+  for (const std::int64_t P : {2, 3, 7, 12, 16, 23, 31, 36, 49}) {
+    SCOPED_TRACE(P);
+    GcrmSearchOptions pruned = fast_options();
+    pruned.prune = true;
+    GcrmSearchOptions unpruned = fast_options();
+    unpruned.prune = false;
+    const GcrmSearchResult a = gcrm_search(P, pruned);
+    const GcrmSearchResult b = gcrm_search(P, unpruned);
+    ASSERT_EQ(a.found, b.found);
+    if (!a.found) continue;
+    EXPECT_EQ(a.best_r, b.best_r);
+    EXPECT_EQ(a.best_seed, b.best_seed);
+    EXPECT_EQ(a.best_cost, b.best_cost);  // bit-exact
+    EXPECT_EQ(a.best, b.best);
+  }
+}
+
+TEST(PatternSearch, KeepSamplesDisablesPruning) {
+  // Sample consumers (Fig. 9) need every attempt's true cost; prune must
+  // silently switch off rather than record abandoned attempts.
+  GcrmSearchOptions options = fast_options();
+  options.seeds = 3;
+  options.prune = true;
+  const GcrmSearchResult with = gcrm_search(23, options, true);
+  options.prune = false;
+  const GcrmSearchResult without = gcrm_search(23, options, true);
+  ASSERT_EQ(with.samples.size(), without.samples.size());
+  for (std::size_t i = 0; i < with.samples.size(); ++i) {
+    EXPECT_EQ(with.samples[i].r, without.samples[i].r);
+    EXPECT_EQ(with.samples[i].cost, without.samples[i].cost);
+  }
+}
+
+TEST(PatternSearch, SweepProfileCountersAreConsistent) {
+  GcrmSearchOptions options = fast_options();
+  GcrmSweepProfile profile;
+  const GcrmSearchResult result = gcrm_search(23, options, false, &profile);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(profile.searches, 1);
+  const auto sizes = gcrm_feasible_sizes(23, gcrm_sweep_max_r(23, options));
+  EXPECT_EQ(profile.sizes_feasible,
+            static_cast<std::int64_t>(sizes.size()));
+  EXPECT_LE(profile.sizes_pruned, profile.sizes_feasible);
+  // Every attempt is accounted for exactly once.
+  EXPECT_EQ(profile.attempts_built + profile.attempts_abandoned +
+                profile.attempts_skipped,
+            profile.sizes_feasible * options.seeds);
+  EXPECT_GT(profile.attempts_built, 0);
+  EXPECT_GE(profile.total_seconds, 0.0);
+  EXPECT_GE(profile.timings.phase1_seconds, 0.0);
+
+  // merge() adds counters and timings.
+  GcrmSweepProfile sum = profile;
+  sum.merge(profile);
+  EXPECT_EQ(sum.attempts_built, 2 * profile.attempts_built);
+  EXPECT_EQ(sum.searches, 2);
+
+  // Metric rows carry every counter under the sweep_ prefix.
+  const auto rows = profile.metric_rows();
+  EXPECT_EQ(rows.size(), 12u);
+  for (const auto& [name, value] : rows) {
+    EXPECT_EQ(name.rfind("sweep_", 0), 0u) << name;
+    EXPECT_GE(value, 0.0) << name;
+  }
+}
+
+TEST(PatternSearch, PruneFlagExcludedFromOptionsIdentity) {
+  // Stores and winner tables key on result-changing options only; pruning
+  // is result-identical so flipping it must not invalidate cached rows.
+  GcrmSearchOptions a;
+  GcrmSearchOptions b;
+  b.prune = !a.prune;
+  EXPECT_TRUE(a == b);
+  b.seeds += 1;
+  EXPECT_FALSE(a == b);
 }
 
 TEST(PatternSearch, WinnerCoordinatesReproduceTheWinner) {

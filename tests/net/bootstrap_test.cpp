@@ -1,0 +1,88 @@
+#include "net/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace anyblock::net {
+namespace {
+
+/// Sets an environment variable for one test, restoring the old value on
+/// scope exit (tests in this binary run single-threaded).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr)
+      unsetenv(name);
+    else
+      setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_)
+      setenv(name_, old_.c_str(), 1);
+    else
+      unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(Bootstrap, RendezvousDirRespectsTmpdir) {
+  const std::string base = ::testing::TempDir() + "/anyblock_rdv_base";
+  std::filesystem::create_directories(base);
+  ScopedEnv env("TMPDIR", base.c_str());
+  const std::string dir = make_rendezvous_dir();
+  EXPECT_EQ(dir.rfind(base + "/anyblock-rdv-", 0), 0u) << dir;
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Bootstrap, RendezvousDirStripsTrailingSlashes) {
+  const std::string base = ::testing::TempDir() + "/anyblock_rdv_slash";
+  std::filesystem::create_directories(base);
+  const std::string with_slashes = base + "//";
+  ScopedEnv env("TMPDIR", with_slashes.c_str());
+  const std::string dir = make_rendezvous_dir();
+  EXPECT_EQ(dir.rfind(base + "/anyblock-rdv-", 0), 0u) << dir;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Bootstrap, RendezvousDirFallsBackToTmp) {
+  ScopedEnv env("TMPDIR", nullptr);
+  const std::string dir = make_rendezvous_dir();
+  EXPECT_EQ(dir.rfind("/tmp/anyblock-rdv-", 0), 0u) << dir;
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Bootstrap, RendezvousDirThrowsWhenBaseMissing) {
+  const std::string missing = ::testing::TempDir() + "/anyblock_rdv_missing";
+  std::filesystem::remove_all(missing);
+  ScopedEnv env("TMPDIR", missing.c_str());
+  EXPECT_THROW(make_rendezvous_dir(), std::runtime_error);
+}
+
+TEST(Bootstrap, SpecFromEnvReadsLauncherVariables) {
+  ScopedEnv transport(kEnvTransport, "socket");
+  ScopedEnv rendezvous(kEnvRendezvous, "/some/dir");
+  ScopedEnv process(kEnvProcess, "3");
+  ScopedEnv processes(kEnvProcesses, "8");
+  const TransportSpec spec = spec_from_env();
+  EXPECT_EQ(spec.backend, "socket");
+  EXPECT_EQ(spec.rendezvous_dir, "/some/dir");
+  EXPECT_EQ(spec.process_index, 3);
+  EXPECT_EQ(spec.process_count, 8);
+}
+
+}  // namespace
+}  // namespace anyblock::net

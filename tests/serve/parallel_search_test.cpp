@@ -95,5 +95,45 @@ TEST(ParallelSearch, InvalidP) {
                std::invalid_argument);
 }
 
+TEST(ParallelSearch, PrunedBitIdenticalToUnprunedSequential) {
+  // The strongest cross-check in the golden grid: the pruned PARALLEL
+  // sweep (races on the shared threshold and all) must reproduce the
+  // exhaustive sequential sweep bit for bit, at any worker count.
+  core::GcrmSearchOptions unpruned = fast_options();
+  unpruned.prune = false;
+  core::GcrmSearchOptions pruned = fast_options();
+  pruned.prune = true;
+  for (const std::int64_t P : {2, 7, 16, 23, 31, 36}) {
+    SCOPED_TRACE(P);
+    const core::GcrmSearchResult reference = core::gcrm_search(P, unpruned);
+    for (const int workers : {1, 3, 7}) {
+      SCOPED_TRACE(workers);
+      runtime::TaskEngine engine(workers);
+      const core::GcrmSearchResult fast =
+          parallel_gcrm_search(P, pruned, engine);
+      ASSERT_EQ(fast.found, reference.found);
+      if (!reference.found) continue;
+      EXPECT_EQ(fast.best_r, reference.best_r);
+      EXPECT_EQ(fast.best_seed, reference.best_seed);
+      EXPECT_EQ(fast.best_cost, reference.best_cost);  // bit-exact
+      EXPECT_EQ(fast.best, reference.best);
+    }
+  }
+}
+
+TEST(ParallelSearch, SweepProfileAccountsForEveryAttempt) {
+  core::GcrmSearchOptions options = fast_options();
+  runtime::TaskEngine engine(3);
+  core::GcrmSweepProfile profile;
+  const core::GcrmSearchResult result =
+      parallel_gcrm_search(23, options, engine, false, &profile);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(profile.searches, 1);
+  EXPECT_GT(profile.sizes_feasible, 0);
+  EXPECT_EQ(profile.attempts_built + profile.attempts_abandoned +
+                profile.attempts_skipped,
+            profile.sizes_feasible * options.seeds);
+}
+
 }  // namespace
 }  // namespace anyblock::serve

@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/parallel_search.hpp"
+#include "serve/precompute.hpp"
 #include "serve/recommend_service.hpp"
 #include "sim/engine.hpp"
 #include "store/winners_table.hpp"
@@ -245,68 +246,68 @@ int cmd_precompute(int argc, char** argv) {
              "also memoize full recommendations into this pattern store");
   parser.add("workers", "0",
              "sweep worker threads (0 = hardware concurrency)");
+  parser.add("checkpoint-every", "1",
+             "save the table after this many new rows (0 = only at the end)");
+  parser.add("metrics", "",
+             "write the sweep_* profile rows as an obs metrics CSV");
+  parser.add_flag("no-prune",
+                  "disable the result-identical sweep pruning (reference "
+                  "timing mode)");
   parser.add_flag("resume",
-                  "keep rows already in the table (same options only)");
+                  "keep rows already in the table (refuses a damaged table "
+                  "or one swept with different options)");
   if (!parser.parse(argc, argv)) return 1;
 
-  const std::int64_t min_p = parser.get_int("min-p");
-  const std::int64_t max_p = parser.get_int("max-p");
-  if (min_p < 2 || max_p < min_p) {
+  serve::PrecomputeOptions options;
+  options.min_p = parser.get_int("min-p");
+  options.max_p = parser.get_int("max-p");
+  options.search.seeds = parser.get_int("seeds");
+  options.search.prune = !parser.get_flag("no-prune");
+  options.table_path = parser.get("table");
+  options.store_path = parser.get("store");
+  options.resume = parser.get_flag("resume");
+  options.checkpoint_every = parser.get_int("checkpoint-every");
+  if (options.min_p < 2 || options.max_p < options.min_p) {
     std::fprintf(stderr, "precompute: need 2 <= min-p <= max-p\n");
     return 1;
   }
-  core::GcrmSearchOptions options;
-  options.seeds = parser.get_int("seeds");
-  const int workers = resolve_workers(parser.get_int("workers"));
 
-  store::WinnersTable table;
-  if (parser.get_flag("resume") && table.load_file(parser.get("table")) &&
-      !(table.options() == options)) {
-    std::fprintf(stderr,
-                 "precompute: existing table was swept with different "
-                 "options; starting over\n");
-    table = store::WinnersTable();
-  }
-  table.set_options(options);
-
-  std::unique_ptr<store::PatternStore> memo;
-  if (!parser.get("store").empty())
-    memo = std::make_unique<store::PatternStore>(parser.get("store"));
-
-  runtime::TaskEngine engine(workers);
-  std::int64_t swept = 0;
-  for (std::int64_t P = min_p; P <= max_p; ++P) {
-    if (table.find(P)) continue;  // resume: row already present
-    const core::GcrmSearchResult search =
-        serve::parallel_gcrm_search(P, options, engine);
-    if (!search.found) {
-      std::fprintf(stderr, "P=%lld: no feasible pattern\n",
-                   static_cast<long long>(P));
-      continue;
-    }
-    table.add({P, search.best_r, search.best_seed, search.best_cost});
-    ++swept;
-    if (memo) {
-      core::RecommendOptions rec_options;
-      rec_options.search = options;
-      const core::Recommendation rec =
-          core::recommend_symmetric_from_search(P, search, rec_options);
-      store::StoreKey key;
-      key.P = P;
-      key.metric = "symmetric";
-      key.search = options;
-      memo->put(key, {rec.pattern, rec.scheme, rec.cost, rec.rationale});
-    }
-    std::fprintf(stderr, "P=%lld done (r=%lld cost %.4f)\n",
-                 static_cast<long long>(P),
-                 static_cast<long long>(search.best_r), search.best_cost);
-  }
-  if (!table.save_file(parser.get("table"))) {
-    std::fprintf(stderr, "cannot write %s\n", parser.get("table").c_str());
+  runtime::TaskEngine engine(resolve_workers(parser.get_int("workers")));
+  serve::PrecomputeReport report;
+  try {
+    report = serve::precompute_winners(
+        options, engine, [](const store::WinnerRow& row) {
+          std::fprintf(stderr, "P=%lld done (r=%lld cost %.4f)\n",
+                       static_cast<long long>(row.P),
+                       static_cast<long long>(row.r), row.cost);
+        });
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
     return 1;
   }
-  std::printf("%zu winners (%lld new) -> %s\n", table.size(),
-              static_cast<long long>(swept), parser.get("table").c_str());
+
+  if (!parser.get("metrics").empty()) {
+    obs::MetricsOptions metrics;
+    metrics.extra = report.profile.metric_rows();
+    if (!obs::write_metrics_csv_file(parser.get("metrics"), obs::Trace(),
+                                     metrics)) {
+      std::fprintf(stderr, "cannot write %s\n", parser.get("metrics").c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "%zu winners (%lld new, %lld resumed, %lld infeasible) -> %s\n"
+      "sweep: %lld built, %lld abandoned, %lld skipped "
+      "(%lld/%lld sizes pruned) in %.1fs\n",
+      report.table_rows, static_cast<long long>(report.swept),
+      static_cast<long long>(report.resumed),
+      static_cast<long long>(report.infeasible), options.table_path.c_str(),
+      static_cast<long long>(report.profile.attempts_built),
+      static_cast<long long>(report.profile.attempts_abandoned),
+      static_cast<long long>(report.profile.attempts_skipped),
+      static_cast<long long>(report.profile.sizes_pruned),
+      static_cast<long long>(report.profile.sizes_feasible),
+      report.profile.total_seconds);
   return 0;
 }
 
