@@ -29,4 +29,31 @@ double lu_comm_lower_bound_per_node(double m, std::int64_t P) {
   return m * m / std::sqrt(static_cast<double>(P));
 }
 
+double io_lower_bound_per_node_tiles(double flops_tiles, std::int64_t P,
+                                     double memory_tiles) {
+  if (memory_tiles <= 0.0) return 0.0;
+  const double bound =
+      flops_tiles / (static_cast<double>(P) * std::sqrt(8.0 * memory_tiles)) -
+      memory_tiles;
+  return bound > 0.0 ? bound : 0.0;
+}
+
+double lu_io_lower_bound_tiles(std::int64_t t, std::int64_t P,
+                               std::int64_t layers) {
+  const double td = static_cast<double>(t);
+  const double memory =
+      static_cast<double>(layers) * td * td / static_cast<double>(P);
+  return static_cast<double>(P) *
+         io_lower_bound_per_node_tiles(td * td * td / 3.0, P, memory);
+}
+
+double cholesky_io_lower_bound_tiles(std::int64_t t, std::int64_t P,
+                                     std::int64_t layers) {
+  const double td = static_cast<double>(t);
+  const double memory =
+      static_cast<double>(layers) * td * td / static_cast<double>(P);
+  return static_cast<double>(P) *
+         io_lower_bound_per_node_tiles(td * td * td / 6.0, P, memory);
+}
+
 }  // namespace anyblock::core

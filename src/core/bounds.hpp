@@ -29,4 +29,25 @@ double gcrm_cost_limit(std::int64_t P);
 /// elements per node.
 double lu_comm_lower_bound_per_node(double m, std::int64_t P);
 
+/// Memory-dependent parallel-I/O lower bound in the Irony–Toledo–Tiskin /
+/// COnfLUX form `Q >= F / (P sqrt(8 M)) - M` per node, in *tiles*: any
+/// parallel schedule of `flops_tiles` tile-multiply operations where each
+/// node holds at most `memory_tiles` tiles of fast memory must move at
+/// least this many tiles into some node.  Clamped at zero (the -M slack
+/// makes the bound vacuous once replication covers the whole working set);
+/// every measured 2.5D volume must sit on or above it — a property the
+/// tests enforce for random (P, c, t).
+double io_lower_bound_per_node_tiles(double flops_tiles, std::int64_t P,
+                                     double memory_tiles);
+
+/// The bound above instantiated for a t x t tile LU (t^3/3 multiplies) /
+/// Cholesky (t^3/6) with memory factor `layers`: each of the P nodes
+/// stores its replicated share M = layers * t^2 / P tiles.  Returns the
+/// *total* across nodes (P times the per-node bound), in tiles — directly
+/// comparable to exact_*_volume_25d.
+double lu_io_lower_bound_tiles(std::int64_t t, std::int64_t P,
+                               std::int64_t layers);
+double cholesky_io_lower_bound_tiles(std::int64_t t, std::int64_t P,
+                                     std::int64_t layers);
+
 }  // namespace anyblock::core

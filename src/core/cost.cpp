@@ -295,6 +295,137 @@ std::int64_t exact_cholesky_messages(const Distribution& distribution,
   return sum_of(cholesky_message_profile(distribution, t, config));
 }
 
+std::int64_t reduce_count_lu(std::int64_t t, std::int64_t layers) {
+  std::int64_t total = 0;
+  for (std::int64_t l = 0; l < t; ++l) {
+    const std::int64_t rq = l < layers - 1 ? l : layers - 1;
+    total += (2 * (t - 1 - l) + 1) * rq;
+  }
+  return total;
+}
+
+std::int64_t reduce_count_cholesky(std::int64_t t, std::int64_t layers) {
+  std::int64_t total = 0;
+  for (std::int64_t l = 0; l < t; ++l) {
+    const std::int64_t rq = l < layers - 1 ? l : layers - 1;
+    total += (t - l) * rq;
+  }
+  return total;
+}
+
+std::int64_t exact_lu_volume_25d(const ReplicatedDistribution& distribution,
+                                 std::int64_t t) {
+  return exact_lu_volume(distribution.base(), t) +
+         reduce_count_lu(t, distribution.layers());
+}
+
+std::int64_t exact_cholesky_volume_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t) {
+  return exact_cholesky_volume(distribution.base(), t) +
+         reduce_count_cholesky(t, distribution.layers());
+}
+
+std::int64_t exact_lu_messages_25d(const ReplicatedDistribution& distribution,
+                                   std::int64_t t,
+                                   const comm::CollectiveConfig& config) {
+  return exact_lu_messages(distribution.base(), t, config) +
+         reduce_count_lu(t, distribution.layers()) *
+             comm::multicast_messages(1, config);
+}
+
+std::int64_t exact_cholesky_messages_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t,
+    const comm::CollectiveConfig& config) {
+  return exact_cholesky_messages(distribution.base(), t, config) +
+         reduce_count_cholesky(t, distribution.layers()) *
+             comm::multicast_messages(1, config);
+}
+
+std::vector<std::int64_t> lu_send_profile_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t) {
+  const Distribution& base = distribution.base();
+  DistinctCounter distinct(base.num_nodes());
+  std::vector<std::int64_t> profile(
+      static_cast<std::size_t>(distribution.num_nodes()), 0);
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return base.owner(i, j);
+  };
+  const auto credit = [&](NodeId producer, std::int64_t layer) {
+    profile[static_cast<std::size_t>(distribution.replica(producer, layer))] +=
+        distinct.count();
+  };
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    // Panel broadcasts of iteration l, all inside compute layer l mod c.
+    const std::int64_t h = distribution.home_layer(l);
+    distinct.begin(owner(l, l));
+    for (std::int64_t j = l + 1; j < t; ++j) distinct.add(owner(l, j));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, l));
+    credit(owner(l, l), h);
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j < t; ++j) distinct.add(owner(i, j));
+      credit(owner(i, l), h);
+    }
+    for (std::int64_t j = l + 1; j < t; ++j) {
+      distinct.begin(owner(l, j));
+      for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, j));
+      credit(owner(l, j), h);
+    }
+  }
+  // Inter-layer reduction: every tile finalized at iteration m is flushed by
+  // each remote layer that accumulated a partial sum for it (one tile each).
+  for (std::int64_t m = 0; m < t; ++m) {
+    const std::int64_t rq = distribution.remote_layer_count(m);
+    const auto flush = [&](std::int64_t i, std::int64_t j) {
+      for (std::int64_t s = 0; s < rq; ++s)
+        profile[static_cast<std::size_t>(distribution.replica(
+            owner(i, j), distribution.remote_layer(m, s)))] += 1;
+    };
+    flush(m, m);
+    for (std::int64_t i = m + 1; i < t; ++i) flush(i, m);
+    for (std::int64_t j = m + 1; j < t; ++j) flush(m, j);
+  }
+  return profile;
+}
+
+std::vector<std::int64_t> cholesky_send_profile_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t) {
+  const Distribution& base = distribution.base();
+  DistinctCounter distinct(base.num_nodes());
+  std::vector<std::int64_t> profile(
+      static_cast<std::size_t>(distribution.num_nodes()), 0);
+  const auto owner = [&](std::int64_t i, std::int64_t j) {
+    return base.owner(i, j);
+  };
+  const auto credit = [&](NodeId producer, std::int64_t layer) {
+    profile[static_cast<std::size_t>(distribution.replica(producer, layer))] +=
+        distinct.count();
+  };
+  for (std::int64_t l = 0; l + 1 < t; ++l) {
+    const std::int64_t h = distribution.home_layer(l);
+    distinct.begin(owner(l, l));
+    for (std::int64_t i = l + 1; i < t; ++i) distinct.add(owner(i, l));
+    credit(owner(l, l), h);
+    for (std::int64_t i = l + 1; i < t; ++i) {
+      distinct.begin(owner(i, l));
+      for (std::int64_t j = l + 1; j <= i; ++j) distinct.add(owner(i, j));
+      for (std::int64_t m = i; m < t; ++m) distinct.add(owner(m, i));
+      credit(owner(i, l), h);
+    }
+  }
+  for (std::int64_t m = 0; m < t; ++m) {
+    const std::int64_t rq = distribution.remote_layer_count(m);
+    const auto flush = [&](std::int64_t i, std::int64_t j) {
+      for (std::int64_t s = 0; s < rq; ++s)
+        profile[static_cast<std::size_t>(distribution.replica(
+            owner(i, j), distribution.remote_layer(m, s)))] += 1;
+    };
+    flush(m, m);
+    for (std::int64_t i = m + 1; i < t; ++i) flush(i, m);
+  }
+  return profile;
+}
+
 std::int64_t exact_gemm_volume(const Pattern& pattern, std::int64_t t,
                                std::int64_t k) {
   const PatternDistribution dist_c(pattern, t, /*symmetric=*/false);

@@ -11,6 +11,7 @@
 #include "comm/config.hpp"
 #include "core/distribution.hpp"
 #include "core/pattern.hpp"
+#include "core/replicated.hpp"
 
 namespace anyblock::core {
 
@@ -108,5 +109,49 @@ std::vector<std::int64_t> lu_message_profile(
 std::vector<std::int64_t> cholesky_message_profile(
     const Distribution& distribution, std::int64_t t,
     const comm::CollectiveConfig& config);
+
+/// ---- 2.5D closed forms (core/replicated.hpp) -------------------------
+///
+/// Under the layer-rotation schedule, iteration l's panel broadcasts stay
+/// inside compute layer l mod c and are node-for-node isomorphic to the 2D
+/// broadcasts of the base distribution, so the *only* extra traffic is the
+/// inter-layer reduction: every tile finalized at iteration m receives
+/// min(m, c-1) partial sums, one tile each.  Hence
+///   volume_25d  = exact_*_volume(base)  + reduce_count_*(t, c)
+///   messages_25d = exact_*_messages(base) + reduce_count_* * msgs(1 dest)
+/// and both are pinned against simulator / vmpi measurements by the tests.
+
+/// Number of inter-layer partial-sum transfers in a t x t LU with memory
+/// factor `layers`: sum over l of (2(t-1-l) + 1) * min(l, layers - 1).
+std::int64_t reduce_count_lu(std::int64_t t, std::int64_t layers);
+
+/// Same for Cholesky (t - l tiles finalize at iteration l):
+/// sum over l of (t - l) * min(l, layers - 1).
+std::int64_t reduce_count_cholesky(std::int64_t t, std::int64_t layers);
+
+/// Exact communication volume (tiles sent) of the 2.5D factorizations.
+std::int64_t exact_lu_volume_25d(const ReplicatedDistribution& distribution,
+                                 std::int64_t t);
+std::int64_t exact_cholesky_volume_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t);
+
+/// Exact message counts per collective algorithm; each reduction is a
+/// single-destination multicast (p2p/tree: 1 message, chain: chunk count).
+std::int64_t exact_lu_messages_25d(const ReplicatedDistribution& distribution,
+                                   std::int64_t t,
+                                   const comm::CollectiveConfig& config);
+std::int64_t exact_cholesky_messages_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t,
+    const comm::CollectiveConfig& config);
+
+/// Per-rank *sent-tile* counts under eager p2p (entry n = tiles rank n
+/// produces and sends): broadcasts are credited to the producing replica on
+/// the iteration's compute layer, reductions to the flushing remote
+/// replica.  Sums to exact_*_volume_25d; the simulator's per-node
+/// messages_sent must match entry for entry under kEagerP2P.
+std::vector<std::int64_t> lu_send_profile_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t);
+std::vector<std::int64_t> cholesky_send_profile_25d(
+    const ReplicatedDistribution& distribution, std::int64_t t);
 
 }  // namespace anyblock::core

@@ -1,5 +1,6 @@
 #include "core/transform.hpp"
 
+#include <stdexcept>
 #include <vector>
 
 namespace anyblock::core {
@@ -34,6 +35,37 @@ bool equivalent_up_to_relabel(const Pattern& a, const Pattern& b) {
       a.num_nodes() != b.num_nodes())
     return false;
   return canonical_relabel(a) == canonical_relabel(b);
+}
+
+Pattern layer_pattern(const Pattern& base, std::int64_t layer,
+                      std::int64_t layers) {
+  if (layers < 1)
+    throw std::invalid_argument("layer_pattern: layers must be >= 1");
+  if (layer < 0 || layer >= layers)
+    throw std::invalid_argument("layer_pattern: layer out of range");
+  Pattern result(base.rows(), base.cols(), base.num_nodes() * layers);
+  for (std::int64_t i = 0; i < base.rows(); ++i) {
+    for (std::int64_t j = 0; j < base.cols(); ++j) {
+      const NodeId n = base.at(i, j);
+      if (n == Pattern::kFree) continue;
+      result.set(i, j, static_cast<NodeId>(layer * base.num_nodes() + n));
+    }
+  }
+  return result;
+}
+
+Pattern project_to_base(const Pattern& layered, std::int64_t base_nodes) {
+  if (base_nodes < 1)
+    throw std::invalid_argument("project_to_base: base_nodes must be >= 1");
+  Pattern result(layered.rows(), layered.cols(), base_nodes);
+  for (std::int64_t i = 0; i < layered.rows(); ++i) {
+    for (std::int64_t j = 0; j < layered.cols(); ++j) {
+      const NodeId n = layered.at(i, j);
+      if (n == Pattern::kFree) continue;
+      result.set(i, j, static_cast<NodeId>(n % base_nodes));
+    }
+  }
+  return result;
 }
 
 }  // namespace anyblock::core

@@ -22,4 +22,20 @@ Pattern canonical_relabel(const Pattern& pattern);
 /// True when the patterns are equal up to a renaming of the nodes.
 bool equivalent_up_to_relabel(const Pattern& a, const Pattern& b);
 
+/// The ownership pattern of 2.5D compute layer `layer` over a base pattern
+/// on P_b nodes: every assigned cell b becomes its replica
+/// `layer * P_b + b` in the stacked P_b * layers node space; free cells
+/// stay free.  `layer_pattern(base, 0, c)` is the layer-0 pattern a 2.5D
+/// distribution presents to redistribution tooling.  Throws
+/// std::invalid_argument when layer is outside [0, layers) or layers < 1.
+Pattern layer_pattern(const Pattern& base, std::int64_t layer,
+                      std::int64_t layers);
+
+/// Morphs a 2.5D layer pattern back onto its 2D base node space: node id
+/// n -> n mod base_nodes, free cells stay free.  Round trip with
+/// layer_pattern is the identity on ownership:
+/// `project_to_base(layer_pattern(g, q, c), g.num_nodes()) == g` for every
+/// layer q.  Throws std::invalid_argument when base_nodes < 1.
+Pattern project_to_base(const Pattern& layered, std::int64_t base_nodes);
+
 }  // namespace anyblock::core

@@ -18,8 +18,8 @@ namespace detail {
 
 void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
                     const core::Distribution& distribution, bool lower_only,
-                    TiledMatrix& out, std::mutex& out_mutex) {
-  const std::int64_t gather_base = t * t;
+                    TiledMatrix& out, std::mutex& out_mutex,
+                    std::int64_t gather_base) {
   if (ctx.rank() == 0) {
     const std::lock_guard<std::mutex> lock(out_mutex);
     for (std::int64_t i = 0; i < t; ++i) {
@@ -44,16 +44,16 @@ void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
   }
 }
 
-void lu_factorize_rank(RankContext& ctx, TileStore& store,
+void lu_iteration_rank(RankContext& ctx, TileStore& store,
                        const core::Distribution& distribution, std::int64_t t,
-                       std::int64_t nb, std::atomic<bool>& ok,
+                       std::int64_t l, std::int64_t nb, std::atomic<bool>& ok,
                        const comm::CollectiveConfig& config) {
   const int self = ctx.rank();
   const auto owner = [&](std::int64_t i, std::int64_t j) {
     return distribution.owner(i, j);
   };
 
-  for (std::int64_t l = 0; l < t; ++l) {
+  {
     // --- GETRF(l, l) on its owner; multicast along colrow l.  Every rank
     // rebuilds the identical destination list, so forwarding collectives
     // can derive their role from the list alone.
@@ -110,9 +110,17 @@ void lu_factorize_rank(RankContext& ctx, TileStore& store,
   }
 }
 
-void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
+void lu_factorize_rank(RankContext& ctx, TileStore& store,
+                       const core::Distribution& distribution, std::int64_t t,
+                       std::int64_t nb, std::atomic<bool>& ok,
+                       const comm::CollectiveConfig& config) {
+  for (std::int64_t l = 0; l < t; ++l)
+    lu_iteration_rank(ctx, store, distribution, t, l, nb, ok, config);
+}
+
+void cholesky_iteration_rank(RankContext& ctx, TileStore& store,
                              const core::Distribution& distribution,
-                             std::int64_t t, std::int64_t nb,
+                             std::int64_t t, std::int64_t l, std::int64_t nb,
                              std::atomic<bool>& ok,
                              const comm::CollectiveConfig& config) {
   const int self = ctx.rank();
@@ -120,7 +128,7 @@ void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
     return distribution.owner(i, j);
   };
 
-  for (std::int64_t l = 0; l < t; ++l) {
+  {
     // --- POTRF(l, l); the factor feeds the TRSMs below it.
     const auto diag_group = chol_diag_group(distribution, t, l);
     if (owner(l, l) == self) {
@@ -165,6 +173,15 @@ void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
       }
     }
   }
+}
+
+void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
+                             const core::Distribution& distribution,
+                             std::int64_t t, std::int64_t nb,
+                             std::atomic<bool>& ok,
+                             const comm::CollectiveConfig& config) {
+  for (std::int64_t l = 0; l < t; ++l)
+    cholesky_iteration_rank(ctx, store, distribution, t, l, nb, ok, config);
 }
 
 }  // namespace detail

@@ -16,6 +16,7 @@
 
 #include "comm/config.hpp"
 #include "core/distribution.hpp"
+#include "core/replicated.hpp"
 #include "fault/fault.hpp"
 #include "linalg/tiled_matrix.hpp"
 #include "linalg/tiled_panel.hpp"
@@ -68,6 +69,31 @@ DistRunResult distributed_cholesky(const linalg::TiledMatrix& input,
                                    const comm::CollectiveConfig& config = {},
                                    obs::Recorder* recorder = nullptr,
                                    fault::FaultInjector* injector = nullptr);
+
+/// 2.5D replicated LU (dist_factorization_25d.cpp): P = P_b * c ranks,
+/// layer q = rank / P_b holding a full replica of the base layout.  Every
+/// iteration runs the 2D rank body inside its compute layer (l mod c);
+/// remote layers flush their partial sums to the home replica right before
+/// a tile is finalized.  Under eager p2p the factorization-proper message
+/// count equals core::exact_lu_volume_25d; under every collective it
+/// equals core::exact_lu_messages_25d.  With c = 1 the run — results and
+/// per-rank counts — is bit-identical to distributed_lu; with c > 1 it is
+/// deterministic (fixed reduce order) but sums updates in a different
+/// order than the 2D schedule.
+DistRunResult distributed_lu_25d(const linalg::TiledMatrix& input,
+                                 const core::ReplicatedDistribution& dist,
+                                 const comm::CollectiveConfig& config = {},
+                                 obs::Recorder* recorder = nullptr,
+                                 fault::FaultInjector* injector = nullptr);
+
+/// 2.5D replicated lower Cholesky; same contract as distributed_lu_25d
+/// with core::exact_cholesky_volume_25d / exact_cholesky_messages_25d.
+DistRunResult distributed_cholesky_25d(
+    const linalg::TiledMatrix& input,
+    const core::ReplicatedDistribution& dist,
+    const comm::CollectiveConfig& config = {},
+    obs::Recorder* recorder = nullptr,
+    fault::FaultInjector* injector = nullptr);
 
 /// Distributed SYRK: C := C - A*A^T on the lower triangle of C.  C tiles
 /// follow `dist_c` (owner computes); A tiles follow `dist_a` with column l

@@ -1,0 +1,194 @@
+// 2.5D replicated execution of the distributed factorizations.
+//
+// Rank q * P_b + b is base rank b's replica on layer q
+// (core/replicated.hpp).  Every iteration l runs node-for-node like the 2D
+// rank body on layer l mod c — panel multicasts never leave the layer — and
+// trailing updates accumulate into layer-local partial sums.  The only
+// inter-layer traffic is the reduce phase at the head of each iteration:
+// each remote layer flushes its partial of every tile the iteration is
+// about to finalize to the home replica (a single-destination multicast, so
+// message counts stay comparable across collectives), and the home replica
+// adds them in ascending layer order — the deterministic summation order
+// the run-twice tests rely on.
+//
+// Tag bands: [0, t^2) panel tiles (disjoint rank sets per layer),
+// [t^2 * (1 + q), t^2 * (2 + q)) reduces flushed from layer q, and the
+// gather above all of them at t^2 * (1 + c).
+//
+// With c = 1 the reduce phases are empty, layer 0's view is the base
+// distribution, and the execution is bit-identical to
+// distributed_lu/distributed_cholesky (golden 2.5D dist tests).  With
+// c > 1 the result is deterministic but not bit-identical to the 2D run:
+// updates are summed in a different order.
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/multicast.hpp"
+#include "dist/dist_factorization.hpp"
+#include "dist/rank_helpers.hpp"
+
+namespace anyblock::dist {
+namespace {
+
+using core::NodeId;
+using detail::TileStore;
+using linalg::TiledMatrix;
+using vmpi::Payload;
+using vmpi::RankContext;
+
+/// The base distribution as seen from one layer: every tile is owned by its
+/// base owner's replica on that layer.  Passing the view of layer l mod c
+/// into the 2D iteration body reproduces the base schedule inside the
+/// layer, self-skips included.
+class LayerView final : public core::Distribution {
+ public:
+  LayerView(const core::ReplicatedDistribution& dist, std::int64_t layer)
+      : dist_(dist), layer_(layer) {}
+  [[nodiscard]] NodeId owner(std::int64_t i, std::int64_t j) const override {
+    return dist_.replica(dist_.base().owner(i, j), layer_);
+  }
+  [[nodiscard]] std::int64_t num_nodes() const override {
+    return dist_.num_nodes();
+  }
+  [[nodiscard]] std::string name() const override { return dist_.name(); }
+
+ private:
+  const core::ReplicatedDistribution& dist_;
+  std::int64_t layer_;
+};
+
+/// Flush/receive the remote-layer partial sums of one tile iteration l is
+/// about to finalize.  Remote layers send; the home replica accumulates in
+/// ascending source-layer order.
+void reduce_tile(RankContext& ctx, TileStore& store,
+                 const core::ReplicatedDistribution& dist, std::int64_t t,
+                 std::int64_t l, std::int64_t i, std::int64_t j,
+                 const comm::CollectiveConfig& config) {
+  const int self = ctx.rank();
+  const NodeId base_owner = dist.base().owner(i, j);
+  const int home =
+      static_cast<int>(dist.replica(base_owner, dist.home_layer(l)));
+  for (std::int64_t s = 0; s < dist.remote_layer_count(l); ++s) {
+    const std::int64_t source_layer = dist.remote_layer(l, s);
+    const int source = static_cast<int>(dist.replica(base_owner, source_layer));
+    const std::int64_t tag = t * t * (1 + source_layer) + store.key(i, j);
+    const std::vector<int> dests{home};
+    if (self == source) {
+      comm::multicast_send(ctx, config, tag, store.get(i, j), dests);
+    } else if (self == home) {
+      const Payload partial =
+          comm::multicast_recv(ctx, config, tag, source, dests);
+      Payload& accumulator = store.get(i, j);
+      for (std::size_t e = 0; e < accumulator.size(); ++e)
+        accumulator[e] += partial[e];
+    }
+  }
+}
+
+/// Builds this rank's tile store: one buffer per tile of its base rank,
+/// holding the input values on the tile's home layer and a zero accumulator
+/// on every other layer (remote layers only ever contribute updates).
+TileStore make_layer_store(const TiledMatrix& input,
+                           const core::ReplicatedDistribution& dist,
+                           const LayerView& view, int rank,
+                           std::int64_t my_layer, bool lower_only) {
+  const std::int64_t t = input.tiles();
+  TileStore store(input, view, rank, lower_only);
+  for (std::int64_t i = 0; i < t; ++i) {
+    const std::int64_t j_end = lower_only ? i + 1 : t;
+    for (std::int64_t j = 0; j < j_end; ++j) {
+      if (view.owner(i, j) != rank) continue;
+      const std::int64_t m = i < j ? i : j;
+      if (dist.home_layer(m) == my_layer) continue;
+      Payload& tile = store.get(i, j);
+      std::fill(tile.begin(), tile.end(), 0.0);
+    }
+  }
+  return store;
+}
+
+DistRunResult run_25d(const TiledMatrix& input,
+                      const core::ReplicatedDistribution& distribution,
+                      const comm::CollectiveConfig& config,
+                      obs::Recorder* recorder, fault::FaultInjector* injector,
+                      bool symmetric) {
+  const std::int64_t t = input.tiles();
+  const std::int64_t nb = input.tile_size();
+  const std::int64_t base_nodes = distribution.base_nodes();
+  const int ranks = static_cast<int>(distribution.num_nodes());
+
+  DistRunResult result;
+  result.factored = TiledMatrix(t, nb);
+  std::mutex out_mutex;
+  std::atomic<bool> ok{true};
+  std::vector<std::int64_t> factor_messages(static_cast<std::size_t>(ranks));
+  std::vector<std::int64_t> factor_received(static_cast<std::size_t>(ranks));
+
+  result.report = vmpi::run_ranks(ranks, [&](RankContext& ctx) {
+    const int self = ctx.rank();
+    const std::int64_t my_layer = self / base_nodes;
+    const LayerView my_view(distribution, my_layer);
+    TileStore store = make_layer_store(input, distribution, my_view, self,
+                                       my_layer, /*lower_only=*/symmetric);
+
+    for (std::int64_t l = 0; l < t; ++l) {
+      // Reduce phase: finalized tiles in task order — the diagonal, the
+      // column panel, and (LU only) the row panel.
+      reduce_tile(ctx, store, distribution, t, l, l, l, config);
+      for (std::int64_t i = l + 1; i < t; ++i)
+        reduce_tile(ctx, store, distribution, t, l, i, l, config);
+      if (!symmetric)
+        for (std::int64_t j = l + 1; j < t; ++j)
+          reduce_tile(ctx, store, distribution, t, l, l, j, config);
+
+      // The unchanged 2D iteration body on the compute layer; every other
+      // layer owns nothing under this view and falls straight through.
+      const LayerView iteration_view(distribution, distribution.home_layer(l));
+      if (symmetric) {
+        detail::cholesky_iteration_rank(ctx, store, iteration_view, t, l, nb,
+                                        ok, config);
+      } else {
+        detail::lu_iteration_rank(ctx, store, iteration_view, t, l, nb, ok,
+                                  config);
+      }
+    }
+
+    const auto traffic = ctx.traffic();
+    factor_messages[static_cast<std::size_t>(self)] = traffic.messages_sent;
+    factor_received[static_cast<std::size_t>(self)] =
+        traffic.messages_received;
+    detail::gather_to_root(store, ctx, t, distribution,
+                           /*lower_only=*/symmetric, result.factored,
+                           out_mutex,
+                           t * t * (1 + distribution.layers()));
+  }, recorder, injector);
+
+  result.ok = ok.load();
+  for (const auto count : factor_messages) result.tile_messages += count;
+  for (const auto count : factor_received)
+    result.tile_messages_received += count;
+  return result;
+}
+
+}  // namespace
+
+DistRunResult distributed_lu_25d(const TiledMatrix& input,
+                                 const core::ReplicatedDistribution& dist,
+                                 const comm::CollectiveConfig& config,
+                                 obs::Recorder* recorder,
+                                 fault::FaultInjector* injector) {
+  return run_25d(input, dist, config, recorder, injector,
+                 /*symmetric=*/false);
+}
+
+DistRunResult distributed_cholesky_25d(
+    const TiledMatrix& input, const core::ReplicatedDistribution& dist,
+    const comm::CollectiveConfig& config, obs::Recorder* recorder,
+    fault::FaultInjector* injector) {
+  return run_25d(input, dist, config, recorder, injector, /*symmetric=*/true);
+}
+
+}  // namespace anyblock::dist

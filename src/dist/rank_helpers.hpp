@@ -146,10 +146,21 @@ inline void receive_published(TileStore& store, RankContext& ctx,
 }
 
 /// Gathers all owned tiles to rank 0 and assembles the factored matrix.
-/// Gather tags sit at [t*t, 2*t*t).
+/// Gather tags sit at [gather_base, gather_base + t*t); the default band
+/// [t*t, 2*t*t) sits right above the 2D factorization tags.  The 2.5D path
+/// passes t*t*(1+c) to clear its per-layer reduce bands.
 void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
                     const core::Distribution& distribution, bool lower_only,
-                    TiledMatrix& out, std::mutex& out_mutex);
+                    TiledMatrix& out, std::mutex& out_mutex,
+                    std::int64_t gather_base);
+
+inline void gather_to_root(TileStore& store, RankContext& ctx, std::int64_t t,
+                           const core::Distribution& distribution,
+                           bool lower_only, TiledMatrix& out,
+                           std::mutex& out_mutex) {
+  gather_to_root(store, ctx, t, distribution, lower_only, out, out_mutex,
+                 t * t);
+}
 
 /// One rank's share of the right-looking LU factorization (tile tags in
 /// [0, t*t)).  On return the rank's owned tiles hold their final values.
@@ -162,10 +173,26 @@ void lu_factorize_rank(RankContext& ctx, TileStore& store,
                        std::int64_t nb, std::atomic<bool>& ok,
                        const comm::CollectiveConfig& config);
 
+/// One elimination iteration of the LU rank body (the l-th trip of
+/// lu_factorize_rank's loop).  The 2.5D driver interleaves these with its
+/// inter-layer reduce phases, passing a per-iteration layer view as
+/// `distribution`; ranks outside every group simply fall through.
+void lu_iteration_rank(RankContext& ctx, TileStore& store,
+                       const core::Distribution& distribution, std::int64_t t,
+                       std::int64_t l, std::int64_t nb, std::atomic<bool>& ok,
+                       const comm::CollectiveConfig& config);
+
 /// Same for the lower Cholesky factorization.
 void cholesky_factorize_rank(RankContext& ctx, TileStore& store,
                              const core::Distribution& distribution,
                              std::int64_t t, std::int64_t nb,
+                             std::atomic<bool>& ok,
+                             const comm::CollectiveConfig& config);
+
+/// One elimination iteration of the Cholesky rank body.
+void cholesky_iteration_rank(RankContext& ctx, TileStore& store,
+                             const core::Distribution& distribution,
+                             std::int64_t t, std::int64_t l, std::int64_t nb,
                              std::atomic<bool>& ok,
                              const comm::CollectiveConfig& config);
 

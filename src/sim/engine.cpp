@@ -12,6 +12,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/implicit_workload.hpp"
 #include "sim/pool.hpp"
+#include "sim/workload_25d.hpp"
 #include "util/stopwatch.hpp"
 
 namespace anyblock::sim {
@@ -25,6 +26,8 @@ const char* task_type_name(TaskType type) {
     case TaskType::kGemm: return "gemm";
     case TaskType::kSyrk: return "syrk";
     case TaskType::kLoad: return "load";
+    case TaskType::kFlush: return "flush";
+    case TaskType::kReduce: return "reduce";
   }
   return "task";
 }
@@ -36,6 +39,8 @@ std::int64_t priority_key(const TaskView& task) {
   int rank = 3;
   switch (task.type) {
     case TaskType::kLoad:
+    case TaskType::kFlush:
+    case TaskType::kReduce:
     case TaskType::kGetrf:
     case TaskType::kPotrf: rank = 0; break;
     case TaskType::kTrsm: rank = 1; break;
@@ -615,7 +620,7 @@ SimReport simulate_kernel(const MachineConfig& machine,
                           MakeWorkload&& make_workload) {
   const Stopwatch watch;
   if (machine.workload_mode == WorkloadMode::kImplicit) {
-    ImplicitWorkload model = make_implicit();
+    auto model = make_implicit();
     const double build = watch.seconds();
     SimReport report = run_model(model, machine);
     report.build_seconds = build;
@@ -666,6 +671,29 @@ SimReport simulate_cholesky(std::int64_t t,
                                 machine);
       },
       [&] { return build_cholesky_workload(t, distribution, machine); });
+}
+
+SimReport simulate_lu_25d(std::int64_t t,
+                          const core::ReplicatedDistribution& distribution,
+                          const MachineConfig& machine) {
+  return simulate_kernel(
+      machine,
+      [&] {
+        return Implicit25dWorkload(SimKernel::kLu, t, distribution, machine);
+      },
+      [&] { return build_lu_workload_25d(t, distribution, machine); });
+}
+
+SimReport simulate_cholesky_25d(
+    std::int64_t t, const core::ReplicatedDistribution& distribution,
+    const MachineConfig& machine) {
+  return simulate_kernel(
+      machine,
+      [&] {
+        return Implicit25dWorkload(SimKernel::kCholesky, t, distribution,
+                                   machine);
+      },
+      [&] { return build_cholesky_workload_25d(t, distribution, machine); });
 }
 
 SimReport simulate_syrk(std::int64_t t, std::int64_t k,

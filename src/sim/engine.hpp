@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/replicated.hpp"
 #include "sim/machine.hpp"
 #include "sim/workload.hpp"
 
@@ -73,5 +74,16 @@ SimReport simulate_syrk(std::int64_t t, std::int64_t k,
                         const core::Distribution& dist_c,
                         const core::Distribution& dist_a,
                         const MachineConfig& machine);
+
+/// 2.5D variants (sim/workload_25d.hpp): machine.nodes must equal
+/// distribution.num_nodes() = base nodes * memory factor.  With one layer
+/// these simulate bit-identical trajectories to simulate_lu/cholesky on the
+/// base distribution (the golden 2.5D equivalence tests).
+SimReport simulate_lu_25d(std::int64_t t,
+                          const core::ReplicatedDistribution& distribution,
+                          const MachineConfig& machine);
+SimReport simulate_cholesky_25d(
+    std::int64_t t, const core::ReplicatedDistribution& distribution,
+    const MachineConfig& machine);
 
 }  // namespace anyblock::sim

@@ -41,6 +41,10 @@ double MachineConfig::task_flops(TaskType type) const {
     case TaskType::kGemm: return linalg::gemm_flops(tile_size);
     case TaskType::kSyrk: return linalg::syrk_flops(tile_size);
     case TaskType::kLoad: return 0.0;
+    case TaskType::kFlush: return 0.0;
+    case TaskType::kReduce:
+      // Element-wise add of one received partial sum into the home tile.
+      return static_cast<double>(tile_size) * static_cast<double>(tile_size);
   }
   return 0.0;
 }

@@ -1,0 +1,208 @@
+// 2.5D task DAGs for the cluster simulator (core/replicated.hpp).
+//
+// The 2.5D schedule keeps the 2D right-looking structure but rotates every
+// iteration onto compute layer l mod c and defers the trailing-matrix
+// exchange: updates accumulate into layer-local partial sums, and a tile is
+// only reduced across layers right before it is finalized.  Two new task
+// types carry that:
+//
+//   kFlush(l, i, j)   on a *remote* layer: publishes the layer's partial
+//                     sum of tile (i, j) toward the home replica (zero
+//                     compute; its published instance has exactly one
+//                     consumer group — the matching reduce task).
+//   kReduce(l, i, j)  on the *home* layer: adds one received partial into
+//                     the home tile (tile^2 flops); reduces of one tile
+//                     chain in ascending source-layer order, then the
+//                     finalizing GETRF/POTRF/TRSM chains after the last.
+//
+// Per iteration l (k = t-1-l, rq = min(l, c-1) remote layers) the task
+// order is: the flush block, the reduce block, then the unchanged 2D body
+// (panel ops and the layer's GEMMs/SYRKs).  Chains are keyed by
+// (tile, layer) — a GEMM chains after the previous writer of the same tile
+// *on its own layer* — so at c = 1 both blocks are empty, the layer key is
+// constant, and the construction degenerates task-for-task, instance-for-
+// instance into build_lu_workload/build_cholesky_workload: the golden
+// equivalence tests pin that bit-identity across collectives, workload
+// modes and fault plans.
+//
+// Implicit25dWorkload is the generator-driven twin (the exact analogue of
+// ImplicitWorkload): ordinals reproduce the materialized 2.5D builder's
+// construction order from closed forms, so both modes simulate the same
+// trajectory while the implicit frontier stays O(t^2).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/replicated.hpp"
+#include "sim/implicit_workload.hpp"
+#include "sim/machine.hpp"
+#include "sim/pool.hpp"
+#include "sim/workload.hpp"
+
+namespace anyblock::sim {
+
+/// Builds the materialized 2.5D LU task graph for a t x t tile matrix.
+Workload build_lu_workload_25d(std::int64_t t,
+                               const core::ReplicatedDistribution& distribution,
+                               const MachineConfig& machine);
+
+/// Builds the materialized 2.5D Cholesky (lower) task graph.
+Workload build_cholesky_workload_25d(
+    std::int64_t t, const core::ReplicatedDistribution& distribution,
+    const MachineConfig& machine);
+
+class Implicit25dWorkload {
+ public:
+  /// kLu or kCholesky on a t x t tile grid under `distribution`.
+  Implicit25dWorkload(SimKernel kernel, std::int64_t t,
+                      const core::ReplicatedDistribution& distribution,
+                      const MachineConfig& machine);
+
+  [[nodiscard]] SimKernel kernel() const { return kernel_; }
+  [[nodiscard]] std::int64_t task_count() const { return task_count_; }
+  [[nodiscard]] std::int64_t instance_count() const { return instance_count_; }
+  [[nodiscard]] double total_flops() const { return total_flops_; }
+
+  template <class F>
+  void for_each_initially_ready(F&& f) const {
+    f(std::int64_t{0});  // iteration 0 has no flushes: GETRF/POTRF leads
+  }
+
+  [[nodiscard]] TaskView task(std::int64_t id) const;
+
+  bool satisfy(std::int64_t id) {
+    std::int64_t& deps = deps_.at_or_insert(id, -1);
+    if (deps < 0) deps = initial_deps(id);
+    if (--deps == 0) {
+      deps_.erase(id);
+      return true;
+    }
+    return false;
+  }
+
+  using InstanceHandle = const ImplicitInstance*;
+
+  InstanceHandle publish(std::int64_t instance, const TaskView& task);
+  [[nodiscard]] InstanceHandle instance(std::int64_t instance_id) {
+    const std::int64_t* slot = live_.find(instance_id);
+    if (slot == nullptr)
+      throw std::logic_error("implicit instance not in flight");
+    return &pool_[*slot];
+  }
+  void release(std::int64_t instance_id);
+
+  static std::int32_t producer_node(InstanceHandle handle) {
+    return handle->producer_node;
+  }
+  static std::int64_t group_count(InstanceHandle handle) {
+    return handle->used_groups;
+  }
+  static std::int32_t group_node(InstanceHandle handle, std::int64_t g) {
+    return handle->groups[static_cast<std::size_t>(g)].node;
+  }
+  template <class F>
+  static void for_each_waiter(InstanceHandle handle, std::int64_t g, F&& f) {
+    for (const std::int64_t waiter :
+         handle->groups[static_cast<std::size_t>(g)].waiters)
+      f(waiter);
+  }
+
+  [[nodiscard]] std::int64_t frontier_peak() const {
+    return static_cast<std::int64_t>(deps_.peak_size()) + live_peak_;
+  }
+
+  /// Closed-form unmet-dependency count at creation (public for tests).
+  [[nodiscard]] std::int32_t initial_deps(std::int64_t id) const;
+
+ private:
+  struct Decoded {
+    TaskType type;
+    std::int64_t l, i, j;
+    std::int64_t slot = -1;  ///< flush/reduce slot (source-layer index)
+  };
+
+  [[nodiscard]] Decoded decode(std::int64_t id) const;
+  [[nodiscard]] std::int64_t iteration_of(std::int64_t id) const;
+
+  /// min(l, c - 1): remote layers flushing into iteration l's tiles.
+  [[nodiscard]] std::int64_t rq(std::int64_t l) const {
+    return dist_->remote_layer_count(l);
+  }
+  /// Flush-block size of iteration l (== reduce-block size).
+  [[nodiscard]] std::int64_t flush_block(std::int64_t l) const {
+    const std::int64_t k = t_ - 1 - l;
+    return (kernel_ == SimKernel::kLu ? 2 * k + 1 : k + 1) * rq(l);
+  }
+  /// Index of tile (i, j) in iteration l's finalized-tile order:
+  /// (l, l) first, then the column panel, then (LU) the row panel.
+  [[nodiscard]] std::int64_t tile_index(std::int64_t l, std::int64_t i,
+                                        std::int64_t j) const {
+    if (i == l && j == l) return 0;
+    if (j == l) return i - l;
+    return (t_ - 1 - l) + (j - l);
+  }
+
+  [[nodiscard]] std::int32_t compute_node(std::int64_t l, std::int64_t i,
+                                          std::int64_t j) const {
+    const auto node = static_cast<std::int32_t>(dist_->compute_node(l, i, j));
+    if (node < 0 || node >= machine_->nodes)
+      throw std::invalid_argument("task node outside the machine");
+    return node;
+  }
+
+  /// Ordinal of GEMM(l, i, j) in the LU layout.
+  [[nodiscard]] std::int64_t lu_gemm(std::int64_t l, std::int64_t i,
+                                     std::int64_t j) const {
+    const std::int64_t k = t_ - 1 - l;
+    return task_base_[static_cast<std::size_t>(l)] + 2 * flush_block(l) + 1 +
+           2 * k + (i - l - 1) * k + (j - l - 1);
+  }
+  /// Cholesky update-block start for row i of iteration l.
+  [[nodiscard]] std::int64_t chol_row(std::int64_t l, std::int64_t i) const {
+    const std::int64_t k = t_ - 1 - l;
+    const std::int64_t d = i - l - 1;
+    return task_base_[static_cast<std::size_t>(l)] + 2 * flush_block(l) + 1 +
+           k + d * (d + 1) / 2;
+  }
+  /// Ordinal of the first task of iteration m writing finalized tile
+  /// (i, j): its first reduce when partial sums exist, else the finalizer.
+  [[nodiscard]] std::int64_t finalize_entry(std::int64_t m, std::int64_t i,
+                                            std::int64_t j) const {
+    const std::int64_t base = task_base_[static_cast<std::size_t>(m)];
+    const std::int64_t tile = tile_index(m, i, j);
+    if (rq(m) > 0) return base + flush_block(m) + tile * rq(m);
+    return base + 2 * flush_block(m) + tile;
+  }
+  /// Ordinal of iteration m's flush of tile (i, j) from layer q.
+  [[nodiscard]] std::int64_t flush_task(std::int64_t m, std::int64_t i,
+                                        std::int64_t j, std::int64_t q) const {
+    return task_base_[static_cast<std::size_t>(m)] +
+           tile_index(m, i, j) * rq(m) + dist_->remote_slot(m, q);
+  }
+
+  ImplicitInstance& begin_instance(std::int64_t instance_id,
+                                   std::int32_t producer);
+  static void add_consumer(ImplicitInstance& state, std::int32_t node,
+                           std::int64_t waiter);
+
+  SimKernel kernel_;
+  std::int64_t t_ = 0;
+  std::int64_t layers_ = 1;
+  const core::ReplicatedDistribution* dist_ = nullptr;
+  const MachineConfig* machine_ = nullptr;
+
+  std::vector<std::int64_t> task_base_;
+  std::vector<std::int64_t> inst_base_;
+  std::int64_t task_count_ = 0;
+  std::int64_t instance_count_ = 0;
+  double total_flops_ = 0.0;
+
+  FlatMap64 deps_;
+  FlatMap64 live_;
+  RecyclingPool<ImplicitInstance> pool_;
+  std::int64_t live_count_ = 0;
+  std::int64_t live_peak_ = 0;
+};
+
+}  // namespace anyblock::sim

@@ -1,0 +1,181 @@
+// Unit tests for the 2.5D replicated distribution (core/replicated.hpp)
+// and its closed-form cost/bound companions (core/cost.hpp,
+// core/bounds.hpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "comm/config.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/replicated.hpp"
+
+namespace anyblock::core {
+namespace {
+
+std::shared_ptr<const Distribution> base_dist(std::int64_t nodes,
+                                              std::int64_t t,
+                                              bool symmetric = false) {
+  return std::make_shared<PatternDistribution>(make_g2dbc(nodes), t,
+                                               symmetric);
+}
+
+TEST(ReplicatedDistribution, NodeIdsAndLayerMaps) {
+  const std::int64_t t = 12;
+  const ReplicatedDistribution dist(base_dist(5, t), 3);
+  EXPECT_EQ(dist.base_nodes(), 5);
+  EXPECT_EQ(dist.layers(), 3);
+  EXPECT_EQ(dist.num_nodes(), 15);
+  EXPECT_EQ(dist.replica(2, 0), 2);
+  EXPECT_EQ(dist.replica(2, 2), 12);
+  EXPECT_EQ(dist.home_layer(0), 0);
+  EXPECT_EQ(dist.home_layer(4), 1);
+
+  // Final owner = base owner's replica on the finalization layer.
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < t; ++j) {
+      const std::int64_t m = i < j ? i : j;
+      EXPECT_EQ(dist.owner(i, j),
+                dist.replica(dist.base().owner(i, j), dist.home_layer(m)));
+      EXPECT_EQ(dist.compute_node(m, i, j), dist.owner(i, j));
+    }
+}
+
+TEST(ReplicatedDistribution, RemoteLayerEnumerationSkipsHome) {
+  const ReplicatedDistribution dist(base_dist(4, 16), 4);
+  // Early iterations: only layers 0..m-1 ever accumulated updates.
+  EXPECT_EQ(dist.remote_layer_count(0), 0);
+  EXPECT_EQ(dist.remote_layer_count(2), 2);
+  EXPECT_EQ(dist.remote_layer(2, 0), 0);
+  EXPECT_EQ(dist.remote_layer(2, 1), 1);
+  // Steady state: every layer but the home one flushes.
+  for (std::int64_t m = 4; m < 12; ++m) {
+    EXPECT_EQ(dist.remote_layer_count(m), 3);
+    const std::int64_t home = dist.home_layer(m);
+    for (std::int64_t s = 0; s < 3; ++s) {
+      const std::int64_t q = dist.remote_layer(m, s);
+      EXPECT_NE(q, home) << m;
+      EXPECT_EQ(dist.remote_slot(m, q), s) << m;  // round trip
+      if (s > 0) EXPECT_GT(q, dist.remote_layer(m, s - 1));  // ascending
+    }
+  }
+}
+
+TEST(ReplicatedDistribution, OneLayerIsTheBase) {
+  const std::int64_t t = 10;
+  const auto base = base_dist(7, t);
+  const ReplicatedDistribution dist(base, 1);
+  EXPECT_EQ(dist.num_nodes(), base->num_nodes());
+  EXPECT_EQ(dist.name(), base->name());
+  for (std::int64_t i = 0; i < t; ++i)
+    for (std::int64_t j = 0; j < t; ++j)
+      EXPECT_EQ(dist.owner(i, j), base->owner(i, j));
+  for (std::int64_t m = 0; m < t; ++m)
+    EXPECT_EQ(dist.remote_layer_count(m), 0);
+}
+
+TEST(ReplicatedDistribution, RejectsBadArguments) {
+  EXPECT_THROW(ReplicatedDistribution(base_dist(4, 8), 0),
+               std::invalid_argument);
+  EXPECT_THROW(ReplicatedDistribution(base_dist(4, 8), -2),
+               std::invalid_argument);
+  EXPECT_THROW(ReplicatedDistribution(nullptr, 2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form reduce counts and 2.5D totals.
+
+TEST(Cost25d, ReduceCountsMatchDirectEnumeration) {
+  for (const std::int64_t t : {1, 5, 12}) {
+    for (const std::int64_t c : {1, 2, 3, 5}) {
+      std::int64_t lu = 0;
+      std::int64_t chol = 0;
+      for (std::int64_t m = 0; m < t; ++m) {
+        const std::int64_t rq = m < c - 1 ? m : c - 1;
+        lu += (2 * (t - 1 - m) + 1) * rq;  // (m,m), column and row panels
+        chol += (t - m) * rq;              // (m,m) and the column panel
+      }
+      EXPECT_EQ(reduce_count_lu(t, c), lu) << t << " " << c;
+      EXPECT_EQ(reduce_count_cholesky(t, c), chol) << t << " " << c;
+      if (c == 1) {
+        EXPECT_EQ(reduce_count_lu(t, c), 0);
+        EXPECT_EQ(reduce_count_cholesky(t, c), 0);
+      }
+    }
+  }
+}
+
+TEST(Cost25d, VolumeIsBaseBroadcastPlusReduces) {
+  const std::int64_t t = 18;
+  for (const std::int64_t c : {1, 2, 4}) {
+    const ReplicatedDistribution lu(base_dist(6, t), c);
+    const ReplicatedDistribution chol(base_dist(6, t, true), c);
+    EXPECT_EQ(exact_lu_volume_25d(lu, t),
+              exact_lu_volume(lu.base(), t) + reduce_count_lu(t, c));
+    EXPECT_EQ(exact_cholesky_volume_25d(chol, t),
+              exact_cholesky_volume(chol.base(), t) +
+                  reduce_count_cholesky(t, c));
+    comm::CollectiveConfig config;
+    config.algorithm = comm::Algorithm::kEagerP2P;
+    EXPECT_EQ(exact_lu_messages_25d(lu, t, config),
+              exact_lu_volume_25d(lu, t));
+  }
+}
+
+TEST(Cost25d, SendProfilesSumToTheVolume) {
+  const std::int64_t t = 15;
+  for (const std::int64_t c : {1, 3}) {
+    const ReplicatedDistribution lu(base_dist(5, t), c);
+    const ReplicatedDistribution chol(base_dist(5, t, true), c);
+    std::int64_t lu_total = 0;
+    for (const std::int64_t sent : lu_send_profile_25d(lu, t))
+      lu_total += sent;
+    EXPECT_EQ(lu_total, exact_lu_volume_25d(lu, t)) << c;
+    std::int64_t chol_total = 0;
+    for (const std::int64_t sent : cholesky_send_profile_25d(chol, t))
+      chol_total += sent;
+    EXPECT_EQ(chol_total, exact_cholesky_volume_25d(chol, t)) << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-I/O lower bound (core/bounds.hpp).
+
+TEST(IoLowerBound25d, ScalesDownWithMemoryAndClampsAtZero) {
+  const std::int64_t t = 64;
+  const std::int64_t nodes = 256;
+  const double c1 = lu_io_lower_bound_tiles(t, nodes, 1);
+  const double c4 = lu_io_lower_bound_tiles(t, nodes, 4);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_LE(c4, c1);  // more memory per node can only weaken the bound
+  EXPECT_GE(c4, 0.0);
+  // Enough memory for the whole matrix: the bound must collapse to zero,
+  // never go negative.
+  EXPECT_EQ(lu_io_lower_bound_tiles(8, 2, 64), 0.0);
+  EXPECT_EQ(cholesky_io_lower_bound_tiles(8, 2, 64), 0.0);
+}
+
+TEST(IoLowerBound25d, NeverExceedsTheExactScheduleVolume) {
+  // Safety of the reference curve: the bound must sit at or below what the
+  // 2.5D schedule actually sends, for every shape we plot.
+  for (const std::int64_t base_nodes : {4, 8, 16}) {
+    for (const std::int64_t c : {1, 2, 4}) {
+      for (const std::int64_t t : {16, 32, 64}) {
+        const ReplicatedDistribution lu(base_dist(base_nodes, t), c);
+        const ReplicatedDistribution chol(base_dist(base_nodes, t, true), c);
+        EXPECT_GE(static_cast<double>(exact_lu_volume_25d(lu, t)),
+                  lu_io_lower_bound_tiles(t, lu.num_nodes(), c))
+            << base_nodes << " " << c << " " << t;
+        EXPECT_GE(static_cast<double>(exact_cholesky_volume_25d(chol, t)),
+                  cholesky_io_lower_bound_tiles(t, chol.num_nodes(), c))
+            << base_nodes << " " << c << " " << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anyblock::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/block_cyclic.hpp"
 #include "core/cost.hpp"
 #include "core/g2dbc.hpp"
@@ -92,6 +94,52 @@ TEST(Transform, GcrmSeedsProduceInequivalentPatterns) {
   ASSERT_TRUE(a.valid);
   ASSERT_TRUE(b.valid);
   EXPECT_FALSE(equivalent_up_to_relabel(a.pattern, b.pattern));
+}
+
+// ---------------------------------------------------------------------------
+// 2.5D layer morphs (core/replicated.hpp companions).
+
+TEST(Transform25d, LayerPatternRoundTripsToTheBase) {
+  // Morphing a 2.5D layer pattern back onto the base node space is the
+  // identity on ownership — for every layer, including free diagonal cells
+  // (the GCR&M case).
+  const GcrmResult gcrm = gcrm_build(6, 4, 2);
+  ASSERT_TRUE(gcrm.valid);
+  for (const Pattern& base :
+       {make_g2dbc(23), make_2dbc(4, 3), gcrm.pattern}) {
+    for (const std::int64_t layers : {1, 2, 4}) {
+      for (std::int64_t q = 0; q < layers; ++q) {
+        const Pattern lifted = layer_pattern(base, q, layers);
+        EXPECT_EQ(lifted.num_nodes(), base.num_nodes() * layers);
+        EXPECT_EQ(lifted.free_cell_count(), base.free_cell_count());
+        EXPECT_EQ(project_to_base(lifted, base.num_nodes()), base) << q;
+      }
+    }
+  }
+}
+
+TEST(Transform25d, LayerPatternsAreRelabelingsOfEachOther) {
+  // Every layer presents the same structure under different node names, so
+  // the cost metric is layer-invariant.
+  const Pattern base = make_g2dbc(13);
+  const Pattern l0 = layer_pattern(base, 0, 3);
+  const Pattern l2 = layer_pattern(base, 2, 3);
+  EXPECT_TRUE(equivalent_up_to_relabel(l0, l2));
+  EXPECT_DOUBLE_EQ(lu_cost(l0), lu_cost(base));
+  EXPECT_DOUBLE_EQ(lu_cost(l2), lu_cost(base));
+}
+
+TEST(Transform25d, LayerZeroOfOneLayerIsTheBaseItself) {
+  const Pattern base = make_2dbc(3, 4);
+  EXPECT_EQ(layer_pattern(base, 0, 1), base);
+}
+
+TEST(Transform25d, RejectsBadLayerArguments) {
+  const Pattern base = make_2dbc(2, 2);
+  EXPECT_THROW(layer_pattern(base, 0, 0), std::invalid_argument);
+  EXPECT_THROW(layer_pattern(base, 2, 2), std::invalid_argument);
+  EXPECT_THROW(layer_pattern(base, -1, 2), std::invalid_argument);
+  EXPECT_THROW(project_to_base(base, 0), std::invalid_argument);
 }
 
 }  // namespace

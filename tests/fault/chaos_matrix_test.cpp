@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <tuple>
 
@@ -163,6 +164,58 @@ TEST_P(ChaosCholesky, Gcrm31BitIdenticalWithExactCounts) {
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, ChaosCholesky,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.05),
+                       ::testing::Values(comm::Algorithm::kEagerP2P,
+                                         comm::Algorithm::kBinomialTree,
+                                         comm::Algorithm::kPipelinedChain)),
+    cell_name);
+
+class Chaos25d : public ::testing::TestWithParam<ChaosCell> {};
+
+TEST_P(Chaos25d, TwoLayerLuFaultedMatchesCleanWithExactCounts) {
+  // The 2.5D cell: LU on G-2DBC P_b = 8 stacked to c = 2 (16 ranks), so
+  // the inter-layer reduce band takes faults alongside the panel
+  // multicasts.  A c > 1 run is not bit-comparable to the sequential
+  // reference (updates sum in a different order), so the oracle is the
+  // fault-free 2.5D run: faulted output bit-identical, post-dedup counts
+  // equal to the 2.5D closed form.
+  const auto [drop, algorithm] = GetParam();
+  comm::CollectiveConfig config;
+  config.algorithm = algorithm;
+  config.chain_chunks = 3;
+
+  const core::ReplicatedDistribution distribution(
+      std::make_shared<core::PatternDistribution>(core::make_g2dbc(8), kT,
+                                                  /*symmetric=*/false),
+      2);
+  Rng rng = Rng::for_stream(7, 2);
+  const linalg::DenseMatrix original =
+      linalg::diag_dominant_matrix(kT * kNb, rng);
+  const linalg::TiledMatrix input =
+      linalg::TiledMatrix::from_dense(original, kNb);
+
+  const DistRunResult clean = distributed_lu_25d(input, distribution, config);
+  ASSERT_TRUE(clean.ok);
+
+  fault::FaultInjector injector(chaos_plan(drop));
+  const DistRunResult result =
+      distributed_lu_25d(input, distribution, config, nullptr, &injector);
+  ASSERT_TRUE(result.ok);
+
+  for (std::int64_t i = 0; i < clean.factored.dim(); ++i)
+    for (std::int64_t j = 0; j < clean.factored.dim(); ++j)
+      EXPECT_DOUBLE_EQ(result.factored.at(i, j), clean.factored.at(i, j));
+
+  const std::int64_t predicted =
+      core::exact_lu_messages_25d(distribution, kT, config);
+  EXPECT_EQ(clean.tile_messages, predicted);
+  EXPECT_EQ(result.tile_messages, predicted);
+  EXPECT_EQ(result.tile_messages_received, predicted);
+  check_fault_counters(drop, result.report.faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, Chaos25d,
     ::testing::Combine(::testing::Values(0.0, 0.01, 0.05),
                        ::testing::Values(comm::Algorithm::kEagerP2P,
                                          comm::Algorithm::kBinomialTree,

@@ -1,0 +1,404 @@
+// Golden equivalence + property wall for the 2.5D replicated schedule.
+//
+// The contract under test (core/replicated.hpp, sim/workload_25d.hpp):
+//  * c = 1 is *bit-identical* to the plain 2D path — same trajectory, same
+//    per-node counters, same obs metric rows — for every distribution
+//    family, collective, workload mode, and fault plan.
+//  * For any (P_b, c, t) the implicit generator's closed forms reproduce
+//    the materialized 2.5D builder task-for-task, instance-for-instance.
+//  * Measured communication equals the closed forms exactly
+//    (core/cost.hpp) and never undercuts the parallel-I/O lower bound
+//    (core/bounds.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/config.hpp"
+#include "comm/multicast.hpp"
+#include "core/block_cyclic.hpp"
+#include "core/bounds.hpp"
+#include "core/cost.hpp"
+#include "core/g2dbc.hpp"
+#include "core/pattern_search.hpp"
+#include "core/replicated.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "sim/workload_25d.hpp"
+
+namespace anyblock::sim {
+namespace {
+
+struct DistCase {
+  const char* name;
+  core::Pattern pattern;
+  std::int64_t base_nodes;
+};
+
+std::vector<DistCase> dist_cases() {
+  core::GcrmSearchOptions options;
+  options.seeds = 5;
+  const core::GcrmSearchResult gcrm = core::gcrm_search(31, options);
+  EXPECT_TRUE(gcrm.found);
+  return {{"g2dbc_p23", core::make_g2dbc(23), 23},
+          {"gcrm_p31", gcrm.best, 31},
+          {"2dbc_4x3", core::make_2dbc(4, 3), 12}};
+}
+
+core::ReplicatedDistribution replicate(const DistCase& dist, std::int64_t t,
+                                       bool symmetric, std::int64_t layers) {
+  return core::ReplicatedDistribution(
+      std::make_shared<core::PatternDistribution>(dist.pattern, t, symmetric),
+      layers);
+}
+
+MachineConfig machine_for(std::int64_t nodes, comm::Algorithm algorithm,
+                          WorkloadMode mode) {
+  MachineConfig machine;
+  machine.nodes = nodes;
+  machine.workers_per_node = 4;
+  machine.collective.algorithm = algorithm;
+  machine.collective.chain_chunks = 3;
+  machine.workload_mode = mode;
+  return machine;
+}
+
+constexpr std::int64_t kT = 20;
+
+void expect_identical_reports(const SimReport& a, const SimReport& b) {
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_NEAR(a.total_flops, b.total_flops, 1e-9 * a.total_flops);
+  ASSERT_EQ(a.per_node.size(), b.per_node.size());
+  for (std::size_t n = 0; n < a.per_node.size(); ++n) {
+    EXPECT_EQ(a.per_node[n].busy_seconds, b.per_node[n].busy_seconds) << n;
+    EXPECT_EQ(a.per_node[n].tasks, b.per_node[n].tasks) << n;
+    EXPECT_EQ(a.per_node[n].messages_sent, b.per_node[n].messages_sent) << n;
+    EXPECT_EQ(a.per_node[n].bytes_sent, b.per_node[n].bytes_sent) << n;
+  }
+  EXPECT_EQ(a.faults.drops, b.faults.drops);
+  EXPECT_EQ(a.faults.duplicates, b.faults.duplicates);
+  EXPECT_EQ(a.faults.delays, b.faults.delays);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.timeout_waits, b.faults.timeout_waits);
+  EXPECT_EQ(a.faults.dedup_discards, b.faults.dedup_discards);
+}
+
+// ---------------------------------------------------------------------------
+// Golden: one layer *is* the 2D schedule, bit for bit.
+
+TEST(Golden25d, OneLayerMatches2dAcrossCollectivesAndModes) {
+  for (const DistCase& dist : dist_cases()) {
+    for (const bool symmetric : {false, true}) {
+      for (const comm::Algorithm algorithm :
+           {comm::Algorithm::kEagerP2P, comm::Algorithm::kBinomialTree,
+            comm::Algorithm::kPipelinedChain}) {
+        for (const WorkloadMode mode :
+             {WorkloadMode::kMaterialized, WorkloadMode::kImplicit}) {
+          SCOPED_TRACE(std::string(dist.name) +
+                       (symmetric ? " cholesky " : " lu ") +
+                       comm::algorithm_name(algorithm) + " mode " +
+                       std::to_string(mode == WorkloadMode::kImplicit));
+          const MachineConfig machine =
+              machine_for(dist.base_nodes, algorithm, mode);
+          const core::PatternDistribution base(dist.pattern, kT, symmetric);
+          const core::ReplicatedDistribution stacked =
+              replicate(dist, kT, symmetric, 1);
+          const SimReport flat = symmetric
+                                     ? simulate_cholesky(kT, base, machine)
+                                     : simulate_lu(kT, base, machine);
+          const SimReport layered =
+              symmetric ? simulate_cholesky_25d(kT, stacked, machine)
+                        : simulate_lu_25d(kT, stacked, machine);
+          expect_identical_reports(flat, layered);
+        }
+      }
+    }
+  }
+}
+
+TEST(Golden25d, OneLayerObsMetricRowsAreIdentical) {
+  const DistCase dist{"g2dbc_p23", core::make_g2dbc(23), 23};
+  for (const bool symmetric : {false, true}) {
+    for (const WorkloadMode mode :
+         {WorkloadMode::kMaterialized, WorkloadMode::kImplicit}) {
+      std::string csv[2];
+      for (const bool layered : {false, true}) {
+        obs::Recorder recorder;
+        MachineConfig machine =
+            machine_for(dist.base_nodes, comm::Algorithm::kEagerP2P, mode);
+        machine.recorder = &recorder;
+        if (layered) {
+          const core::ReplicatedDistribution stacked =
+              replicate(dist, kT, symmetric, 1);
+          if (symmetric)
+            simulate_cholesky_25d(kT, stacked, machine);
+          else
+            simulate_lu_25d(kT, stacked, machine);
+        } else {
+          const core::PatternDistribution base(dist.pattern, kT, symmetric);
+          if (symmetric)
+            simulate_cholesky(kT, base, machine);
+          else
+            simulate_lu(kT, base, machine);
+        }
+        std::ostringstream out;
+        obs::write_metrics_csv(out, recorder.take(), {});
+        csv[layered] = out.str();
+      }
+      EXPECT_EQ(csv[0], csv[1]) << symmetric;
+      EXPECT_FALSE(csv[0].empty());
+    }
+  }
+}
+
+TEST(Golden25d, OneLayerMaterializedWorkloadIsTheSameGraph) {
+  // Stronger than trajectory equality: the c = 1 builder emits the exact
+  // same task/instance tables as the 2D builder, field for field.
+  MachineConfig machine;
+  for (const DistCase& dist : dist_cases()) {
+    machine.nodes = dist.base_nodes;
+    for (const bool symmetric : {false, true}) {
+      SCOPED_TRACE(std::string(dist.name) + (symmetric ? " chol" : " lu"));
+      const core::PatternDistribution base(dist.pattern, kT, symmetric);
+      const core::ReplicatedDistribution stacked =
+          replicate(dist, kT, symmetric, 1);
+      const Workload flat = symmetric
+                                ? build_cholesky_workload(kT, base, machine)
+                                : build_lu_workload(kT, base, machine);
+      const Workload layered =
+          symmetric ? build_cholesky_workload_25d(kT, stacked, machine)
+                    : build_lu_workload_25d(kT, stacked, machine);
+      ASSERT_EQ(flat.tasks.size(), layered.tasks.size());
+      ASSERT_EQ(flat.instances.size(), layered.instances.size());
+      EXPECT_EQ(flat.total_flops, layered.total_flops);
+      for (std::size_t id = 0; id < flat.tasks.size(); ++id) {
+        const SimTask& a = flat.tasks[id];
+        const SimTask& b = layered.tasks[id];
+        ASSERT_EQ(a.type, b.type) << id;
+        ASSERT_EQ(a.node, b.node) << id;
+        ASSERT_EQ(a.deps, b.deps) << id;
+        ASSERT_EQ(a.successor, b.successor) << id;
+        ASSERT_EQ(a.publishes, b.publishes) << id;
+      }
+      for (std::size_t inst = 0; inst < flat.instances.size(); ++inst) {
+        const Instance& a = flat.instances[inst];
+        const Instance& b = layered.instances[inst];
+        ASSERT_EQ(a.producer_node, b.producer_node) << inst;
+        ASSERT_EQ(a.groups.size(), b.groups.size()) << inst;
+        for (std::size_t g = 0; g < a.groups.size(); ++g) {
+          ASSERT_EQ(a.groups[g].node, b.groups[g].node) << inst;
+          ASSERT_EQ(a.groups[g].waiters, b.groups[g].waiters) << inst;
+        }
+      }
+    }
+  }
+}
+
+TEST(Golden25d, FaultTrajectoriesMatchAcrossModesAtTwoLayers) {
+  // Fault fates key off instance ordinals; the generator and the builder
+  // agree on those at any layer count, so chaos runs stay bit-identical
+  // across workload modes even with flush/reduce traffic in flight.
+  for (const comm::Algorithm algorithm :
+       {comm::Algorithm::kEagerP2P, comm::Algorithm::kPipelinedChain}) {
+    SimReport reports[2];
+    for (const WorkloadMode mode :
+         {WorkloadMode::kMaterialized, WorkloadMode::kImplicit}) {
+      MachineConfig machine = machine_for(2 * 23, algorithm, mode);
+      machine.faults.drop = 0.05;
+      machine.faults.duplicate = 0.03;
+      machine.faults.delay = 0.05;
+      machine.faults.link_jitter = 0.2;
+      machine.faults.seed = 7;
+      const DistCase dist{"g2dbc_p23", core::make_g2dbc(23), 23};
+      const core::ReplicatedDistribution stacked =
+          replicate(dist, kT, false, 2);
+      reports[mode == WorkloadMode::kImplicit] =
+          simulate_lu_25d(kT, stacked, machine);
+    }
+    expect_identical_reports(reports[0], reports[1]);
+    EXPECT_GT(reports[0].faults.drops, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure: generator closed forms == materialized builder at any c.
+
+void expect_same_structure(const Workload& work, Implicit25dWorkload& model) {
+  ASSERT_EQ(work.task_count(), model.task_count());
+  ASSERT_EQ(static_cast<std::int64_t>(work.instances.size()),
+            model.instance_count());
+  EXPECT_NEAR(work.total_flops, model.total_flops(),
+              1e-9 * (work.total_flops + 1.0));
+  for (std::int64_t id = 0; id < work.task_count(); ++id) {
+    const SimTask& task = work.tasks[static_cast<std::size_t>(id)];
+    const TaskView view = model.task(id);
+    ASSERT_EQ(task.type, view.type) << id;
+    EXPECT_EQ(task.l, view.l) << id;
+    EXPECT_EQ(task.i, view.i) << id;
+    EXPECT_EQ(task.j, view.j) << id;
+    EXPECT_EQ(task.node, view.node) << id;
+    EXPECT_EQ(task.successor, view.successor) << id;
+    EXPECT_EQ(task.publishes, view.publishes) << id;
+    EXPECT_EQ(task.deps, model.initial_deps(id)) << id;
+    if (task.publishes < 0) continue;
+    const Instance& instance =
+        work.instances[static_cast<std::size_t>(task.publishes)];
+    const auto handle = model.publish(task.publishes, view);
+    ASSERT_EQ(static_cast<std::int64_t>(instance.groups.size()),
+              Implicit25dWorkload::group_count(handle))
+        << id;
+    EXPECT_EQ(instance.producer_node,
+              Implicit25dWorkload::producer_node(handle));
+    for (std::size_t g = 0; g < instance.groups.size(); ++g) {
+      EXPECT_EQ(instance.groups[g].node,
+                Implicit25dWorkload::group_node(handle,
+                                                static_cast<std::int64_t>(g)))
+          << id;
+      std::vector<std::int64_t> waiters;
+      Implicit25dWorkload::for_each_waiter(
+          handle, static_cast<std::int64_t>(g),
+          [&](std::int64_t waiter) { waiters.push_back(waiter); });
+      EXPECT_EQ(instance.groups[g].waiters, waiters) << id;
+    }
+    model.release(task.publishes);
+  }
+}
+
+TEST(ImplicitStructure25d, MatchesMaterializedBuilderAtEveryLayerCount) {
+  MachineConfig machine;
+  const std::int64_t t = 13;
+  for (const DistCase& dist : dist_cases()) {
+    for (const std::int64_t layers : {1, 2, 3, 4}) {
+      machine.nodes = dist.base_nodes * layers;
+      {
+        const core::ReplicatedDistribution d =
+            replicate(dist, t, false, layers);
+        const Workload work = build_lu_workload_25d(t, d, machine);
+        Implicit25dWorkload model(SimKernel::kLu, t, d, machine);
+        SCOPED_TRACE(std::string("lu ") + dist.name + " c=" +
+                     std::to_string(layers));
+        expect_same_structure(work, model);
+      }
+      {
+        const core::ReplicatedDistribution d =
+            replicate(dist, t, true, layers);
+        const Workload work = build_cholesky_workload_25d(t, d, machine);
+        Implicit25dWorkload model(SimKernel::kCholesky, t, d, machine);
+        SCOPED_TRACE(std::string("cholesky ") + dist.name + " c=" +
+                     std::to_string(layers));
+        expect_same_structure(work, model);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property wall: measured communication == closed forms >= lower bound,
+// on randomized (P_b, c, t).
+
+TEST(Property25d, MeasuredTrafficMatchesClosedFormsAndBound) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<std::int64_t> pick_nodes(4, 16);
+  std::uniform_int_distribution<std::int64_t> pick_layers(1, 4);
+  std::uniform_int_distribution<std::int64_t> pick_t(6, 16);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::int64_t base_nodes = pick_nodes(rng);
+    const std::int64_t layers = pick_layers(rng);
+    const std::int64_t t = pick_t(rng);
+    const DistCase dist{"g2dbc", core::make_g2dbc(base_nodes), base_nodes};
+    SCOPED_TRACE("P_b=" + std::to_string(base_nodes) + " c=" +
+                 std::to_string(layers) + " t=" + std::to_string(t));
+    for (const bool symmetric : {false, true}) {
+      const core::ReplicatedDistribution d =
+          replicate(dist, t, symmetric, layers);
+      const std::int64_t volume =
+          symmetric ? core::exact_cholesky_volume_25d(d, t)
+                    : core::exact_lu_volume_25d(d, t);
+      // Tile traffic never undercuts the memory-dependent I/O bound.
+      const double bound =
+          symmetric
+              ? core::cholesky_io_lower_bound_tiles(t, d.num_nodes(), layers)
+              : core::lu_io_lower_bound_tiles(t, d.num_nodes(), layers);
+      EXPECT_GE(static_cast<double>(volume), bound);
+      for (const comm::Algorithm algorithm :
+           {comm::Algorithm::kEagerP2P, comm::Algorithm::kBinomialTree,
+            comm::Algorithm::kPipelinedChain}) {
+        const MachineConfig machine =
+            machine_for(d.num_nodes(), algorithm, WorkloadMode::kImplicit);
+        const SimReport report = symmetric
+                                     ? simulate_cholesky_25d(t, d, machine)
+                                     : simulate_lu_25d(t, d, machine);
+        const std::int64_t predicted =
+            symmetric
+                ? core::exact_cholesky_messages_25d(d, t, machine.collective)
+                : core::exact_lu_messages_25d(d, t, machine.collective);
+        EXPECT_EQ(report.messages, predicted)
+            << comm::algorithm_name(algorithm);
+        if (algorithm == comm::Algorithm::kEagerP2P) {
+          // Eager point-to-point: one message per tile transfer, so the
+          // trajectory's total equals the volume closed form and the
+          // per-rank split equals the send profile.
+          EXPECT_EQ(report.messages, volume);
+          const std::vector<std::int64_t> profile =
+              symmetric ? core::cholesky_send_profile_25d(d, t)
+                        : core::lu_send_profile_25d(d, t);
+          ASSERT_EQ(report.per_node.size(), profile.size());
+          for (std::size_t n = 0; n < profile.size(); ++n)
+            EXPECT_EQ(report.per_node[n].messages_sent, profile[n]) << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(Property25d, MaterializedMessageCountMatchesClosedForm) {
+  // The builder's static message_count() (remote consumer groups) agrees
+  // with the eager-p2p closed form too — no double counting of flushes.
+  MachineConfig machine;
+  for (const DistCase& dist : dist_cases()) {
+    for (const std::int64_t layers : {1, 2, 3}) {
+      machine.nodes = dist.base_nodes * layers;
+      const core::ReplicatedDistribution lu = replicate(dist, kT, false, layers);
+      const core::ReplicatedDistribution chol =
+          replicate(dist, kT, true, layers);
+      EXPECT_EQ(build_lu_workload_25d(kT, lu, machine).message_count(),
+                core::exact_lu_volume_25d(lu, kT))
+          << dist.name << " c=" << layers;
+      EXPECT_EQ(build_cholesky_workload_25d(kT, chol, machine).message_count(),
+                core::exact_cholesky_volume_25d(chol, kT))
+          << dist.name << " c=" << layers;
+    }
+  }
+}
+
+TEST(Property25d, ReplicationReducesBroadcastVolume) {
+  // The headline claim at fixed P: stacking layers shrinks panel-broadcast
+  // volume (smaller base grid) at the price of reduce traffic; the total
+  // must come out ahead for large enough t.
+  const std::int64_t t = 64;
+  const std::int64_t total_nodes = 256;
+  const core::ReplicatedDistribution flat(
+      std::make_shared<core::PatternDistribution>(core::make_g2dbc(256), t,
+                                                  false),
+      1);
+  const core::ReplicatedDistribution stacked(
+      std::make_shared<core::PatternDistribution>(core::make_g2dbc(64), t,
+                                                  false),
+      4);
+  ASSERT_EQ(flat.num_nodes(), total_nodes);
+  ASSERT_EQ(stacked.num_nodes(), total_nodes);
+  EXPECT_LT(core::exact_lu_volume_25d(stacked, t),
+            core::exact_lu_volume_25d(flat, t));
+}
+
+}  // namespace
+}  // namespace anyblock::sim

@@ -5,7 +5,9 @@
 //   anyblock cost       --nodes 23
 //   anyblock show       --kind g2dbc --nodes 10
 //   anyblock simulate   --kernel cholesky --nodes 31 --size 200000
+//   anyblock simulate   --kernel lu --nodes 256 --memory-factor 4
 //   anyblock run        --kernel lu --nodes 23 --tiles 12
+//   anyblock run        --kernel lu --nodes 16 --memory-factor 2 --tiles 12
 //   anyblock launch     --procs 2 -- run --kernel lu --nodes 23
 //   anyblock atlas      --min 2 --max 40 --out atlas.db
 //   anyblock precompute --max-p 10000 --table data/gcrm_winners.tsv
@@ -28,6 +30,7 @@
 #include "core/pattern_io.hpp"
 #include "core/pattern_search.hpp"
 #include "core/recommend.hpp"
+#include "core/replicated.hpp"
 #include "core/sbc.hpp"
 #include "dist/dist_factorization.hpp"
 #include "fault/fault.hpp"
@@ -59,6 +62,19 @@ core::Kernel parse_kernel(const std::string& name) {
                               " (expected lu|cholesky|syrk)");
 }
 
+/// --memory-factor c stacks c replicas of a P/c-node base pattern into a
+/// 2.5D schedule.  The layers must tile the machine exactly; anything else
+/// is rejected loudly rather than silently rounded.
+bool validate_memory_factor(const char* command, std::int64_t c,
+                            std::int64_t P) {
+  if (c >= 1 && c <= P && P % c == 0) return true;
+  std::fprintf(stderr,
+               "%s: --memory-factor %lld is invalid for %lld nodes "
+               "(need 1 <= c <= P with c dividing P)\n",
+               command, static_cast<long long>(c), static_cast<long long>(P));
+  return false;
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control bytes).
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -86,10 +102,15 @@ std::string json_escape(const std::string& text) {
 /// One recommendation as a JSON object (schema documented in README.md).
 std::string served_to_json(std::int64_t P, const std::string& kernel,
                            const serve::ServedRecommendation& served,
-                           bool include_pattern) {
+                           bool include_pattern,
+                           std::int64_t memory_factor = 1) {
   const core::Recommendation& rec = served.rec;
   std::ostringstream out;
-  out << "{\"nodes\":" << P << ",\"kernel\":\"" << json_escape(kernel)
+  out << "{\"nodes\":" << P;
+  if (memory_factor > 1)
+    out << ",\"memory_factor\":" << memory_factor
+        << ",\"base_nodes\":" << P / memory_factor;
+  out << ",\"kernel\":\"" << json_escape(kernel)
       << "\",\"scheme\":\"" << json_escape(rec.scheme)
       << "\",\"rows\":" << rec.pattern.rows()
       << ",\"cols\":" << rec.pattern.cols() << ",\"cost\":";
@@ -141,6 +162,9 @@ int cmd_recommend(int argc, char** argv) {
   parser.add("batch-file", "",
              "file with one node count per line ('#' starts a comment)");
   parser.add("kernel", "lu", "lu | cholesky | syrk");
+  parser.add("memory-factor", "1",
+             "2.5D replication factor c: recommend a P/c-node base pattern "
+             "to stack on c layers (c must divide every P)");
   parser.add("seeds", "100", "GCR&M search restarts (symmetric kernels)");
   parser.add("format", "text", "text | json");
   add_service_options(parser);
@@ -185,12 +209,18 @@ int cmd_recommend(int argc, char** argv) {
   }
 
   const core::Kernel kernel = parse_kernel(parser.get("kernel"));
+  const std::int64_t memory_factor = parser.get_int("memory-factor");
+  for (const std::int64_t P : nodes)
+    if (!validate_memory_factor("recommend", memory_factor, P)) return 1;
+  std::vector<std::int64_t> base_nodes = nodes;
+  if (memory_factor > 1)
+    for (std::int64_t& P : base_nodes) P /= memory_factor;
   core::RecommendOptions options;
   options.search.seeds = parser.get_int("seeds");
   serve::RecommendService service(service_options_from(
       parser, options, resolve_workers(parser.get_int("workers"))));
   const std::vector<serve::ServedRecommendation> served =
-      service.recommend_batch(nodes, kernel);
+      service.recommend_batch(base_nodes, kernel);
 
   const bool print_pattern = parser.get_flag("print-pattern");
   if (format == "json") {
@@ -198,7 +228,7 @@ int cmd_recommend(int argc, char** argv) {
     for (std::size_t i = 0; i < served.size(); ++i)
       std::printf("%s%s", i == 0 ? "" : ",",
                   served_to_json(nodes[i], parser.get("kernel"), served[i],
-                                 print_pattern)
+                                 print_pattern, memory_factor)
                       .c_str());
     std::printf("]");
     if (parser.get_flag("stats")) {
@@ -221,6 +251,12 @@ int cmd_recommend(int argc, char** argv) {
                 static_cast<long long>(rec.pattern.rows()),
                 static_cast<long long>(rec.pattern.cols()),
                 static_cast<long long>(rec.pattern.num_nodes()));
+    if (memory_factor > 1)
+      std::printf("stacking:  %lld layers x %lld-node base = %lld nodes "
+                  "(2.5D)\n",
+                  static_cast<long long>(memory_factor),
+                  static_cast<long long>(base_nodes[i]),
+                  static_cast<long long>(nodes[i]));
     std::printf("cost T:    %.4f\n", rec.cost);
     std::printf("source:    %s (%.3f ms)\n", source_name(served[i].source),
                 served[i].seconds * 1e3);
@@ -424,6 +460,9 @@ int cmd_simulate(int argc, char** argv) {
                    "simulate a factorization under the recommended pattern");
   parser.add("nodes", "23", "number of nodes P");
   parser.add("kernel", "lu", "lu | cholesky");
+  parser.add("memory-factor", "1",
+             "2.5D replication factor c: a P/c-node base pattern stacked on "
+             "c layers (c must divide P; 1 = plain 2D)");
   parser.add("size", "200000", "matrix size N");
   parser.add("tile", "1000", "tile size");
   parser.add("workers", "34", "compute workers per node");
@@ -450,10 +489,12 @@ int cmd_simulate(int argc, char** argv) {
     std::fprintf(stderr, "simulate supports lu|cholesky\n");
     return 1;
   }
+  const std::int64_t memory_factor = parser.get_int("memory-factor");
+  if (!validate_memory_factor("simulate", memory_factor, P)) return 1;
   core::RecommendOptions options;
   options.search.seeds = parser.get_int("seeds");
   const core::Recommendation rec =
-      resolve_recommendation(parser, P, kernel, options);
+      resolve_recommendation(parser, P / memory_factor, kernel, options);
 
   sim::MachineConfig machine;
   machine.nodes = P;
@@ -481,10 +522,17 @@ int cmd_simulate(int argc, char** argv) {
   obs::Recorder recorder;
   if (!trace_path.empty() || !metrics_path.empty())
     machine.recorder = &recorder;
-  const core::PatternDistribution dist(rec.pattern, t, symmetric, rec.scheme);
+  // The c = 1 path stays on the plain 2D entry points; c > 1 stacks the
+  // base pattern and routes through the 2.5D schedule.
+  const auto base = std::make_shared<core::PatternDistribution>(
+      rec.pattern, t, symmetric, rec.scheme);
+  const core::ReplicatedDistribution dist(base, memory_factor);
   const sim::SimReport report =
-      symmetric ? sim::simulate_cholesky(t, dist, machine)
-                : sim::simulate_lu(t, dist, machine);
+      memory_factor > 1
+          ? (symmetric ? sim::simulate_cholesky_25d(t, dist, machine)
+                       : sim::simulate_lu_25d(t, dist, machine))
+          : (symmetric ? sim::simulate_cholesky(t, *base, machine)
+                       : sim::simulate_lu(t, *base, machine));
   if (machine.recorder) {
     const obs::Trace trace = recorder.take();
     if (!trace_path.empty() && !obs::write_chrome_trace_file(trace_path, trace)) {
@@ -494,9 +542,15 @@ int cmd_simulate(int argc, char** argv) {
     if (!metrics_path.empty()) {
       obs::MetricsOptions metrics;
       metrics.predicted_messages =
-          symmetric
-              ? core::exact_cholesky_messages(dist, t, machine.collective)
-              : core::exact_lu_messages(dist, t, machine.collective);
+          memory_factor > 1
+              ? (symmetric ? core::exact_cholesky_messages_25d(
+                                 dist, t, machine.collective)
+                           : core::exact_lu_messages_25d(dist, t,
+                                                         machine.collective))
+              : (symmetric
+                     ? core::exact_cholesky_messages(*base, t,
+                                                     machine.collective)
+                     : core::exact_lu_messages(*base, t, machine.collective));
       const double engine_seconds = report.build_seconds + report.run_seconds;
       metrics.extra = {
           {"sim_events", static_cast<double>(report.events)},
@@ -509,6 +563,20 @@ int cmd_simulate(int argc, char** argv) {
                                       engine_seconds
                                 : 0.0},
       };
+      if (memory_factor > 1) {
+        metrics.extra.push_back(
+            {"memory_factor", static_cast<double>(memory_factor)});
+        metrics.extra.push_back(
+            {"comm_volume_tiles",
+             static_cast<double>(
+                 symmetric ? core::exact_cholesky_volume_25d(dist, t)
+                           : core::exact_lu_volume_25d(dist, t))});
+        metrics.extra.push_back(
+            {"comm_volume_bound",
+             symmetric
+                 ? core::cholesky_io_lower_bound_tiles(t, P, memory_factor)
+                 : core::lu_io_lower_bound_tiles(t, P, memory_factor)});
+      }
       if (!obs::write_metrics_csv_file(metrics_path, trace, metrics)) {
         std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
         return 1;
@@ -521,6 +589,18 @@ int cmd_simulate(int argc, char** argv) {
               static_cast<long long>(P), rec.scheme.c_str(), rec.cost);
   std::printf("  collective    %s\n",
               comm::algorithm_name(machine.collective.algorithm).c_str());
+  if (memory_factor > 1)
+    std::printf("  memory        c=%lld (%lld-node base on %lld layers; "
+                "volume %lld tiles, I/O bound %.0f)\n",
+                static_cast<long long>(memory_factor),
+                static_cast<long long>(dist.base_nodes()),
+                static_cast<long long>(memory_factor),
+                static_cast<long long>(
+                    symmetric ? core::exact_cholesky_volume_25d(dist, t)
+                              : core::exact_lu_volume_25d(dist, t)),
+                symmetric
+                    ? core::cholesky_io_lower_bound_tiles(t, P, memory_factor)
+                    : core::lu_io_lower_bound_tiles(t, P, memory_factor));
   std::printf("  workload      %s (%lld tasks, frontier peak %lld)\n",
               machine.workload_mode == sim::WorkloadMode::kImplicit
                   ? "implicit"
@@ -562,6 +642,9 @@ int cmd_run(int argc, char** argv) {
                    "verify it against the paper's closed forms");
   parser.add("kernel", "lu", "lu | cholesky");
   parser.add("nodes", "23", "number of nodes P (= vmpi ranks)");
+  parser.add("memory-factor", "1",
+             "2.5D replication factor c: a P/c-node base pattern stacked on "
+             "c layers (c must divide P; 1 = plain 2D)");
   parser.add("tiles", "12", "tile matrix dimension t");
   parser.add("tile", "4", "tile size nb");
   parser.add("seeds", "100", "GCR&M search restarts (cholesky)");
@@ -593,6 +676,8 @@ int cmd_run(int argc, char** argv) {
     return 1;
   }
   const bool symmetric = kernel == core::Kernel::kCholesky;
+  const std::int64_t memory_factor = parser.get_int("memory-factor");
+  if (!validate_memory_factor("run", memory_factor, P)) return 1;
 
   comm::CollectiveConfig config;
   config.algorithm = comm::parse_algorithm(parser.get("collective"));
@@ -601,9 +686,10 @@ int cmd_run(int argc, char** argv) {
   core::RecommendOptions options;
   options.search.seeds = parser.get_int("seeds");
   const core::Recommendation rec =
-      resolve_recommendation(parser, P, kernel, options);
-  const core::PatternDistribution distribution(rec.pattern, t, symmetric,
-                                               rec.scheme);
+      resolve_recommendation(parser, P / memory_factor, kernel, options);
+  const auto base = std::make_shared<core::PatternDistribution>(
+      rec.pattern, t, symmetric, rec.scheme);
+  const core::ReplicatedDistribution distribution(base, memory_factor);
 
   Rng rng(static_cast<std::uint64_t>(parser.get_int("data-seed")));
   const linalg::DenseMatrix original =
@@ -627,10 +713,16 @@ int cmd_run(int argc, char** argv) {
     if (!fault_spec.empty())
       injector = std::make_unique<fault::FaultInjector>(
           fault::parse_fault_spec(fault_spec));
-    return symmetric ? dist::distributed_cholesky(input, distribution, config,
+    if (memory_factor > 1)
+      return symmetric
+                 ? dist::distributed_cholesky_25d(input, distribution, config,
                                                   recorder, injector.get())
-                     : dist::distributed_lu(input, distribution, config,
+                 : dist::distributed_lu_25d(input, distribution, config,
                                             recorder, injector.get());
+    return symmetric ? dist::distributed_cholesky(input, *base, config,
+                                                  recorder, injector.get())
+                     : dist::distributed_lu(input, *base, config, recorder,
+                                            injector.get());
   };
 
   obs::Recorder recorder;
@@ -662,8 +754,12 @@ int cmd_run(int argc, char** argv) {
     for (std::int64_t j = 0; j < (symmetric ? i + 1 : t); ++j)
       if (distribution.owner(i, j) != 0) ++gather_messages;
   const std::int64_t predicted =
-      symmetric ? core::exact_cholesky_messages(distribution, t, config)
-                : core::exact_lu_messages(distribution, t, config);
+      memory_factor > 1
+          ? (symmetric ? core::exact_cholesky_messages_25d(distribution, t,
+                                                           config)
+                       : core::exact_lu_messages_25d(distribution, t, config))
+          : (symmetric ? core::exact_cholesky_messages(*base, t, config)
+                       : core::exact_lu_messages(*base, t, config));
   const std::int64_t sent = result.report.total_messages() - gather_messages;
   const std::int64_t consumed =
       result.report.total_messages_received() - gather_messages;
@@ -679,7 +775,19 @@ int cmd_run(int argc, char** argv) {
 
   // Only the process hosting rank 0 holds the gathered factor.
   const bool root = transport == nullptr || transport->is_local(0);
-  if (root) {
+  if (root && memory_factor > 1) {
+    // c > 1 sums trailing updates layer by layer, so the factor is not
+    // bit-comparable to the sequential reference; the residual (and
+    // --crosscheck's deterministic re-run) stand in for the bit test.
+    const double residual =
+        symmetric ? linalg::cholesky_residual(original, result.factored)
+                  : linalg::lu_residual(original, result.factored);
+    if (!(residual < 1e-10)) {
+      std::fprintf(stderr, "run: residual %.3e exceeds the 1e-10 gate\n",
+                   residual);
+      failed = true;
+    }
+  } else if (root) {
     linalg::TiledMatrix sequential =
         linalg::TiledMatrix::from_dense(original, nb);
     const bool sequential_ok = symmetric ? linalg::tiled_cholesky(sequential)
@@ -737,17 +845,25 @@ int cmd_run(int argc, char** argv) {
               rec.scheme.c_str(),
               spec.backend == "socket" ? "socket" : "inproc", process,
               processes);
+  if (memory_factor > 1)
+    std::printf("  memory      c=%lld (%lld-node %s base on %lld layers)\n",
+                static_cast<long long>(memory_factor),
+                static_cast<long long>(distribution.base_nodes()),
+                rec.scheme.c_str(),
+                static_cast<long long>(memory_factor));
   std::printf("  messages    %lld factorization + %lld gather "
               "(closed form %lld)\n",
               static_cast<long long>(sent),
               static_cast<long long>(gather_messages),
               static_cast<long long>(predicted));
   if (root)
-    std::printf("  residual    %.3e (factor bit-identical to the sequential "
-                "reference)\n",
+    std::printf("  residual    %.3e (%s)\n",
                 symmetric
                     ? linalg::cholesky_residual(original, result.factored)
-                    : linalg::lu_residual(original, result.factored));
+                    : linalg::lu_residual(original, result.factored),
+                memory_factor > 1
+                    ? "layer-ordered sums; verified against the 1e-10 gate"
+                    : "factor bit-identical to the sequential reference");
   if (!fault_spec.empty()) {
     const fault::FaultStats& f = result.report.faults;
     std::printf("  faults      %lld drops, %lld dups, %lld delays -> %lld "
@@ -843,8 +959,11 @@ void print_usage() {
       "  cost        list every scheme's communication cost for P nodes\n"
       "  show        build and render one pattern\n"
       "  simulate    run the cluster simulator with the recommended pattern\n"
+      "              (--memory-factor c stacks a P/c-node base into a 2.5D\n"
+      "              schedule)\n"
       "  run         run a real distributed factorization over vmpi\n"
-      "              (--transport socket spans OS processes)\n"
+      "              (--transport socket spans OS processes;\n"
+      "              --memory-factor c runs the 2.5D schedule)\n"
       "  launch      spawn N processes on this host wired into a socket mesh\n"
       "  atlas       precompute a pattern database over a range of P\n\n"
       "run 'anyblock <command> --help' for the command's options");
